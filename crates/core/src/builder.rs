@@ -1,0 +1,386 @@
+//! The `BuildRBFmodel` procedure (paper §1, steps 1–6).
+
+use std::error::Error;
+use std::fmt;
+
+use ppm_rbf::{FittedRbf, RbfTrainer};
+use ppm_regtree::{Dataset, DatasetError};
+use ppm_rng::{derive_seed, Rng};
+use ppm_sampling::lhs::LatinHypercube;
+use ppm_sampling::random::random_design;
+
+use crate::metrics::ErrorStats;
+use crate::response::{eval_batch, Response};
+use crate::space::DesignSpace;
+
+/// Errors from model building.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// The simulated responses could not form a dataset (e.g. non-finite
+    /// CPI values).
+    BadData(DatasetError),
+    /// The accuracy target was not reached at the largest sample size.
+    TargetNotReached {
+        /// The best mean error achieved (percent).
+        best_mean_pct: f64,
+        /// The target (percent).
+        target_pct: f64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::BadData(e) => write!(f, "invalid sample data: {e}"),
+            BuildError::TargetNotReached {
+                best_mean_pct,
+                target_pct,
+            } => write!(
+                f,
+                "accuracy target {target_pct}% not reached (best {best_mean_pct:.2}%)"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::BadData(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatasetError> for BuildError {
+    fn from(e: DatasetError) -> Self {
+        BuildError::BadData(e)
+    }
+}
+
+/// Configuration of the model-building procedure.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Number of design points to simulate (paper: 30–200).
+    pub sample_size: usize,
+    /// Number of candidate latin hypercubes generated; the one with the
+    /// lowest L2-star discrepancy is kept (paper §2.2).
+    pub lhs_candidates: usize,
+    /// The RBF training grid (p_min and α candidates, criterion).
+    pub trainer: RbfTrainer,
+    /// Seed for sampling decisions.
+    pub seed: u64,
+    /// Worker threads for simulation.
+    pub threads: usize,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            sample_size: 90,
+            lhs_candidates: 200,
+            trainer: RbfTrainer::default(),
+            seed: 1,
+            threads: crate::response::default_threads(),
+        }
+    }
+}
+
+impl BuildConfig {
+    /// A reduced configuration for fast tests: small candidate pool and
+    /// training grid.
+    pub fn quick(sample_size: usize) -> Self {
+        BuildConfig {
+            sample_size,
+            lhs_candidates: 16,
+            trainer: RbfTrainer::quick(),
+            ..BuildConfig::default()
+        }
+    }
+
+    /// Sets the sample size.
+    pub fn with_sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The outcome of one model build: the fitted network plus the sample it
+/// was trained on.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// The fitted RBF network with its method parameters.
+    pub model: FittedRbf,
+    /// The training design (unit coordinates).
+    pub design: Vec<Vec<f64>>,
+    /// The simulated responses, aligned with `design`.
+    pub responses: Vec<f64>,
+    /// The L2-star discrepancy of the chosen sample.
+    pub discrepancy: f64,
+}
+
+impl BuiltModel {
+    /// Predicts the response at a unit design point.
+    pub fn predict(&self, unit: &[f64]) -> f64 {
+        self.model.network.predict(unit)
+    }
+
+    /// Evaluates the model on a test set.
+    pub fn evaluate(&self, test_points: &[Vec<f64>], test_actual: &[f64]) -> ErrorStats {
+        let predicted: Vec<f64> = test_points.iter().map(|p| self.predict(p)).collect();
+        ErrorStats::from_predictions(&predicted, test_actual)
+    }
+}
+
+/// Builds RBF network models of a response over a design space,
+/// following the paper's procedure.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_core::builder::{BuildConfig, RbfModelBuilder};
+/// use ppm_core::response::FnResponse;
+/// use ppm_core::space::DesignSpace;
+///
+/// let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
+/// let response = FnResponse::new(9, |x| 2.0 + x[0] * x[5]);
+/// let built = builder.build(&response)?;
+/// let pred = built.predict(&[0.5; 9]);
+/// assert!(pred.is_finite());
+/// # Ok::<(), ppm_core::builder::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RbfModelBuilder {
+    space: DesignSpace,
+    config: BuildConfig,
+}
+
+impl RbfModelBuilder {
+    /// Creates a builder over a space with the given configuration.
+    pub fn new(space: DesignSpace, config: BuildConfig) -> Self {
+        RbfModelBuilder { space, config }
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BuildConfig {
+        &self.config
+    }
+
+    /// Selects the training sample: the best of many latin hypercubes by
+    /// L2-star discrepancy (paper steps 1–2). Returns the design and its
+    /// discrepancy.
+    pub fn select_sample(&self) -> (Vec<Vec<f64>>, f64) {
+        let mut rng = Rng::seed_from_u64(derive_seed(self.config.seed, 100));
+        let lhs = LatinHypercube::new(self.space.params(), self.config.sample_size);
+        lhs.best_of_with_score(self.config.lhs_candidates, &mut rng)
+    }
+
+    /// Runs the full procedure: sample, simulate, fit (paper steps 1–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BadData`] if the response produced
+    /// non-finite values.
+    pub fn build<R: Response>(&self, response: &R) -> Result<BuiltModel, BuildError> {
+        let (design, discrepancy) = self.select_sample();
+        let responses = eval_batch(response, &design, self.config.threads);
+        self.fit(design, responses, discrepancy)
+    }
+
+    /// Fits a model to an existing simulated sample (useful when the
+    /// responses were computed elsewhere or cached).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BadData`] if the data are inconsistent.
+    pub fn fit(
+        &self,
+        design: Vec<Vec<f64>>,
+        responses: Vec<f64>,
+        discrepancy: f64,
+    ) -> Result<BuiltModel, BuildError> {
+        let data = Dataset::new(design.clone(), responses.clone())?;
+        let model = self.config.trainer.fit(&data);
+        Ok(BuiltModel {
+            model,
+            design,
+            responses,
+            discrepancy,
+        })
+    }
+
+    /// Generates the independent random test set of the paper's §3:
+    /// `count` points in the (narrower) test space, expressed in the
+    /// *training* space's unit coordinates.
+    pub fn test_points(&self, test_space: &DesignSpace, count: usize) -> Vec<Vec<f64>> {
+        let mut rng = Rng::seed_from_u64(derive_seed(self.config.seed, 200));
+        random_design(test_space.params(), count, &mut rng)
+            .into_iter()
+            .map(|unit| {
+                let actual = test_space.to_actual(&unit);
+                self.space.params().to_unit(&actual)
+            })
+            .collect()
+    }
+
+    /// The iterative procedure of step 6: build models at increasing
+    /// sample sizes until the mean test error falls below
+    /// `target_mean_pct`.
+    ///
+    /// Returns the first model meeting the target together with its
+    /// error statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::TargetNotReached`] if even the largest
+    /// sample size misses the target, or [`BuildError::BadData`] on
+    /// invalid responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_sizes` is empty.
+    pub fn build_to_accuracy<R: Response>(
+        &self,
+        response: &R,
+        sample_sizes: &[usize],
+        target_mean_pct: f64,
+        test_points: &[Vec<f64>],
+        test_actual: &[f64],
+    ) -> Result<(BuiltModel, ErrorStats), BuildError> {
+        assert!(!sample_sizes.is_empty(), "no sample sizes given");
+        let mut best: Option<(BuiltModel, ErrorStats)> = None;
+        for &n in sample_sizes {
+            let mut builder = self.clone();
+            builder.config.sample_size = n;
+            let built = builder.build(response)?;
+            let stats = built.evaluate(test_points, test_actual);
+            if stats.mean_pct <= target_mean_pct {
+                return Ok((built, stats));
+            }
+            if best
+                .as_ref()
+                .is_none_or(|(_, s)| stats.mean_pct < s.mean_pct)
+            {
+                best = Some((built, stats));
+            }
+        }
+        let best_mean = best.map(|(_, s)| s.mean_pct).unwrap_or(f64::INFINITY);
+        Err(BuildError::TargetNotReached {
+            best_mean_pct: best_mean,
+            target_pct: target_mean_pct,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::FnResponse;
+
+    fn smooth_response() -> FnResponse<impl Fn(&[f64]) -> f64 + Sync> {
+        FnResponse::new(9, |x| {
+            2.0 + 1.5 * x[0] + (2.0 * x[4]).exp() * 0.2 + x[5] * x[5] - 0.5 * x[5] * x[6]
+        })
+    }
+
+    #[test]
+    fn build_produces_accurate_model_on_smooth_response() {
+        let builder =
+            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(80));
+        let built = builder.build(&smooth_response()).unwrap();
+        let test = builder.test_points(&DesignSpace::paper_table2(), 40);
+        let actual: Vec<f64> = test.iter().map(|p| smooth_response().eval(p)).collect();
+        let stats = built.evaluate(&test, &actual);
+        assert!(stats.mean_pct < 5.0, "mean error {stats}");
+    }
+
+    #[test]
+    fn sample_selection_is_deterministic_and_snapped() {
+        let builder =
+            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
+        let (a, da) = builder.select_sample();
+        let (b, db) = builder.select_sample();
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+        assert_eq!(a.len(), 30);
+        // L2 size has 6 levels: unit coordinates are multiples of 1/5.
+        for p in &a {
+            let scaled = p[4] * 5.0;
+            assert!((scaled - scaled.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_samples() {
+        let b1 = RbfModelBuilder::new(
+            DesignSpace::paper_table1(),
+            BuildConfig::quick(30).with_seed(1),
+        );
+        let b2 = RbfModelBuilder::new(
+            DesignSpace::paper_table1(),
+            BuildConfig::quick(30).with_seed(2),
+        );
+        assert_ne!(b1.select_sample().0, b2.select_sample().0);
+    }
+
+    #[test]
+    fn test_points_lie_in_the_restricted_region() {
+        let builder =
+            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
+        let test = builder.test_points(&DesignSpace::paper_table2(), 50);
+        assert_eq!(test.len(), 50);
+        for p in &test {
+            // In training-space unit coordinates the pipe-depth axis is
+            // confined to Table 2's [2/17, 15/17] window.
+            assert!(p[0] >= 2.0 / 17.0 - 1e-6 && p[0] <= 15.0 / 17.0 + 1e-6);
+            // ROB confined to [0.125, 0.875].
+            assert!(p[1] >= 0.124 && p[1] <= 0.876);
+            for &v in p.iter() {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn build_to_accuracy_stops_at_first_adequate_size() {
+        let builder =
+            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
+        let response = smooth_response();
+        let test = builder.test_points(&DesignSpace::paper_table2(), 30);
+        let actual: Vec<f64> = test.iter().map(|p| response.eval(p)).collect();
+        let (built, stats) = builder
+            .build_to_accuracy(&response, &[30, 60, 90], 8.0, &test, &actual)
+            .unwrap();
+        assert!(stats.mean_pct <= 8.0);
+        assert!(built.design.len() <= 90);
+    }
+
+    #[test]
+    fn build_to_accuracy_reports_unreachable_target() {
+        let builder =
+            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(20));
+        // A response too rough to model with 20 points.
+        let response = FnResponse::new(9, |x| {
+            1.0 + (37.0 * x[0]).sin() + (53.0 * x[1]).cos() * (29.0 * x[2]).sin()
+        });
+        let test = builder.test_points(&DesignSpace::paper_table2(), 30);
+        let actual: Vec<f64> = test.iter().map(|p| response.eval(p)).collect();
+        let err = builder
+            .build_to_accuracy(&response, &[20], 0.01, &test, &actual)
+            .unwrap_err();
+        assert!(matches!(err, BuildError::TargetNotReached { .. }));
+        assert!(err.to_string().contains("not reached"));
+    }
+}

@@ -1,0 +1,152 @@
+//! K-fold cross-validation for fitted surrogate models.
+//!
+//! The paper assesses accuracy with a dedicated random test set (50
+//! fresh simulations). When simulations are too expensive even for
+//! that, cross-validation estimates the generalization error from the
+//! training sample alone: the sample is split into `k` folds, the model
+//! is refitted `k` times holding one fold out, and the held-out
+//! predictions are scored.
+
+use ppm_rbf::RbfTrainer;
+use ppm_regtree::{Dataset, DatasetError};
+
+use crate::metrics::ErrorStats;
+
+/// Cross-validates an RBF trainer on a sample.
+///
+/// Returns error statistics over all held-out predictions (the same
+/// mean/max/std percentages as the paper's test-set metric).
+///
+/// # Errors
+///
+/// Returns a [`DatasetError`] if the sample is inconsistent.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` exceeds the number of points.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_core::crossval::cross_validate;
+/// use ppm_rbf::RbfTrainer;
+/// use ppm_rng::Rng;
+///
+/// let mut rng = Rng::seed_from_u64(1);
+/// let points: Vec<Vec<f64>> = (0..40).map(|_| vec![rng.unit_f64(), rng.unit_f64()]).collect();
+/// let y: Vec<f64> = points.iter().map(|p| 1.0 + p[0] + p[1] * p[1]).collect();
+/// let stats = cross_validate(&RbfTrainer::quick(), &points, &y, 5)?;
+/// assert!(stats.mean_pct < 20.0);
+/// # Ok::<(), ppm_regtree::DatasetError>(())
+/// ```
+pub fn cross_validate(
+    trainer: &RbfTrainer,
+    design: &[Vec<f64>],
+    responses: &[f64],
+    k: usize,
+) -> Result<ErrorStats, DatasetError> {
+    assert!(k >= 2, "cross-validation needs at least 2 folds");
+    assert!(
+        k <= design.len(),
+        "more folds ({k}) than points ({})",
+        design.len()
+    );
+    // Validate the whole sample up front for consistent errors.
+    Dataset::new(design.to_vec(), responses.to_vec())?;
+
+    let n = design.len();
+    let mut predicted = Vec::with_capacity(n);
+    let mut actual = Vec::with_capacity(n);
+    for fold in 0..k {
+        // Deterministic striped folds: index i belongs to fold i mod k.
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_idx = Vec::new();
+        for i in 0..n {
+            if i % k == fold {
+                test_idx.push(i);
+            } else {
+                train_x.push(design[i].clone());
+                train_y.push(responses[i]);
+            }
+        }
+        let data = Dataset::new(train_x, train_y)?;
+        let fitted = trainer.fit(&data);
+        for i in test_idx {
+            predicted.push(fitted.network.predict(&design[i]));
+            actual.push(responses[i]);
+        }
+    }
+    Ok(ErrorStats::from_predictions(&predicted, &actual))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+
+    fn sample(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = Rng::seed_from_u64(4);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..3).map(|_| rng.unit_f64()).collect())
+            .collect();
+        let y = pts
+            .iter()
+            .map(|p| 2.0 + p[0] + (2.0 * p[1]).sin() * 0.5 + 0.02 * rng.normal())
+            .collect();
+        (pts, y)
+    }
+
+    #[test]
+    fn cv_error_tracks_true_generalization() {
+        let (pts, y) = sample(60);
+        let trainer = RbfTrainer::quick();
+        let cv = cross_validate(&trainer, &pts, &y, 5).unwrap();
+        // A learnable smooth function: CV error should be small but
+        // nonzero (the noise floor is ~1%).
+        assert!(cv.mean_pct > 0.0);
+        assert!(cv.mean_pct < 10.0, "cv error {cv}");
+    }
+
+    #[test]
+    fn cv_covers_every_point_exactly_once() {
+        // With k folds striped by index, predicted length == n.
+        let (pts, y) = sample(23);
+        let cv = cross_validate(&RbfTrainer::quick(), &pts, &y, 4).unwrap();
+        // Indirectly verified by ErrorStats not panicking and mean
+        // being finite; also determinism:
+        let cv2 = cross_validate(&RbfTrainer::quick(), &pts, &y, 4).unwrap();
+        assert_eq!(cv, cv2);
+    }
+
+    #[test]
+    fn harder_function_has_higher_cv_error() {
+        let mut rng = Rng::seed_from_u64(8);
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|_| (0..3).map(|_| rng.unit_f64()).collect())
+            .collect();
+        let easy: Vec<f64> = pts.iter().map(|p| 2.0 + p[0]).collect();
+        let hard: Vec<f64> = pts
+            .iter()
+            .map(|p| 2.0 + (17.0 * p[0]).sin() + (23.0 * p[1]).cos())
+            .collect();
+        let trainer = RbfTrainer::quick();
+        let e = cross_validate(&trainer, &pts, &easy, 5).unwrap();
+        let h = cross_validate(&trainer, &pts, &hard, 5).unwrap();
+        assert!(h.mean_pct > e.mean_pct, "hard {h} vs easy {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_panics() {
+        let (pts, y) = sample(10);
+        let _ = cross_validate(&RbfTrainer::quick(), &pts, &y, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds")]
+    fn too_many_folds_panics() {
+        let (pts, y) = sample(5);
+        let _ = cross_validate(&RbfTrainer::quick(), &pts, &y, 10);
+    }
+}

@@ -1,0 +1,104 @@
+//! Model-accuracy metrics (the paper's §3: mean/max/std of the absolute
+//! percentage error in CPI).
+
+use std::fmt;
+
+/// Error diagnostics of a predictive model on a test set, in percent —
+/// the columns of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Mean absolute percentage error.
+    pub mean_pct: f64,
+    /// Maximum absolute percentage error.
+    pub max_pct: f64,
+    /// Standard deviation of the absolute percentage errors.
+    pub std_pct: f64,
+}
+
+impl ErrorStats {
+    /// Computes error statistics from predictions and true responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty, differ in length, or any true
+    /// response is zero or non-finite (percentage error is undefined).
+    pub fn from_predictions(predicted: &[f64], actual: &[f64]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        assert!(!actual.is_empty(), "no test points");
+        let errs: Vec<f64> = predicted
+            .iter()
+            .zip(actual)
+            .map(|(&p, &a)| {
+                assert!(a.is_finite() && a != 0.0, "invalid true response {a}");
+                100.0 * ((p - a) / a).abs()
+            })
+            .collect();
+        let n = errs.len() as f64;
+        let mean = errs.iter().sum::<f64>() / n;
+        let max = errs.iter().fold(0.0f64, |m, &e| m.max(e));
+        let var = errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        ErrorStats {
+            mean_pct: mean,
+            max_pct: max,
+            std_pct: var.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.1}% max {:.1}% std {:.1}%",
+            self.mean_pct, self.max_pct, self.std_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_error() {
+        let s = ErrorStats::from_predictions(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean_pct, 0.0);
+        assert_eq!(s.max_pct, 0.0);
+        assert_eq!(s.std_pct, 0.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        // Errors: 10%, 20%.
+        let s = ErrorStats::from_predictions(&[1.1, 1.6], &[1.0, 2.0]);
+        assert!((s.mean_pct - 15.0).abs() < 1e-9);
+        assert!((s.max_pct - 20.0).abs() < 1e-9);
+        assert!((s.std_pct - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sign_of_error_is_ignored() {
+        let over = ErrorStats::from_predictions(&[1.1], &[1.0]);
+        let under = ErrorStats::from_predictions(&[0.9], &[1.0]);
+        assert!((over.mean_pct - under.mean_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = ErrorStats::from_predictions(&[1.1], &[1.0]);
+        let text = s.to_string();
+        assert!(text.contains("mean") && text.contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid true response")]
+    fn zero_actual_panics() {
+        ErrorStats::from_predictions(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        ErrorStats::from_predictions(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Saving and loading fitted models as a plain-text format.
+//!
+//! The format is a small, versioned, line-oriented text file so models
+//! can be trained once (simulations are expensive) and reused from the
+//! CLI or other tools without any serialization dependency:
+//!
+//! ```text
+//! ppm-rbf-model v1
+//! meta <key> <value>        # zero or more
+//! dim 9
+//! centers 2
+//! rbf <c0..c8> | <r0..r8> | <weight>
+//! rbf ...
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use ppm_rbf::{Rbf, RbfNetwork};
+
+/// Errors from reading or writing model files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a valid model (message describes the problem).
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(msg) => write!(f, "invalid model file: {msg}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// A model together with free-form metadata (benchmark name, metric,
+/// sample size, ...).
+#[derive(Debug, Clone)]
+pub struct SavedModel {
+    /// The network.
+    pub network: RbfNetwork,
+    /// `(key, value)` metadata pairs, in file order.
+    pub meta: Vec<(String, String)>,
+}
+
+impl SavedModel {
+    /// Looks up a metadata value.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Serializes a network (with metadata) to a string.
+///
+/// # Panics
+///
+/// Panics if a metadata key contains whitespace or a value contains a
+/// newline.
+pub fn to_string(network: &RbfNetwork, meta: &[(String, String)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ppm-rbf-model v1");
+    for (k, v) in meta {
+        assert!(
+            !k.contains(char::is_whitespace),
+            "metadata key {k:?} contains whitespace"
+        );
+        assert!(!v.contains('\n'), "metadata value contains a newline");
+        let _ = writeln!(out, "meta {k} {v}");
+    }
+    let _ = writeln!(out, "dim {}", network.dim());
+    let _ = writeln!(out, "centers {}", network.num_centers());
+    let fmt_vec = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.17e}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for (basis, &w) in network.bases().iter().zip(network.weights()) {
+        let _ = writeln!(
+            out,
+            "rbf {} | {} | {w:.17e}",
+            fmt_vec(basis.center()),
+            fmt_vec(basis.radius())
+        );
+    }
+    out
+}
+
+/// Writes a model file.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure.
+pub fn save(network: &RbfNetwork, meta: &[(String, String)], path: &Path) -> Result<(), PersistError> {
+    fs::write(path, to_string(network, meta))?;
+    Ok(())
+}
+
+/// Parses a model from a string.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] describing the first problem found.
+pub fn from_str(text: &str) -> Result<SavedModel, PersistError> {
+    let bad = |msg: &str| PersistError::Format(msg.to_string());
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    match lines.next() {
+        Some("ppm-rbf-model v1") => {}
+        Some(other) => return Err(bad(&format!("unknown header {other:?}"))),
+        None => return Err(bad("empty file")),
+    }
+    let mut meta = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut centers: Option<usize> = None;
+    let mut bases = Vec::new();
+    let mut weights = Vec::new();
+    for line in lines {
+        let mut parts = line.splitn(2, ' ');
+        let tag = parts.next().unwrap_or("");
+        let rest = parts.next().unwrap_or("").trim();
+        match tag {
+            "meta" => {
+                let mut kv = rest.splitn(2, ' ');
+                let k = kv.next().unwrap_or("").to_string();
+                let v = kv.next().unwrap_or("").to_string();
+                if k.is_empty() {
+                    return Err(bad("meta line without a key"));
+                }
+                meta.push((k, v));
+            }
+            "dim" => {
+                dim = Some(
+                    rest.parse()
+                        .map_err(|_| bad(&format!("bad dim {rest:?}")))?,
+                );
+            }
+            "centers" => {
+                centers = Some(
+                    rest.parse()
+                        .map_err(|_| bad(&format!("bad center count {rest:?}")))?,
+                );
+            }
+            "rbf" => {
+                let dim = dim.ok_or_else(|| bad("rbf line before dim"))?;
+                let mut fields = rest.split('|');
+                let parse_vec = |s: &str| -> Result<Vec<f64>, PersistError> {
+                    s.split_whitespace()
+                        .map(|t| t.parse::<f64>().map_err(|_| bad(&format!("bad float {t:?}"))))
+                        .collect()
+                };
+                let center = parse_vec(fields.next().ok_or_else(|| bad("missing center"))?)?;
+                let radius = parse_vec(fields.next().ok_or_else(|| bad("missing radius"))?)?;
+                let w: f64 = fields
+                    .next()
+                    .ok_or_else(|| bad("missing weight"))?
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("bad weight"))?;
+                if center.len() != dim || radius.len() != dim {
+                    return Err(bad("center/radius dimension mismatch"));
+                }
+                bases.push(Rbf::new(center, radius));
+                weights.push(w);
+            }
+            other => return Err(bad(&format!("unknown line tag {other:?}"))),
+        }
+    }
+    let expected = centers.ok_or_else(|| bad("missing centers line"))?;
+    if bases.len() != expected {
+        return Err(bad(&format!(
+            "expected {expected} rbf lines, found {}",
+            bases.len()
+        )));
+    }
+    if bases.is_empty() {
+        return Err(bad("model has no centers"));
+    }
+    Ok(SavedModel {
+        network: RbfNetwork::new(bases, weights),
+        meta,
+    })
+}
+
+/// Reads a model file.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on I/O or format problems.
+pub fn load(path: &Path) -> Result<SavedModel, PersistError> {
+    from_str(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+
+    fn network() -> RbfNetwork {
+        let mut rng = Rng::seed_from_u64(5);
+        let bases: Vec<Rbf> = (0..7)
+            .map(|_| {
+                let c: Vec<f64> = (0..9).map(|_| rng.unit_f64()).collect();
+                let r: Vec<f64> = (0..9).map(|_| 0.1 + rng.unit_f64()).collect();
+                Rbf::new(c, r)
+            })
+            .collect();
+        let w: Vec<f64> = (0..7).map(|_| rng.normal()).collect();
+        RbfNetwork::new(bases, w)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions_exactly() {
+        let net = network();
+        let meta = vec![
+            ("benchmark".to_string(), "181.mcf".to_string()),
+            ("metric".to_string(), "cpi".to_string()),
+        ];
+        let text = to_string(&net, &meta);
+        let loaded = from_str(&text).unwrap();
+        assert_eq!(loaded.meta_value("benchmark"), Some("181.mcf"));
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..50 {
+            let x: Vec<f64> = (0..9).map(|_| rng.unit_f64()).collect();
+            assert_eq!(net.predict(&x), loaded.network.predict(&x));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let net = network();
+        let dir = std::env::temp_dir().join("ppm_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save(&net, &[], &path).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.network.num_centers(), net.num_centers());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("not a model").is_err());
+        assert!(from_str("ppm-rbf-model v1\ndim 2\ncenters 1\n").is_err());
+        assert!(from_str("ppm-rbf-model v1\ndim 2\ncenters 1\nrbf 0.5 | 0.5 | 1.0").is_err());
+        let err = from_str("ppm-rbf-model v2").unwrap_err();
+        assert!(err.to_string().contains("unknown header"));
+    }
+
+    #[test]
+    fn meta_is_preserved_in_order() {
+        let net = network();
+        let meta = vec![
+            ("a".to_string(), "1".to_string()),
+            ("b".to_string(), "two words".to_string()),
+        ];
+        let loaded = from_str(&to_string(&net, &meta)).unwrap();
+        assert_eq!(loaded.meta, meta);
+    }
+}

@@ -1,0 +1,274 @@
+//! Processor responses: what the model-building procedure measures at a
+//! design point.
+
+use ppm_sim::{estimate_energy, EnergyParams, Processor};
+use ppm_workload::{Benchmark, TraceGenerator};
+
+use crate::space::DesignSpace;
+
+/// Which scalar a [`SimulatorResponse`] reports per design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Cycles per instruction — the paper's response.
+    #[default]
+    Cpi,
+    /// Energy per instruction, from the activity-based energy model
+    /// (the extension suggested in the paper's conclusion).
+    Epi,
+    /// Energy–delay product per instruction.
+    Edp,
+}
+
+/// A deterministic scalar response over the unit design space.
+///
+/// The paper's response is the CPI reported by detailed simulation
+/// ([`SimulatorResponse`]); analytic responses ([`FnResponse`]) are
+/// useful for fast tests of the modeling machinery.
+///
+/// Implementations must be deterministic: the same point always yields
+/// the same value. `Sync` is required so batches can be evaluated in
+/// parallel.
+pub trait Response: Sync {
+    /// The dimensionality of the input space.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the response at a unit design point.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `unit.len() != self.dim()`.
+    fn eval(&self, unit: &[f64]) -> f64;
+}
+
+/// A response computed by running the cycle-level simulator on a
+/// benchmark trace (the paper's step 3).
+///
+/// # Examples
+///
+/// ```no_run
+/// use ppm_core::response::{Response, SimulatorResponse};
+/// use ppm_workload::Benchmark;
+///
+/// let r = SimulatorResponse::new(Benchmark::Mcf, 200_000);
+/// let cpi = r.eval(&[0.5; 9]);
+/// assert!(cpi > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimulatorResponse {
+    benchmark: Benchmark,
+    trace_len: usize,
+    seed: u64,
+    space: DesignSpace,
+    metric: Metric,
+}
+
+impl SimulatorResponse {
+    /// Creates a response for a benchmark, simulating `trace_len`
+    /// instructions per design point, over the Table 1 space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_len == 0`.
+    pub fn new(benchmark: Benchmark, trace_len: usize) -> Self {
+        Self::with_space(benchmark, trace_len, DesignSpace::paper_table1())
+    }
+
+    /// Like [`SimulatorResponse::new`] with an explicit design space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_len == 0`.
+    pub fn with_space(benchmark: Benchmark, trace_len: usize, space: DesignSpace) -> Self {
+        assert!(trace_len > 0, "empty trace");
+        SimulatorResponse {
+            benchmark,
+            trace_len,
+            seed: 1,
+            space,
+            metric: Metric::Cpi,
+        }
+    }
+
+    /// Overrides the workload seed (default 1).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the reported metric (default CPI).
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// The reported metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The benchmark being modeled.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The design space used to interpret unit points.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+}
+
+impl Response for SimulatorResponse {
+    fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    fn eval(&self, unit: &[f64]) -> f64 {
+        let config = self.space.to_config(unit);
+        let trace = TraceGenerator::new(self.benchmark, self.seed).take(self.trace_len);
+        let stats = Processor::new(config.clone()).run(trace);
+        match self.metric {
+            Metric::Cpi => stats.cpi(),
+            Metric::Epi => estimate_energy(&stats, &config, &EnergyParams::default()).epi(),
+            Metric::Edp => estimate_energy(&stats, &config, &EnergyParams::default()).edp(),
+        }
+    }
+}
+
+/// An analytic response defined by a closure.
+pub struct FnResponse<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> FnResponse<F> {
+    /// Wraps a closure as a response over a `dim`-dimensional unit cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, f: F) -> Self {
+        assert!(dim > 0, "response needs at least one dimension");
+        FnResponse { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Sync> Response for FnResponse<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn eval(&self, unit: &[f64]) -> f64 {
+        (self.f)(unit)
+    }
+}
+
+/// Evaluates a response at many points, in parallel when `threads > 1`.
+///
+/// Results are returned in input order regardless of thread count, and
+/// the computation is deterministic.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn eval_batch<R: Response>(response: &R, points: &[Vec<f64>], threads: usize) -> Vec<f64> {
+    assert!(threads > 0, "need at least one thread");
+    if threads == 1 || points.len() <= 1 {
+        return points.iter().map(|p| response.eval(p)).collect();
+    }
+    let n = points.len();
+    let mut results = vec![0.0f64; n];
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ci, (pts, out)) in points
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let _ = ci;
+            s.spawn(move |_| {
+                for (p, o) in pts.iter().zip(out.iter_mut()) {
+                    *o = response.eval(p);
+                }
+            });
+        }
+    })
+    .expect("response evaluation thread panicked");
+    results
+}
+
+/// The number of worker threads to use by default: the available
+/// parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_response_evaluates() {
+        let r = FnResponse::new(2, |x| x[0] + 2.0 * x[1]);
+        assert_eq!(r.dim(), 2);
+        assert_eq!(r.eval(&[0.5, 0.25]), 1.0);
+    }
+
+    #[test]
+    fn eval_batch_matches_serial_and_is_ordered() {
+        let r = FnResponse::new(3, |x| x[0] * 100.0 + x[1] * 10.0 + x[2]);
+        let points: Vec<Vec<f64>> = (0..37)
+            .map(|i| vec![i as f64 / 37.0, 0.5, 0.25])
+            .collect();
+        let serial = eval_batch(&r, &points, 1);
+        let parallel = eval_batch(&r, &points, 8);
+        assert_eq!(serial, parallel);
+        assert!(serial[0] < serial[36]);
+    }
+
+    #[test]
+    fn simulator_response_is_deterministic_and_sensible() {
+        let r = SimulatorResponse::new(ppm_workload::Benchmark::Crafty, 30_000);
+        let a = r.eval(&[0.5; 9]);
+        let b = r.eval(&[0.5; 9]);
+        assert_eq!(a, b);
+        assert!(a > 0.2 && a < 20.0, "implausible CPI {a}");
+        // The best corner beats the worst corner.
+        let worst = r.eval(&[0.0; 9]);
+        let best = r.eval(&[1.0; 9]);
+        assert!(
+            worst > best,
+            "low-performance corner ({worst}) should be slower than high ({best})"
+        );
+    }
+
+    #[test]
+    fn metrics_differ_and_relate() {
+        let base = SimulatorResponse::new(ppm_workload::Benchmark::Ammp, 20_000);
+        let x = [0.5; 9];
+        let cpi = base.clone().with_metric(Metric::Cpi).eval(&x);
+        let epi = base.clone().with_metric(Metric::Epi).eval(&x);
+        let edp = base.clone().with_metric(Metric::Edp).eval(&x);
+        assert!(cpi > 0.0 && epi > 0.0);
+        // EDP = EPI x CPI by construction.
+        assert!((edp - epi * cpi).abs() / edp < 1e-9, "{edp} vs {}", epi * cpi);
+    }
+
+    #[test]
+    fn batch_of_simulations_in_parallel() {
+        let r = SimulatorResponse::new(ppm_workload::Benchmark::Ammp, 20_000);
+        let points: Vec<Vec<f64>> = vec![vec![0.2; 9], vec![0.8; 9], vec![0.5; 9]];
+        let serial = eval_batch(&r, &points, 1);
+        let parallel = eval_batch(&r, &points, 3);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let r = FnResponse::new(1, |x| x[0]);
+        eval_batch(&r, &[vec![0.0]], 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! A first-order analytical CPI model in the spirit of
+//! Karkhanis & Smith (ISCA 2004) and Noonburg & Shen (MICRO 1994) —
+//! the "theoretical models" of the paper's related work.
+//!
+//! These models estimate performance as ideal throughput degraded by
+//! independent penalty terms for the major miss events:
+//!
+//! ```text
+//! CPI ≈ CPI_base(window, width)
+//!     + f_branch · mispredict_rate · (front_depth + resolve)
+//!     + il1 misses/instr · L2 latency
+//!     + dl1 load misses/instr · L2 latency · serialization
+//!     + L2 load misses/instr · memory latency / MLP(window)
+//! ```
+//!
+//! The program statistics (dataflow ILP as a function of window size,
+//! per-geometry cache miss counts, branch predictability) are gathered
+//! in **one cheap pass over the trace** — no pipeline simulation — and
+//! the model is then evaluated in microseconds per configuration.
+//!
+//! This crate exists as the comparison substrate the paper argues
+//! against: such models are fast and insightful, but (quoting §5)
+//! "they have not been demonstrated to be accurate across the entire
+//! feasible design space." The `related_firstorder` bench harness
+//! measures exactly that, against the RBF surrogate.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppm_firstorder::{FirstOrderModel, ProgramStats};
+//! use ppm_sim::{Instr, Op, SimConfig};
+//!
+//! let trace: Vec<Instr> = (0..20_000)
+//!     .map(|i| Instr::alu(Op::IntAlu, 0x1000 + (i % 256) * 4, 1, 0))
+//!     .collect();
+//! let stats = ProgramStats::collect(trace.iter().copied(), &SimConfig::default());
+//! let model = FirstOrderModel::new(stats);
+//! let cpi = model.predict(&SimConfig::default());
+//! assert!(cpi >= 0.2 && cpi < 4.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod model;
+mod profile;
+
+pub use model::FirstOrderModel;
+pub use profile::ProgramStats;

@@ -1,0 +1,160 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+
+use crate::Matrix;
+
+/// The lower-triangular Cholesky factor `L` of a symmetric
+/// positive-definite matrix `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_linalg::{Cholesky, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let chol = Cholesky::new(&a).unwrap();
+/// let x = chol.solve(&[8.0, 7.0]);
+/// // A x = [8, 7]  =>  x = [1.25, 1.5]
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns `None` if the matrix is not (numerically) positive definite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: &Matrix) -> Option<Self> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky needs a square matrix");
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if !(d > 0.0) || !d.is_finite() {
+                return None;
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Some(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` using the precomputed factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The log-determinant of `A`, computed as `2 Σ log Lᵢᵢ`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+    use proptest::prelude::*;
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let re = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((re[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_returns_none() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let chol = Cholesky::new(&Matrix::identity(4)).unwrap();
+        assert!(chol.log_det().abs() < 1e-12);
+    }
+
+    /// Random SPD matrices built as BᵀB + εI should factor and solve.
+    #[test]
+    fn random_spd_solve_residual_small() {
+        let mut rng = Rng::seed_from_u64(99);
+        for n in [1usize, 2, 5, 20] {
+            let b_mat = Matrix::from_fn(n + 2, n, |_, _| rng.normal());
+            let mut a = b_mat.gram();
+            for i in 0..n {
+                a[(i, i)] += 1e-6;
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+            let x = Cholesky::new(&a).unwrap().solve(&rhs);
+            let res = a.matvec(&x);
+            for i in 0..n {
+                assert!((res[i] - rhs[i]).abs() < 1e-6, "n={n} residual too big");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_diagonal_matrices_solve_exactly(d in proptest::collection::vec(0.1f64..10.0, 1..8)) {
+            let n = d.len();
+            let a = Matrix::from_fn(n, n, |i, j| if i == j { d[i] } else { 0.0 });
+            let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            let x = Cholesky::new(&a).unwrap().solve(&b);
+            for i in 0..n {
+                prop_assert!((x[i] - b[i] / d[i]).abs() < 1e-10);
+            }
+        }
+    }
+}

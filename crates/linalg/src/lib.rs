@@ -1,0 +1,67 @@
+//! Small dense linear algebra for the surrogate-model fitting pipeline.
+//!
+//! The RBF-network and linear-regression crates only need least-squares
+//! solves with at most a few hundred unknowns, so this crate provides a
+//! compact row-major [`Matrix`], a Cholesky factorization for symmetric
+//! positive-definite systems, a Householder QR for general least squares,
+//! and a ridge-regularized fallback for the near-singular design matrices
+//! that appear during greedy subset selection.
+//!
+//! # Examples
+//!
+//! Solve an ordinary least-squares problem:
+//!
+//! ```
+//! use ppm_linalg::{lstsq, Matrix};
+//!
+//! // y = 2 + 3x sampled exactly.
+//! let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = vec![2.0, 5.0, 8.0];
+//! let beta = lstsq(&a, &y).unwrap();
+//! assert!((beta[0] - 2.0).abs() < 1e-10);
+//! assert!((beta[1] - 3.0).abs() < 1e-10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cholesky;
+mod matrix;
+mod qr;
+mod solve;
+
+pub use cholesky::Cholesky;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use solve::{lstsq, lstsq_ridge, LinalgError};
+
+/// Computes the dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of unequal lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Computes the Euclidean norm of a slice.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal")]
+    fn dot_unequal_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! High-level least-squares entry points used by the model-fitting crates.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Cholesky, Matrix, Qr};
+
+/// Errors reported by the linear-algebra solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The system is singular or numerically rank deficient and no
+    /// regularization was requested.
+    RankDeficient,
+    /// Dimensions of the inputs are inconsistent.
+    DimensionMismatch {
+        /// Rows of the design matrix.
+        rows: usize,
+        /// Length of the response vector.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::RankDeficient => write!(f, "matrix is numerically rank deficient"),
+            LinalgError::DimensionMismatch { rows, rhs } => {
+                write!(f, "design matrix has {rows} rows but rhs has {rhs} entries")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+/// Solves the ordinary least-squares problem `min ||A x - b||²` via QR.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::RankDeficient`] when `A` has (numerically)
+/// dependent columns, and [`LinalgError::DimensionMismatch`] when `b` does
+/// not match `A`'s row count.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_linalg::{lstsq, Matrix};
+///
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let x = lstsq(&a, &[1.0, 2.0, 3.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-10);
+/// # Ok::<(), ppm_linalg::LinalgError>(())
+/// ```
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            rows: a.rows(),
+            rhs: b.len(),
+        });
+    }
+    Qr::new(a).solve(b).ok_or(LinalgError::RankDeficient)
+}
+
+/// Solves the ridge-regularized least-squares problem
+/// `min ||A x - b||² + λ ||x||²` via the normal equations and Cholesky.
+///
+/// With `λ > 0` the system is always positive definite, so this never
+/// fails for valid dimensions; it is the fallback the RBF subset-selection
+/// search uses when a candidate center set is degenerate.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `b` does not match
+/// `A`'s row count, or [`LinalgError::RankDeficient`] if `λ <= 0` left the
+/// normal equations singular.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_linalg::{lstsq_ridge, Matrix};
+///
+/// // Duplicate columns are fine with ridge.
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+/// let x = lstsq_ridge(&a, &[1.0, 2.0], 1e-6)?;
+/// assert!((x[0] - x[1]).abs() < 1e-6); // symmetry between the twins
+/// # Ok::<(), ppm_linalg::LinalgError>(())
+/// ```
+pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            rows: a.rows(),
+            rhs: b.len(),
+        });
+    }
+    let mut g = a.gram();
+    // Scale the ridge by the Gram diagonal so it is unit-independent.
+    let scale = (0..g.rows()).map(|i| g[(i, i)]).fold(0.0_f64, f64::max).max(1.0);
+    for i in 0..g.rows() {
+        g[(i, i)] += lambda * scale;
+    }
+    let rhs = a.t_matvec(b);
+    Cholesky::new(&g)
+        .map(|c| c.solve(&rhs))
+        .ok_or(LinalgError::RankDeficient)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+
+    #[test]
+    fn lstsq_and_ridge_agree_on_well_posed_problems() {
+        let mut rng = Rng::seed_from_u64(21);
+        let a = Matrix::from_fn(40, 6, |_, _| rng.normal());
+        let b: Vec<f64> = (0..40).map(|_| rng.normal()).collect();
+        let x1 = lstsq(&a, &b).unwrap();
+        let x2 = lstsq_ridge(&a, &b, 1e-12).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-5, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn ridge_handles_duplicate_columns() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let b = [2.0, 4.0, 6.0];
+        assert_eq!(lstsq(&a, &b), Err(LinalgError::RankDeficient));
+        let x = lstsq_ridge(&a, &b, 1e-9).unwrap();
+        let fit = a.matvec(&x);
+        for (f, t) in fit.iter().zip(&b) {
+            assert!((f - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Matrix::identity(2);
+        assert_eq!(
+            lstsq(&a, &[1.0]),
+            Err(LinalgError::DimensionMismatch { rows: 2, rhs: 1 })
+        );
+        assert_eq!(
+            lstsq_ridge(&a, &[1.0], 1e-6),
+            Err(LinalgError::DimensionMismatch { rows: 2, rhs: 1 })
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LinalgError::DimensionMismatch { rows: 3, rhs: 2 };
+        assert!(e.to_string().contains("3 rows"));
+        assert!(LinalgError::RankDeficient.to_string().contains("rank"));
+    }
+}

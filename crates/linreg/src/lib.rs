@@ -1,0 +1,37 @@
+//! The linear-regression baseline model (paper §4.2).
+//!
+//! Joseph et al. (HPCA 2006) model performance as a linear combination
+//! of microarchitectural parameters and their pairwise interactions.
+//! This crate reproduces that baseline for the comparison in the paper's
+//! Figure 7: a least-squares fit of
+//!
+//! ```text
+//! y = β₀ + Σₖ βₖ xₖ + Σ_{a<b} β_{ab} xₐ x_b
+//! ```
+//!
+//! followed by AIC-based backward elimination of insignificant terms.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppm_regtree::Dataset;
+//! use ppm_linreg::LinearTrainer;
+//!
+//! // y = 1 + 2·x0 with an inert second input.
+//! let pts: Vec<Vec<f64>> = (0..20)
+//!     .map(|i| vec![i as f64 / 19.0, (i % 5) as f64 / 4.0])
+//!     .collect();
+//! let y: Vec<f64> = pts.iter().map(|p| 1.0 + 2.0 * p[0]).collect();
+//! let data = Dataset::new(pts, y)?;
+//! let model = LinearTrainer::default().fit(&data).unwrap();
+//! assert!((model.predict(&[0.5, 0.5]) - 2.0).abs() < 1e-6);
+//! # Ok::<(), ppm_regtree::DatasetError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod model;
+mod terms;
+
+pub use model::{LinearModel, LinearTrainer, LinregError};
+pub use terms::Term;

@@ -1,0 +1,283 @@
+//! Least-squares fitting and AIC backward elimination.
+
+use std::error::Error;
+use std::fmt;
+
+use ppm_linalg::{lstsq, lstsq_ridge, Matrix};
+use ppm_regtree::Dataset;
+
+use crate::Term;
+
+/// Errors from linear-model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinregError {
+    /// Fewer data points than model terms; the initial fit is
+    /// underdetermined.
+    TooFewPoints {
+        /// Points available.
+        points: usize,
+        /// Terms requested.
+        terms: usize,
+    },
+    /// The design matrix was numerically singular even with ridge.
+    Singular,
+}
+
+impl fmt::Display for LinregError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinregError::TooFewPoints { points, terms } => {
+                write!(f, "{points} points cannot identify {terms} terms")
+            }
+            LinregError::Singular => write!(f, "design matrix is singular"),
+        }
+    }
+}
+
+impl Error for LinregError {}
+
+/// A fitted linear model: a set of terms with coefficients.
+///
+/// Constructed by [`LinearTrainer::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    terms: Vec<Term>,
+    coefficients: Vec<f64>,
+    sse: f64,
+    aic: f64,
+}
+
+impl LinearModel {
+    /// The retained terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The coefficients, aligned with [`LinearModel::terms`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Residual sum of squares on the training sample.
+    pub fn sse(&self) -> f64 {
+        self.sse
+    }
+
+    /// AIC of the fitted model.
+    pub fn aic(&self) -> f64 {
+        self.aic
+    }
+
+    /// Number of retained terms (including the intercept).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Predicts the response at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than the largest parameter index used by
+    /// a retained term.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(t, &c)| c * t.eval(x))
+            .sum()
+    }
+
+    /// Predicts at many points.
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Fits linear models with optional interactions and AIC backward
+/// elimination (paper §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTrainer {
+    /// Include all two-factor interactions (the paper's setting).
+    pub interactions: bool,
+    /// Run AIC-based backward elimination after the initial full fit.
+    pub eliminate: bool,
+}
+
+impl Default for LinearTrainer {
+    fn default() -> Self {
+        LinearTrainer {
+            interactions: true,
+            eliminate: true,
+        }
+    }
+}
+
+impl LinearTrainer {
+    /// Fits the model to the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinregError::TooFewPoints`] if the sample cannot
+    /// identify the full term set, or [`LinregError::Singular`] if the
+    /// design matrix is degenerate beyond repair.
+    pub fn fit(&self, data: &Dataset) -> Result<LinearModel, LinregError> {
+        let mut terms = Term::full_set(data.dim(), self.interactions);
+        if data.len() <= terms.len() {
+            // The paper notes sample sizes must exceed the term count
+            // ("main effects and all two-parameter interactions only").
+            // Drop interactions if they do not fit; fail if even main
+            // effects do not.
+            if self.interactions && data.len() > data.dim() + 1 {
+                terms = Term::full_set(data.dim(), false);
+            } else {
+                return Err(LinregError::TooFewPoints {
+                    points: data.len(),
+                    terms: terms.len(),
+                });
+            }
+        }
+        let mut current = fit_terms(data, &terms)?;
+        if !self.eliminate {
+            return Ok(current);
+        }
+        // Backward elimination: repeatedly drop the term whose removal
+        // improves (lowers) AIC the most; keep the intercept.
+        loop {
+            let mut best: Option<LinearModel> = None;
+            for (i, t) in current.terms.iter().enumerate() {
+                if *t == Term::Intercept {
+                    continue;
+                }
+                let mut reduced = current.terms.clone();
+                reduced.remove(i);
+                if let Ok(m) = fit_terms(data, &reduced) {
+                    if m.aic < current.aic && best.as_ref().is_none_or(|b| m.aic < b.aic) {
+                        best = Some(m);
+                    }
+                }
+            }
+            match best {
+                Some(m) => current = m,
+                None => break,
+            }
+        }
+        Ok(current)
+    }
+}
+
+fn fit_terms(data: &Dataset, terms: &[Term]) -> Result<LinearModel, LinregError> {
+    let x = Matrix::from_fn(data.len(), terms.len(), |i, j| {
+        terms[j].eval(data.point(i))
+    });
+    let coef = match lstsq(&x, data.y()) {
+        Ok(c) => c,
+        Err(_) => lstsq_ridge(&x, data.y(), 1e-9).map_err(|_| LinregError::Singular)?,
+    };
+    let fitted = x.matvec(&coef);
+    let sse: f64 = fitted
+        .iter()
+        .zip(data.y())
+        .map(|(f, t)| {
+            let d = f - t;
+            d * d
+        })
+        .sum();
+    let p = data.len() as f64;
+    let m = terms.len() as f64;
+    let aic = p * (sse.max(0.0) / p).max(1e-12).ln() + 2.0 * m;
+    Ok(LinearModel {
+        terms: terms.to_vec(),
+        coefficients: coef,
+        sse,
+        aic,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+
+    fn make_data(n: usize, f: impl Fn(&[f64]) -> f64) -> Dataset {
+        let mut rng = Rng::seed_from_u64(55);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.unit_f64(), rng.unit_f64(), rng.unit_f64()])
+            .collect();
+        let y: Vec<f64> = pts.iter().map(|p| f(p)).collect();
+        Dataset::new(pts, y).unwrap()
+    }
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        let data = make_data(40, |p| 1.0 + 2.0 * p[0] - 3.0 * p[2]);
+        let model = LinearTrainer::default().fit(&data).unwrap();
+        let x = [0.3, 0.9, 0.6];
+        assert!((model.predict(&x) - (1.0 + 0.6 - 1.8)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_interaction() {
+        let data = make_data(60, |p| 2.0 + 4.0 * p[0] * p[1]);
+        let model = LinearTrainer::default().fit(&data).unwrap();
+        assert!(model.terms().contains(&Term::Interaction(0, 1)));
+        let x = [0.5, 0.5, 0.1];
+        assert!((model.predict(&x) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elimination_drops_inert_terms() {
+        let data = make_data(80, |p| 1.0 + 5.0 * p[0]);
+        let full = LinearTrainer {
+            eliminate: false,
+            ..LinearTrainer::default()
+        }
+        .fit(&data)
+        .unwrap();
+        let pruned = LinearTrainer::default().fit(&data).unwrap();
+        assert!(pruned.num_terms() < full.num_terms());
+        assert!(pruned.terms().contains(&Term::Main(0)));
+        assert!(pruned.terms().contains(&Term::Intercept));
+    }
+
+    #[test]
+    fn cannot_fit_quadratic_better_than_linear_band() {
+        // A strongly curved function: linear + interactions leave a big
+        // residual, which is the whole point of the paper's comparison.
+        let data = make_data(60, |p| (6.0 * p[0]).sin());
+        let model = LinearTrainer::default().fit(&data).unwrap();
+        let mean: f64 = data.y().iter().sum::<f64>() / data.len() as f64;
+        let var: f64 = data.y().iter().map(|v| (v - mean) * (v - mean)).sum();
+        assert!(model.sse() > 0.1 * var, "linear model fit sine too well");
+    }
+
+    #[test]
+    fn interactions_fall_back_when_sample_is_small() {
+        // 3 dims → full set is 1+3+3=7 terms; 6 points force main-only.
+        let data = make_data(6, |p| 1.0 + p[0]);
+        let model = LinearTrainer::default().fit(&data).unwrap();
+        assert!(model
+            .terms()
+            .iter()
+            .all(|t| !matches!(t, Term::Interaction(_, _))));
+    }
+
+    #[test]
+    fn too_few_points_errors() {
+        let data = make_data(3, |p| p[0]);
+        let err = LinearTrainer::default().fit(&data).unwrap_err();
+        assert!(matches!(err, LinregError::TooFewPoints { .. }));
+        assert!(err.to_string().contains("cannot identify"));
+    }
+
+    #[test]
+    fn predict_many_matches_predict() {
+        let data = make_data(30, |p| p[0] + p[1]);
+        let model = LinearTrainer::default().fit(&data).unwrap();
+        let xs = vec![vec![0.1, 0.2, 0.3], vec![0.9, 0.8, 0.7]];
+        let many = model.predict_many(&xs);
+        for (x, &v) in xs.iter().zip(&many) {
+            assert_eq!(model.predict(x), v);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Model terms: intercept, main effects and pairwise interactions.
+
+use std::fmt;
+
+/// One term of a linear model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// The constant term.
+    Intercept,
+    /// A main effect of parameter `k`.
+    Main(usize),
+    /// A two-factor interaction `x_a · x_b` with `a < b`.
+    Interaction(usize, usize),
+}
+
+impl Term {
+    /// Evaluates the term at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced parameter index is out of bounds.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        match *self {
+            Term::Intercept => 1.0,
+            Term::Main(k) => x[k],
+            Term::Interaction(a, b) => x[a] * x[b],
+        }
+    }
+
+    /// Enumerates the full candidate set for `dim` parameters:
+    /// intercept, all main effects, and (optionally) all two-factor
+    /// interactions.
+    pub fn full_set(dim: usize, interactions: bool) -> Vec<Term> {
+        let mut terms = vec![Term::Intercept];
+        terms.extend((0..dim).map(Term::Main));
+        if interactions {
+            for a in 0..dim {
+                for b in (a + 1)..dim {
+                    terms.push(Term::Interaction(a, b));
+                }
+            }
+        }
+        terms
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Term::Intercept => write!(f, "1"),
+            Term::Main(k) => write!(f, "x{k}"),
+            Term::Interaction(a, b) => write!(f, "x{a}*x{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_definition() {
+        let x = [2.0, 3.0, 5.0];
+        assert_eq!(Term::Intercept.eval(&x), 1.0);
+        assert_eq!(Term::Main(2).eval(&x), 5.0);
+        assert_eq!(Term::Interaction(0, 1).eval(&x), 6.0);
+    }
+
+    #[test]
+    fn full_set_sizes() {
+        // 9 parameters: 1 + 9 + 36 = 46 terms (exactly the paper's model).
+        assert_eq!(Term::full_set(9, true).len(), 46);
+        assert_eq!(Term::full_set(9, false).len(), 10);
+    }
+
+    #[test]
+    fn full_set_has_unique_terms() {
+        let terms = Term::full_set(6, true);
+        let set: std::collections::HashSet<_> = terms.iter().collect();
+        assert_eq!(set.len(), terms.len());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::Intercept.to_string(), "1");
+        assert_eq!(Term::Main(3).to_string(), "x3");
+        assert_eq!(Term::Interaction(1, 4).to_string(), "x1*x4");
+    }
+}

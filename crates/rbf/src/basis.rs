@@ -1,0 +1,151 @@
+//! Gaussian radial basis functions with per-dimension radii.
+
+/// A Gaussian radial basis function (paper Eq. 2):
+///
+/// ```text
+/// h(x) = exp( -Σₖ (xₖ - cₖ)² / rₖ² )
+/// ```
+///
+/// The response is 1 at the center and decays with distance, anisotropically
+/// when the radii differ across dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_rbf::Rbf;
+///
+/// let h = Rbf::new(vec![0.5, 0.5], vec![0.25, 1.0]);
+/// assert!((h.eval(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+/// // Moving along the tight dimension decays faster than the loose one.
+/// assert!(h.eval(&[0.75, 0.5]) < h.eval(&[0.5, 0.75]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rbf {
+    center: Vec<f64>,
+    radius: Vec<f64>,
+}
+
+impl Rbf {
+    /// Minimum radius; prevents a degenerate basis function whose
+    /// response is a spike at a single point.
+    pub const MIN_RADIUS: f64 = 1e-6;
+
+    /// Creates a basis function with the given center and radius vector.
+    ///
+    /// Radii are clamped below by [`Rbf::MIN_RADIUS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` and `radius` lengths differ, are empty, or any
+    /// component is not finite or is negative (radius).
+    pub fn new(center: Vec<f64>, radius: Vec<f64>) -> Self {
+        assert_eq!(center.len(), radius.len(), "center/radius length mismatch");
+        assert!(!center.is_empty(), "RBF needs at least one dimension");
+        assert!(center.iter().all(|v| v.is_finite()), "non-finite center");
+        assert!(
+            radius.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "radii must be non-negative and finite"
+        );
+        let radius = radius
+            .into_iter()
+            .map(|r| r.max(Self::MIN_RADIUS))
+            .collect();
+        Rbf { center, radius }
+    }
+
+    /// The center point.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The per-dimension radii.
+    pub fn radius(&self) -> &[f64] {
+        &self.radius
+    }
+
+    /// The input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Evaluates the basis function at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        let mut d2 = 0.0;
+        for ((&xi, &ci), &ri) in x.iter().zip(&self.center).zip(&self.radius) {
+            let z = (xi - ci) / ri;
+            d2 += z * z;
+        }
+        (-d2).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_response_at_center() {
+        let h = Rbf::new(vec![0.2, 0.9], vec![0.5, 0.5]);
+        assert!((h.eval(&[0.2, 0.9]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_decays_with_distance() {
+        let h = Rbf::new(vec![0.5], vec![0.5]);
+        let near = h.eval(&[0.6]);
+        let far = h.eval(&[0.9]);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        let h = Rbf::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        let x = [1.0, 2.0];
+        let expected = (-(1.0f64 / 1.0 + 4.0 / 4.0)).exp();
+        assert!((h.eval(&x) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_radius_is_clamped() {
+        let h = Rbf::new(vec![0.5], vec![0.0]);
+        assert_eq!(h.radius()[0], Rbf::MIN_RADIUS);
+        assert!((h.eval(&[0.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Rbf::new(vec![0.5], vec![0.5, 0.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_response_in_unit_interval(
+            c in proptest::collection::vec(0.0f64..1.0, 1..6),
+            x_off in proptest::collection::vec(-2.0f64..2.0, 1..6),
+            r in 0.01f64..10.0,
+        ) {
+            let dim = c.len().min(x_off.len());
+            let c = c[..dim].to_vec();
+            let x: Vec<f64> = c.iter().zip(&x_off[..dim]).map(|(a, b)| a + b).collect();
+            let h = Rbf::new(c, vec![r; dim]);
+            let v = h.eval(&x);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        #[test]
+        fn prop_symmetric_about_center(off in 0.01f64..1.0, r in 0.05f64..5.0) {
+            let h = Rbf::new(vec![0.5], vec![r]);
+            let a = h.eval(&[0.5 + off]);
+            let b = h.eval(&[0.5 - off]);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Radial basis function networks for design-space interpolation
+//! (paper §2.3–§2.6).
+//!
+//! The model is a weighted sum of Gaussian radial basis functions
+//! (paper Eq. 1 and 2):
+//!
+//! ```text
+//! f(x) = Σⱼ wⱼ hⱼ(x),    hⱼ(x) = exp( -Σₖ (xₖ - cⱼₖ)² / rⱼₖ² )
+//! ```
+//!
+//! Candidate centers `cⱼ` and radii `rⱼ` come from the hyper-rectangles
+//! of a fitted [`ppm_regtree::RegressionTree`]: the center of each tree
+//! node's rectangle is a candidate center, and its radius is the
+//! rectangle's size scaled by a method parameter α (paper Eq. 8). A
+//! tree-ordered subset-selection procedure (Orr et al.) picks the subset
+//! of candidates minimizing **AICc** (paper Eq. 9), and the output-layer
+//! weights are solved by linear least squares.
+//!
+//! The top-level entry point is [`RbfTrainer`], which grid-searches the
+//! method parameters `p_min` (tree leaf size) and α exactly as §2.6
+//! prescribes, returning the fitted [`RbfNetwork`] with diagnostics.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppm_regtree::Dataset;
+//! use ppm_rbf::RbfTrainer;
+//!
+//! // Fit a smooth 1-D function.
+//! let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+//! let y: Vec<f64> = pts.iter().map(|p| (3.0 * p[0]).sin() + 2.0).collect();
+//! let data = Dataset::new(pts, y)?;
+//! let fitted = RbfTrainer::default().fit(&data);
+//! let err = (fitted.network.predict(&[0.5]) - ((1.5f64).sin() + 2.0)).abs();
+//! assert!(err < 0.2, "prediction error {err}");
+//! # Ok::<(), ppm_regtree::DatasetError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod basis;
+mod criteria;
+mod network;
+mod selection;
+mod trainer;
+
+pub use basis::Rbf;
+pub use criteria::Criterion;
+pub use network::RbfNetwork;
+pub use selection::{select_all_leaves, select_centers, select_centers_forward, SelectionConfig, SelectionResult};
+pub use trainer::{FittedRbf, RbfTrainer};

@@ -1,0 +1,483 @@
+//! Tree-ordered subset selection of RBF centers (paper §2.5).
+//!
+//! Every node of the regression tree contributes one candidate basis
+//! function: center at the node's hyper-rectangle center, radius equal
+//! to the rectangle size scaled by α (paper Eq. 8). Candidates are then
+//! admitted into the model by the selection-ordering strategy of Orr et
+//! al.: starting at the root, each internal node and its two children are
+//! toggled through all 8 inclusion combinations, the combination that
+//! minimizes the model-selection criterion is committed, and the search
+//! descends to the children.
+
+use ppm_linalg::{lstsq, lstsq_ridge, Matrix};
+use ppm_regtree::{Dataset, RegressionTree};
+
+use crate::{Criterion, Rbf, RbfNetwork};
+
+/// Configuration of the subset-selection search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionConfig {
+    /// The criterion to minimize (the paper uses AICc).
+    pub criterion: Criterion,
+    /// Radius scale α: RBF radius = α × tree-region size (paper Eq. 8).
+    pub alpha: f64,
+    /// Optional hard cap on the number of centers.
+    pub max_centers: Option<usize>,
+}
+
+impl SelectionConfig {
+    /// A configuration with the given α and the paper's AICc criterion.
+    pub fn with_alpha(alpha: f64) -> Self {
+        SelectionConfig {
+            criterion: Criterion::Aicc,
+            alpha,
+            max_centers: None,
+        }
+    }
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig::with_alpha(7.0)
+    }
+}
+
+/// The outcome of subset selection: the fitted network plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// The fitted network (selected centers with least-squares weights).
+    pub network: RbfNetwork,
+    /// Indices (into the tree's node arena) of the selected centers.
+    pub selected_nodes: Vec<usize>,
+    /// Final criterion value.
+    pub score: f64,
+    /// Final residual sum of squares on the training sample.
+    pub sse: f64,
+}
+
+/// Runs tree-ordered subset selection and returns the fitted network.
+///
+/// # Panics
+///
+/// Panics if `config.alpha` is not positive and finite, or if the tree
+/// and dataset dimensions disagree.
+pub fn select_centers(
+    tree: &RegressionTree,
+    data: &Dataset,
+    config: &SelectionConfig,
+) -> SelectionResult {
+    assert!(
+        config.alpha.is_finite() && config.alpha > 0.0,
+        "alpha must be positive, got {}",
+        config.alpha
+    );
+    assert_eq!(tree.dim(), data.dim(), "tree/data dimension mismatch");
+
+    // Candidate basis functions, one per tree node (paper Eq. 8).
+    let candidates: Vec<Rbf> = tree
+        .nodes()
+        .iter()
+        .map(|n| {
+            let radius = n.rect.size.iter().map(|&s| config.alpha * s).collect();
+            Rbf::new(n.rect.center.clone(), radius)
+        })
+        .collect();
+    let h_full = RbfNetwork::design_matrix(&candidates, data.points());
+
+    let mut selected = vec![false; candidates.len()];
+    let mut current = evaluate(&h_full, data.y(), &selected, config);
+
+    // Breadth-first descent through the tree, toggling each internal
+    // node together with its two children (8 combinations).
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0usize);
+    while let Some(idx) = queue.pop_front() {
+        let node = tree.node(idx);
+        let Some((l, r)) = node.children else {
+            continue;
+        };
+        let trio = [idx, l, r];
+        let mut best_mask = current_mask(&selected, &trio);
+        let mut best_eval = current.clone();
+        for mask in 0u8..8 {
+            if mask == current_mask(&selected, &trio) {
+                continue;
+            }
+            apply_mask(&mut selected, &trio, mask);
+            let eval = evaluate(&h_full, data.y(), &selected, config);
+            if eval.score < best_eval.score {
+                best_eval = eval;
+                best_mask = mask;
+            }
+        }
+        apply_mask(&mut selected, &trio, best_mask);
+        current = best_eval;
+        queue.push_back(l);
+        queue.push_back(r);
+    }
+
+    // Guard: never return an empty model — fall back to the root center,
+    // whose wide RBF acts as a quasi-constant term.
+    if !selected.iter().any(|&s| s) {
+        selected[0] = true;
+        current = evaluate(&h_full, data.y(), &selected, config);
+    }
+
+    let selected_nodes: Vec<usize> = selected
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &s)| s.then_some(i))
+        .collect();
+    let bases: Vec<Rbf> = selected_nodes.iter().map(|&i| candidates[i].clone()).collect();
+    let weights = current.weights.clone().expect("non-empty model has weights");
+    SelectionResult {
+        network: RbfNetwork::new(bases, weights),
+        selected_nodes,
+        score: current.score,
+        sse: current.sse,
+    }
+}
+
+/// Plain greedy forward selection over all tree-node candidates: add
+/// the center that most improves the criterion until no addition helps.
+/// Provided as an ablation baseline against the tree-ordered strategy.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`select_centers`].
+pub fn select_centers_forward(
+    tree: &RegressionTree,
+    data: &Dataset,
+    config: &SelectionConfig,
+) -> SelectionResult {
+    assert!(
+        config.alpha.is_finite() && config.alpha > 0.0,
+        "alpha must be positive, got {}",
+        config.alpha
+    );
+    assert_eq!(tree.dim(), data.dim(), "tree/data dimension mismatch");
+    let candidates: Vec<Rbf> = tree
+        .nodes()
+        .iter()
+        .map(|n| {
+            let radius = n.rect.size.iter().map(|&s| config.alpha * s).collect();
+            Rbf::new(n.rect.center.clone(), radius)
+        })
+        .collect();
+    let h_full = RbfNetwork::design_matrix(&candidates, data.points());
+    let mut selected = vec![false; candidates.len()];
+    let mut current = evaluate(&h_full, data.y(), &selected, config);
+    loop {
+        let mut best: Option<(usize, Evaluation)> = None;
+        for i in 0..candidates.len() {
+            if selected[i] {
+                continue;
+            }
+            selected[i] = true;
+            let eval = evaluate(&h_full, data.y(), &selected, config);
+            selected[i] = false;
+            if eval.score < current.score
+                && best.as_ref().is_none_or(|(_, b)| eval.score < b.score)
+            {
+                best = Some((i, eval));
+            }
+        }
+        match best {
+            Some((i, eval)) => {
+                selected[i] = true;
+                current = eval;
+            }
+            None => break,
+        }
+    }
+    finish(tree, data, config, &candidates, &h_full, selected, current)
+}
+
+/// Uses *every leaf* of the regression tree as a center (no selection),
+/// with ridge-stabilized weights. An ablation baseline showing why
+/// subset selection matters.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`select_centers`].
+pub fn select_all_leaves(
+    tree: &RegressionTree,
+    data: &Dataset,
+    config: &SelectionConfig,
+) -> SelectionResult {
+    assert!(
+        config.alpha.is_finite() && config.alpha > 0.0,
+        "alpha must be positive, got {}",
+        config.alpha
+    );
+    assert_eq!(tree.dim(), data.dim(), "tree/data dimension mismatch");
+    let candidates: Vec<Rbf> = tree
+        .nodes()
+        .iter()
+        .map(|n| {
+            let radius = n.rect.size.iter().map(|&s| config.alpha * s).collect();
+            Rbf::new(n.rect.center.clone(), radius)
+        })
+        .collect();
+    let h_full = RbfNetwork::design_matrix(&candidates, data.points());
+    let mut selected: Vec<bool> = tree.nodes().iter().map(|n| n.is_leaf()).collect();
+    // Never exceed the data count; drop the deepest leaves if needed.
+    let mut count = selected.iter().filter(|&&s| s).count();
+    if count + 1 >= data.len() {
+        let mut order: Vec<usize> = (0..selected.len()).filter(|&i| selected[i]).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(tree.node(i).depth));
+        for &i in &order {
+            if count + 1 < data.len() {
+                break;
+            }
+            selected[i] = false;
+            count -= 1;
+        }
+    }
+    let current = evaluate(&h_full, data.y(), &selected, config);
+    finish(tree, data, config, &candidates, &h_full, selected, current)
+}
+
+fn finish(
+    _tree: &RegressionTree,
+    data: &Dataset,
+    config: &SelectionConfig,
+    candidates: &[Rbf],
+    h_full: &Matrix,
+    mut selected: Vec<bool>,
+    mut current: Evaluation,
+) -> SelectionResult {
+    if !selected.iter().any(|&s| s) {
+        selected[0] = true;
+        current = evaluate(h_full, data.y(), &selected, config);
+    }
+    let selected_nodes: Vec<usize> = selected
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &s)| s.then_some(i))
+        .collect();
+    let bases: Vec<Rbf> = selected_nodes.iter().map(|&i| candidates[i].clone()).collect();
+    let weights = current.weights.clone().expect("non-empty model has weights");
+    SelectionResult {
+        network: RbfNetwork::new(bases, weights),
+        selected_nodes,
+        score: current.score,
+        sse: current.sse,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Evaluation {
+    score: f64,
+    sse: f64,
+    weights: Option<Vec<f64>>,
+}
+
+fn current_mask(selected: &[bool], trio: &[usize; 3]) -> u8 {
+    trio.iter()
+        .enumerate()
+        .map(|(bit, &i)| (selected[i] as u8) << bit)
+        .sum()
+}
+
+fn apply_mask(selected: &mut [bool], trio: &[usize; 3], mask: u8) {
+    for (bit, &i) in trio.iter().enumerate() {
+        selected[i] = mask & (1 << bit) != 0;
+    }
+}
+
+/// Fits weights for the current selection and scores it.
+fn evaluate(h_full: &Matrix, y: &[f64], selected: &[bool], config: &SelectionConfig) -> Evaluation {
+    let cols: Vec<usize> = selected
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &s)| s.then_some(i))
+        .collect();
+    let p = y.len();
+    let m = cols.len();
+    if let Some(cap) = config.max_centers {
+        if m > cap {
+            return Evaluation {
+                score: f64::INFINITY,
+                sse: f64::INFINITY,
+                weights: None,
+            };
+        }
+    }
+    if m == 0 {
+        let sse: f64 = y.iter().map(|v| v * v).sum();
+        return Evaluation {
+            score: config.criterion.score(p, 0, sse),
+            sse,
+            weights: None,
+        };
+    }
+    if m >= p {
+        // More centers than points can never be scored by AICc/GCV and
+        // would be singular anyway.
+        return Evaluation {
+            score: f64::INFINITY,
+            sse: f64::INFINITY,
+            weights: None,
+        };
+    }
+    let h = h_full.select_cols(&cols);
+    // Greedy selection explores degenerate candidate sets (e.g. a parent
+    // and child with nearly identical wide RBFs); fall back to a tiny
+    // ridge rather than failing.
+    let w = match lstsq(&h, y) {
+        Ok(w) => w,
+        Err(_) => match lstsq_ridge(&h, y, 1e-9) {
+            Ok(w) => w,
+            Err(_) => {
+                return Evaluation {
+                    score: f64::INFINITY,
+                    sse: f64::INFINITY,
+                    weights: None,
+                }
+            }
+        },
+    };
+    let fitted = h.matvec(&w);
+    let sse: f64 = fitted
+        .iter()
+        .zip(y)
+        .map(|(f, t)| {
+            let d = f - t;
+            d * d
+        })
+        .sum();
+    Evaluation {
+        score: config.criterion.score(p, m, sse),
+        sse,
+        weights: Some(w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_regtree::RegressionTree;
+    use ppm_rng::Rng;
+
+    /// A smooth response plus a little irreducible roughness, mimicking
+    /// the regime of real simulator output (an RBF model can never fit
+    /// it exactly, so AICc trades fit against center count).
+    fn smooth_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from_u64(seed);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.unit_f64(), rng.unit_f64()])
+            .collect();
+        let y: Vec<f64> = pts
+            .iter()
+            .map(|p| 2.0 + (3.0 * p[0]).sin() + p[1] * p[1] + 0.03 * rng.normal())
+            .collect();
+        Dataset::new(pts, y).unwrap()
+    }
+
+    #[test]
+    fn selection_fits_smooth_function() {
+        let data = smooth_dataset(60, 42);
+        let tree = RegressionTree::fit(&data, 1);
+        let result = select_centers(&tree, &data, &SelectionConfig::with_alpha(6.0));
+        // Training fit should be decent.
+        let var: f64 = {
+            let mean = data.mean_response();
+            data.y().iter().map(|v| (v - mean) * (v - mean)).sum()
+        };
+        assert!(
+            result.sse < 0.2 * var,
+            "sse {} vs variance {var}",
+            result.sse
+        );
+        // Far fewer centers than points (paper: "much less than half").
+        assert!(result.network.num_centers() < data.len() / 2);
+    }
+
+    #[test]
+    fn selection_generalizes_to_held_out_points() {
+        let data = smooth_dataset(80, 7);
+        let tree = RegressionTree::fit(&data, 1);
+        let result = select_centers(&tree, &data, &SelectionConfig::with_alpha(6.0));
+        let mut rng = Rng::seed_from_u64(1000);
+        let mut worst: f64 = 0.0;
+        for _ in 0..50 {
+            let x = vec![rng.unit_f64(), rng.unit_f64()];
+            let truth = 2.0 + (3.0 * x[0]).sin() + x[1] * x[1];
+            let err = ((result.network.predict(&x) - truth) / truth).abs();
+            worst = worst.max(err);
+        }
+        assert!(worst < 0.30, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn selected_nodes_match_network_size() {
+        let data = smooth_dataset(40, 3);
+        let tree = RegressionTree::fit(&data, 2);
+        let result = select_centers(&tree, &data, &SelectionConfig::default());
+        assert_eq!(result.selected_nodes.len(), result.network.num_centers());
+        for &i in &result.selected_nodes {
+            assert!(i < tree.nodes().len());
+        }
+    }
+
+    #[test]
+    fn constant_data_selects_minimal_model() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let y = vec![3.0; 20];
+        let data = Dataset::new(pts, y).unwrap();
+        let tree = RegressionTree::fit(&data, 1); // a single root node
+        let result = select_centers(&tree, &data, &SelectionConfig::default());
+        assert_eq!(result.network.num_centers(), 1);
+        // Prediction reproduces the constant everywhere in the core of
+        // the region (wide RBF is nearly flat).
+        assert!((result.network.predict(&[0.5]) - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn max_centers_is_respected() {
+        let data = smooth_dataset(60, 11);
+        let tree = RegressionTree::fit(&data, 1);
+        let config = SelectionConfig {
+            max_centers: Some(3),
+            ..SelectionConfig::default()
+        };
+        let result = select_centers(&tree, &data, &config);
+        assert!(result.network.num_centers() <= 3);
+    }
+
+    #[test]
+    fn forward_selection_also_fits() {
+        let data = smooth_dataset(50, 21);
+        let tree = RegressionTree::fit(&data, 1);
+        let config = SelectionConfig::with_alpha(6.0);
+        let fwd = select_centers_forward(&tree, &data, &config);
+        assert!(fwd.network.num_centers() >= 1);
+        assert!(fwd.sse.is_finite());
+        // Greedy forward should achieve a competitive criterion value.
+        let orr = select_centers(&tree, &data, &config);
+        assert!(fwd.score <= orr.score + 50.0, "fwd {} vs orr {}", fwd.score, orr.score);
+    }
+
+    #[test]
+    fn all_leaves_uses_every_leaf_up_to_data_count() {
+        let data = smooth_dataset(40, 33);
+        let tree = RegressionTree::fit(&data, 4);
+        let result = select_all_leaves(&data_tree_config(&tree), &data, &SelectionConfig::with_alpha(6.0));
+        let leaves = tree.num_leaves();
+        assert!(result.network.num_centers() <= leaves);
+        assert!(result.network.num_centers() >= leaves.min(data.len() - 2));
+    }
+
+    fn data_tree_config(tree: &RegressionTree) -> &RegressionTree {
+        tree
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn invalid_alpha_panics() {
+        let data = smooth_dataset(10, 0);
+        let tree = RegressionTree::fit(&data, 1);
+        select_centers(&tree, &data, &SelectionConfig::with_alpha(0.0));
+    }
+}

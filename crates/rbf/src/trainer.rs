@@ -1,0 +1,197 @@
+//! Grid search over the method parameters `p_min` and α (paper §2.6).
+
+use ppm_regtree::{Dataset, RegressionTree};
+
+use crate::{select_centers, Criterion, RbfNetwork, SelectionConfig};
+
+/// Trains an RBF network by grid-searching the regression-tree leaf size
+/// `p_min` and the radius scale α, keeping the combination with the
+/// lowest model-selection criterion — exactly the procedure of §2.6.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_regtree::Dataset;
+/// use ppm_rbf::RbfTrainer;
+///
+/// let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+/// let y: Vec<f64> = pts.iter().map(|p| p[0] * p[0]).collect();
+/// let data = Dataset::new(pts, y)?;
+/// let trainer = RbfTrainer::default();
+/// let fitted = trainer.fit(&data);
+/// assert!(fitted.alpha > 0.0);
+/// # Ok::<(), ppm_regtree::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RbfTrainer {
+    /// Candidate regression-tree leaf sizes. The paper finds 1–2 best.
+    pub p_min_candidates: Vec<usize>,
+    /// Candidate radius scales. The paper finds 5–12 best.
+    pub alpha_candidates: Vec<f64>,
+    /// Selection criterion (the paper uses AICc).
+    pub criterion: Criterion,
+    /// Optional cap on the number of centers.
+    pub max_centers: Option<usize>,
+}
+
+impl Default for RbfTrainer {
+    fn default() -> Self {
+        RbfTrainer {
+            p_min_candidates: vec![1, 2, 3],
+            alpha_candidates: vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0],
+            criterion: Criterion::Aicc,
+            max_centers: None,
+        }
+    }
+}
+
+/// A trained model with the method parameters that produced it
+/// (the diagnostics of the paper's Table 4).
+#[derive(Debug, Clone)]
+pub struct FittedRbf {
+    /// The winning network.
+    pub network: RbfNetwork,
+    /// The winning tree leaf size.
+    pub p_min: usize,
+    /// The winning radius scale.
+    pub alpha: f64,
+    /// The winning criterion value.
+    pub score: f64,
+    /// Residual sum of squares on the training sample.
+    pub sse: f64,
+    /// Number of nodes in the winning regression tree.
+    pub tree_nodes: usize,
+    /// Number of leaves in the winning regression tree.
+    pub tree_leaves: usize,
+}
+
+impl RbfTrainer {
+    /// A trainer with a reduced grid, for fast tests and CI.
+    pub fn quick() -> Self {
+        RbfTrainer {
+            p_min_candidates: vec![1, 2],
+            alpha_candidates: vec![4.0, 7.0, 10.0],
+            ..RbfTrainer::default()
+        }
+    }
+
+    /// Fits the model, returning the best (p_min, α) combination by the
+    /// selection criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either candidate list is empty.
+    pub fn fit(&self, data: &Dataset) -> FittedRbf {
+        assert!(!self.p_min_candidates.is_empty(), "no p_min candidates");
+        assert!(!self.alpha_candidates.is_empty(), "no alpha candidates");
+        let mut best: Option<FittedRbf> = None;
+        for &p_min in &self.p_min_candidates {
+            let tree = RegressionTree::fit(data, p_min);
+            for &alpha in &self.alpha_candidates {
+                let config = SelectionConfig {
+                    criterion: self.criterion,
+                    alpha,
+                    max_centers: self.max_centers,
+                };
+                let result = select_centers(&tree, data, &config);
+                let candidate = FittedRbf {
+                    network: result.network,
+                    p_min,
+                    alpha,
+                    score: result.score,
+                    sse: result.sse,
+                    tree_nodes: tree.nodes().len(),
+                    tree_leaves: tree.num_leaves(),
+                };
+                if best.as_ref().is_none_or(|b| candidate.score < b.score) {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best.expect("non-empty candidate grids")
+    }
+
+    /// Fits with a single fixed `(p_min, α)` pair, bypassing the grid
+    /// search (used by the method-parameter sensitivity ablation).
+    pub fn fit_fixed(&self, data: &Dataset, p_min: usize, alpha: f64) -> FittedRbf {
+        let tree = RegressionTree::fit(data, p_min);
+        let config = SelectionConfig {
+            criterion: self.criterion,
+            alpha,
+            max_centers: self.max_centers,
+        };
+        let result = select_centers(&tree, data, &config);
+        FittedRbf {
+            network: result.network,
+            p_min,
+            alpha,
+            score: result.score,
+            sse: result.sse,
+            tree_nodes: tree.nodes().len(),
+            tree_leaves: tree.num_leaves(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = Rng::seed_from_u64(77);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.unit_f64(), rng.unit_f64()])
+            .collect();
+        let y: Vec<f64> = pts
+            .iter()
+            .map(|p| 1.0 + p[0] * 2.0 + (-3.0 * p[1]).exp())
+            .collect();
+        Dataset::new(pts, y).unwrap()
+    }
+
+    #[test]
+    fn grid_search_beats_or_matches_any_single_combo() {
+        let data = dataset(50);
+        let trainer = RbfTrainer::quick();
+        let best = trainer.fit(&data);
+        for &p_min in &trainer.p_min_candidates {
+            for &alpha in &trainer.alpha_candidates {
+                let single = trainer.fit_fixed(&data, p_min, alpha);
+                assert!(
+                    best.score <= single.score + 1e-9,
+                    "grid missed a better combo ({p_min}, {alpha})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn winning_parameters_come_from_grid() {
+        let data = dataset(40);
+        let trainer = RbfTrainer::quick();
+        let best = trainer.fit(&data);
+        assert!(trainer.p_min_candidates.contains(&best.p_min));
+        assert!(trainer.alpha_candidates.contains(&best.alpha));
+        assert!(best.tree_nodes >= best.tree_leaves);
+    }
+
+    #[test]
+    fn fitted_model_predicts_training_points_well() {
+        let data = dataset(60);
+        let fitted = RbfTrainer::quick().fit(&data);
+        let mean = data.mean_response();
+        let var: f64 = data.y().iter().map(|v| (v - mean) * (v - mean)).sum();
+        assert!(fitted.sse < 0.1 * var, "sse {} vs var {var}", fitted.sse);
+    }
+
+    #[test]
+    #[should_panic(expected = "no p_min candidates")]
+    fn empty_grid_panics() {
+        let trainer = RbfTrainer {
+            p_min_candidates: vec![],
+            ..RbfTrainer::default()
+        };
+        trainer.fit(&dataset(10));
+    }
+}

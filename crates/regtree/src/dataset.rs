@@ -1,0 +1,190 @@
+//! Sampled design points with their simulated responses.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// The dataset has no points.
+    Empty,
+    /// The number of responses differs from the number of points.
+    LengthMismatch {
+        /// Number of design points.
+        points: usize,
+        /// Number of responses.
+        responses: usize,
+    },
+    /// Point `index` has a different dimension than point 0.
+    InconsistentDimension {
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A coordinate or response is NaN or infinite.
+    NonFinite,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "dataset has no points"),
+            DatasetError::LengthMismatch { points, responses } => {
+                write!(f, "{points} points but {responses} responses")
+            }
+            DatasetError::InconsistentDimension { index } => {
+                write!(f, "point {index} has inconsistent dimension")
+            }
+            DatasetError::NonFinite => write!(f, "dataset contains non-finite values"),
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A sample: design points (unit coordinates) and their responses.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_regtree::Dataset;
+///
+/// let data = Dataset::new(vec![vec![0.0], vec![1.0]], vec![1.0, 2.0])?;
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.dim(), 1);
+/// # Ok::<(), ppm_regtree::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    points: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset after validating shape and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// See [`DatasetError`].
+    pub fn new(points: Vec<Vec<f64>>, y: Vec<f64>) -> Result<Self, DatasetError> {
+        if points.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if points.len() != y.len() {
+            return Err(DatasetError::LengthMismatch {
+                points: points.len(),
+                responses: y.len(),
+            });
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(DatasetError::InconsistentDimension { index: 0 });
+        }
+        for (i, p) in points.iter().enumerate() {
+            if p.len() != dim {
+                return Err(DatasetError::InconsistentDimension { index: i });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(DatasetError::NonFinite);
+            }
+        }
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFinite);
+        }
+        Ok(Dataset { points, y })
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the dataset is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the points.
+    pub fn dim(&self) -> usize {
+        self.points[0].len()
+    }
+
+    /// The design points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The responses.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// One point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i]
+    }
+
+    /// One response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn response(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// Mean of the responses.
+    pub fn mean_response(&self) -> f64 {
+        self.y.iter().sum::<f64>() / self.y.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_shapes() {
+        assert_eq!(Dataset::new(vec![], vec![]), Err(DatasetError::Empty));
+        assert_eq!(
+            Dataset::new(vec![vec![0.0]], vec![]),
+            Err(DatasetError::LengthMismatch {
+                points: 1,
+                responses: 0
+            })
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![0.0], vec![0.0, 1.0]], vec![1.0, 2.0]),
+            Err(DatasetError::InconsistentDimension { index: 1 })
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![f64::NAN]], vec![1.0]),
+            Err(DatasetError::NonFinite)
+        );
+        assert_eq!(
+            Dataset::new(vec![vec![0.0]], vec![f64::INFINITY]),
+            Err(DatasetError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn accessors_work() {
+        let d = Dataset::new(vec![vec![0.1, 0.2], vec![0.3, 0.4]], vec![1.0, 3.0]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.point(1), &[0.3, 0.4]);
+        assert_eq!(d.response(0), 1.0);
+        assert_eq!(d.mean_response(), 2.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DatasetError::Empty.to_string().contains("no points"));
+        assert!(DatasetError::NonFinite.to_string().contains("non-finite"));
+    }
+}

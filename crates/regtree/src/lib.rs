@@ -1,0 +1,42 @@
+//! Regression trees over sampled design points (paper §2.4).
+//!
+//! A regression tree recursively bifurcates the design space along one
+//! parameter at a time, choosing at each node the parameter `k` and
+//! boundary `b` that minimize the residual square error
+//!
+//! ```text
+//! E(k, b) = (1/p) ( Σ_{i ∈ S_L} (yᵢ - ȳ_L)² + Σ_{i ∈ S_R} (yᵢ - ȳ_R)² )
+//! ```
+//!
+//! Splitting continues until every terminal node holds at most `p_min`
+//! points. Every node corresponds to a hyper-rectangle of the (unit)
+//! design space; the rectangles' centers and sizes seed the RBF network
+//! construction (paper §2.5), and the split history reproduces the
+//! paper's Table 5 and Figure 5.
+//!
+//! All coordinates are *unit* coordinates in `[0, 1]^n`; callers that
+//! need engineering values convert through their `ParamSpace`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppm_regtree::{Dataset, RegressionTree};
+//!
+//! // A step function in one dimension.
+//! let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+//! let y: Vec<f64> = points.iter().map(|p| if p[0] < 0.5 { 1.0 } else { 3.0 }).collect();
+//! let data = Dataset::new(points, y).unwrap();
+//! let tree = RegressionTree::fit(&data, 1);
+//! // The first split should be at the step.
+//! let root_split = tree.splits()[0];
+//! assert_eq!(root_split.param, 0);
+//! assert!((tree.node(0).split.unwrap().value - 0.5).abs() < 0.07);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod tree;
+
+pub use dataset::{Dataset, DatasetError};
+pub use tree::{Node, Rect, RegressionTree, Split, SplitRecord};

@@ -1,0 +1,112 @@
+//! Small distribution helpers built on top of [`Rng`].
+
+use crate::Rng;
+
+/// A geometric distribution over `1, 2, 3, ...` with success probability `p`.
+///
+/// Used throughout the workload models for register dependency distances and
+/// reuse distances, which empirically decay geometrically.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_rng::{Geometric, Rng};
+///
+/// let dist = Geometric::new(0.5);
+/// let mut rng = Rng::seed_from_u64(2);
+/// let d = dist.sample(&mut rng);
+/// assert!(d >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1], got {p}");
+        Geometric { p }
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The distribution mean, `1 / p`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// Draws one sample (support starts at 1).
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Inverse CDF: ceil(ln(u) / ln(1 - p)) for u in (0, 1).
+        let u = 1.0 - rng.unit_f64(); // in (0, 1]
+        let x = (u.ln() / (1.0 - self.p).ln()).ceil();
+        // Clamp pathological float results into the support.
+        if x < 1.0 {
+            1
+        } else if x > u64::MAX as f64 {
+            u64::MAX
+        } else {
+            x as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use crate::Rng;
+
+    #[test]
+    fn sample_mean_tracks_parameter() {
+        for &p in &[0.9, 0.5, 0.1] {
+            let dist = Geometric::new(p);
+            let mut rng = Rng::seed_from_u64(1234);
+            let n = 100_000;
+            let total: u64 = (0..n).map(|_| dist.sample(&mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - dist.mean()).abs() / dist.mean() < 0.05,
+                "p={p}: empirical mean {mean} vs {}",
+                dist.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_p_one_is_constant() {
+        let dist = Geometric::new(1.0);
+        let mut rng = Rng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric p")]
+    fn zero_p_panics() {
+        Geometric::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_support_starts_at_one(seed in any::<u64>(), p in 0.01f64..1.0) {
+            let dist = Geometric::new(p);
+            let mut rng = Rng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(dist.sample(&mut rng) >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Space-filling quality measures for designs in the unit hypercube.
+//!
+//! The paper selects, among many candidate latin hypercube samples, the
+//! one with the lowest **L2-star discrepancy** — the L2 norm of the
+//! deviation between the sample's empirical distribution and the uniform
+//! distribution over anchored boxes `[0, x)`. Warnock's closed form makes
+//! this an `O(p² n)` computation.
+
+/// Computes the L2-star discrepancy of a design (Warnock's formula).
+///
+/// Lower is better (more uniform). The value is `sqrt` of
+///
+/// ```text
+/// (1/3)^n - (2/p) Σᵢ Πₖ (1 - xᵢₖ²)/2 + (1/p²) ΣᵢΣⱼ Πₖ (1 - max(xᵢₖ, xⱼₖ))
+/// ```
+///
+/// # Panics
+///
+/// Panics if the design is empty, points have inconsistent dimensions, or
+/// any coordinate lies outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// // A single centered point in 1-D has discrepancy sqrt(1/12).
+/// let d = ppm_sampling::discrepancy::l2_star(&[vec![0.5]]);
+/// assert!((d - (1.0f64 / 12.0).sqrt()).abs() < 1e-12);
+/// ```
+pub fn l2_star(points: &[Vec<f64>]) -> f64 {
+    let (p, n) = validate(points);
+    let term1 = (1.0f64 / 3.0).powi(n as i32);
+
+    let mut term2 = 0.0;
+    for x in points {
+        let mut prod = 1.0;
+        for &xi in x {
+            prod *= (1.0 - xi * xi) / 2.0;
+        }
+        term2 += prod;
+    }
+
+    let mut term3 = 0.0;
+    for (i, xi) in points.iter().enumerate() {
+        // Diagonal term.
+        let mut prod = 1.0;
+        for &v in xi {
+            prod *= 1.0 - v;
+        }
+        term3 += prod;
+        // Off-diagonal terms (symmetric, count twice).
+        for xj in points.iter().skip(i + 1) {
+            let mut prod = 1.0;
+            for (&a, &b) in xi.iter().zip(xj) {
+                prod *= 1.0 - a.max(b);
+            }
+            term3 += 2.0 * prod;
+        }
+    }
+
+    let pf = p as f64;
+    let d2 = term1 - 2.0 / pf * term2 + term3 / (pf * pf);
+    d2.max(0.0).sqrt()
+}
+
+/// Computes Hickernell's centered L2 discrepancy.
+///
+/// This variant is invariant under reflections of the hypercube about
+/// coordinate half-planes; it is the measure Fang et al. use to compare
+/// latin hypercube designs. Lower is better.
+///
+/// # Panics
+///
+/// Panics if the design is empty, points have inconsistent dimensions, or
+/// any coordinate lies outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let d = ppm_sampling::discrepancy::centered_l2(&[vec![0.5]]);
+/// assert!((d - (1.0f64 / 12.0).sqrt()).abs() < 1e-12);
+/// ```
+pub fn centered_l2(points: &[Vec<f64>]) -> f64 {
+    let (p, n) = validate(points);
+    let term1 = (13.0f64 / 12.0).powi(n as i32);
+
+    let mut term2 = 0.0;
+    for x in points {
+        let mut prod = 1.0;
+        for &xi in x {
+            let z = (xi - 0.5).abs();
+            prod *= 1.0 + 0.5 * z - 0.5 * z * z;
+        }
+        term2 += prod;
+    }
+
+    let mut term3 = 0.0;
+    for xi in points {
+        for xj in points {
+            let mut prod = 1.0;
+            for (&a, &b) in xi.iter().zip(xj) {
+                let za = (a - 0.5).abs();
+                let zb = (b - 0.5).abs();
+                prod *= 1.0 + 0.5 * za + 0.5 * zb - 0.5 * (a - b).abs();
+            }
+            term3 += prod;
+        }
+    }
+
+    let pf = p as f64;
+    let d2 = term1 - 2.0 / pf * term2 + term3 / (pf * pf);
+    d2.max(0.0).sqrt()
+}
+
+/// The maximin-distance criterion: the smallest pairwise Euclidean
+/// distance in the design. *Higher* is better (points repel each
+/// other), complementary to the discrepancy measures.
+///
+/// # Panics
+///
+/// Panics if the design has fewer than two points or inconsistent
+/// dimensions, or coordinates outside `[0, 1]`.
+pub fn maximin(points: &[Vec<f64>]) -> f64 {
+    let (p, _) = validate(points);
+    assert!(p >= 2, "maximin needs at least two points");
+    let mut best = f64::INFINITY;
+    for i in 0..p {
+        for j in (i + 1)..p {
+            let d2: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            best = best.min(d2);
+        }
+    }
+    best.sqrt()
+}
+
+fn validate(points: &[Vec<f64>]) -> (usize, usize) {
+    assert!(!points.is_empty(), "discrepancy of an empty design");
+    let n = points[0].len();
+    assert!(n > 0, "points must have at least one dimension");
+    for (i, x) in points.iter().enumerate() {
+        assert_eq!(x.len(), n, "point {i} has inconsistent dimension");
+        for (k, &v) in x.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "point {i} coordinate {k} = {v} outside [0, 1]"
+            );
+        }
+    }
+    (points.len(), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+    use proptest::prelude::*;
+
+    /// 1-D analytic check: D²(x) = 1/3 + x² - x for a single point.
+    #[test]
+    fn single_point_1d_matches_analytic() {
+        for &x in &[0.0, 0.25, 0.5, 0.9, 1.0] {
+            let expected = (1.0f64 / 3.0 + x * x - x).max(0.0).sqrt();
+            let got = l2_star(&[vec![x]]);
+            assert!((got - expected).abs() < 1e-12, "x={x}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn centered_point_minimizes_1d_star() {
+        let center = l2_star(&[vec![0.5]]);
+        for &x in &[0.0, 0.2, 0.8, 1.0] {
+            assert!(l2_star(&[vec![x]]) >= center - 1e-12);
+        }
+    }
+
+    #[test]
+    fn even_grid_beats_clustered_points() {
+        let grid: Vec<Vec<f64>> = (0..10).map(|i| vec![(i as f64 + 0.5) / 10.0]).collect();
+        let clustered: Vec<Vec<f64>> = (0..10).map(|i| vec![0.4 + i as f64 * 0.01]).collect();
+        assert!(l2_star(&grid) < l2_star(&clustered));
+        assert!(centered_l2(&grid) < centered_l2(&clustered));
+    }
+
+    #[test]
+    fn discrepancy_decreases_with_more_uniform_points() {
+        let mut rng = Rng::seed_from_u64(17);
+        let sizes = [8usize, 32, 128];
+        let mut last = f64::INFINITY;
+        for &p in &sizes {
+            // Average over several random designs to smooth out noise.
+            let mut acc = 0.0;
+            for _ in 0..5 {
+                let pts: Vec<Vec<f64>> = (0..p)
+                    .map(|_| (0..3).map(|_| rng.unit_f64()).collect())
+                    .collect();
+                acc += l2_star(&pts);
+            }
+            let avg = acc / 5.0;
+            assert!(avg < last, "discrepancy did not shrink at p={p}");
+            last = avg;
+        }
+    }
+
+    #[test]
+    fn maximin_prefers_spread_points() {
+        let spread = vec![vec![0.1, 0.1], vec![0.9, 0.9], vec![0.1, 0.9], vec![0.9, 0.1]];
+        let clumped = vec![vec![0.5, 0.5], vec![0.52, 0.5], vec![0.1, 0.9], vec![0.9, 0.1]];
+        assert!(maximin(&spread) > maximin(&clumped));
+    }
+
+    #[test]
+    fn maximin_known_value() {
+        let pts = vec![vec![0.0], vec![0.5], vec![1.0]];
+        assert!((maximin(&pts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn maximin_single_point_panics() {
+        maximin(&[vec![0.5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_point_panics() {
+        l2_star(&[vec![1.5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty design")]
+    fn empty_design_panics() {
+        l2_star(&[]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_discrepancies_nonnegative_and_finite(
+            seed in any::<u64>(), p in 1usize..20, n in 1usize..5
+        ) {
+            let mut rng = Rng::seed_from_u64(seed);
+            let pts: Vec<Vec<f64>> = (0..p)
+                .map(|_| (0..n).map(|_| rng.unit_f64()).collect())
+                .collect();
+            let star = l2_star(&pts);
+            let cent = centered_l2(&pts);
+            prop_assert!(star.is_finite() && star >= 0.0);
+            prop_assert!(cent.is_finite() && cent >= 0.0);
+        }
+
+        #[test]
+        fn prop_permutation_invariant(seed in any::<u64>()) {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut pts: Vec<Vec<f64>> = (0..12)
+                .map(|_| (0..4).map(|_| rng.unit_f64()).collect())
+                .collect();
+            let before = l2_star(&pts);
+            rng.shuffle(&mut pts);
+            prop_assert!((l2_star(&pts) - before).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_centered_reflection_invariant(seed in any::<u64>()) {
+            // Reflecting every coordinate about 0.5 leaves centered L2 unchanged.
+            let mut rng = Rng::seed_from_u64(seed);
+            let pts: Vec<Vec<f64>> = (0..10)
+                .map(|_| (0..3).map(|_| rng.unit_f64()).collect())
+                .collect();
+            let reflected: Vec<Vec<f64>> = pts
+                .iter()
+                .map(|x| x.iter().map(|&v| 1.0 - v).collect())
+                .collect();
+            prop_assert!((centered_l2(&pts) - centered_l2(&reflected)).abs() < 1e-9);
+        }
+    }
+}

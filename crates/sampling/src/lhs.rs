@@ -1,0 +1,214 @@
+//! Latin hypercube sampling with discrepancy-optimized selection.
+
+use ppm_rng::Rng;
+
+use crate::discrepancy::l2_star;
+use crate::space::ParamSpace;
+use crate::Design;
+
+/// A latin hypercube sampler over a [`ParamSpace`].
+///
+/// In a latin hypercube sample of size `S`, each parameter's range is cut
+/// into strata and every stratum is hit; the strata of different
+/// parameters are combined by independent random permutations. For a
+/// parameter with `L` fixed levels (`L <= S`) each level appears
+/// `S / L` times (±1), so "all settings of a parameter" are present, as
+/// the paper requires.
+///
+/// [`LatinHypercube::best_of`] implements the paper's variant: generate
+/// many candidate hypercubes and keep the one with the lowest L2-star
+/// discrepancy.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_rng::Rng;
+/// use ppm_sampling::lhs::LatinHypercube;
+/// use ppm_sampling::space::{ParamDef, ParamSpace};
+///
+/// let space = ParamSpace::new(vec![
+///     ParamDef::continuous("a", 0.0, 1.0),
+///     ParamDef::continuous("b", 0.0, 1.0),
+/// ]);
+/// let mut rng = Rng::seed_from_u64(3);
+/// let design = LatinHypercube::new(&space, 16).generate(&mut rng);
+/// assert_eq!(design.len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatinHypercube<'a> {
+    space: &'a ParamSpace,
+    size: usize,
+}
+
+impl<'a> LatinHypercube<'a> {
+    /// Creates a sampler producing designs of `size` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 2`.
+    pub fn new(space: &'a ParamSpace, size: usize) -> Self {
+        assert!(size >= 2, "a latin hypercube needs at least 2 points");
+        LatinHypercube { space, size }
+    }
+
+    /// The sample size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Generates one latin hypercube design in unit coordinates.
+    ///
+    /// Coordinates are snapped to each parameter's level grid, so the
+    /// returned points are directly realizable configurations.
+    pub fn generate(&self, rng: &mut Rng) -> Design {
+        let s = self.size;
+        let n = self.space.dim();
+        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for p in self.space.params() {
+            let levels = p.level_count(s);
+            let grid = p.unit_grid(s);
+            // Assign each of the S points a level, covering every level as
+            // evenly as possible, then shuffle the assignment.
+            let mut assignment: Vec<f64> = (0..s).map(|i| grid[i * levels / s]).collect();
+            rng.shuffle(&mut assignment);
+            columns.push(assignment);
+        }
+        (0..s)
+            .map(|i| columns.iter().map(|c| c[i]).collect())
+            .collect()
+    }
+
+    /// Generates `candidates` designs and returns the one with the lowest
+    /// L2-star discrepancy (the paper's §2.2 selection rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates == 0`.
+    pub fn best_of(&self, candidates: usize, rng: &mut Rng) -> Design {
+        self.best_of_with_score(candidates, rng).0
+    }
+
+    /// Like [`LatinHypercube::best_of`] but also returns the winning
+    /// discrepancy, for plotting Figure 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates == 0`.
+    pub fn best_of_with_score(&self, candidates: usize, rng: &mut Rng) -> (Design, f64) {
+        assert!(candidates > 0, "need at least one candidate");
+        let mut best: Option<(Design, f64)> = None;
+        for _ in 0..candidates {
+            let d = self.generate(rng);
+            let score = l2_star(&d);
+            if best.as_ref().is_none_or(|(_, s)| score < *s) {
+                best = Some((d, score));
+            }
+        }
+        best.expect("candidates > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{ParamDef, Transform};
+    use ppm_rng::Rng;
+    use proptest::prelude::*;
+
+    fn space2() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamDef::continuous("a", 0.0, 1.0),
+            ParamDef::leveled("b", 8.0, 64.0, 4, Transform::Log),
+        ])
+    }
+
+    #[test]
+    fn every_continuous_stratum_is_hit_once() {
+        let space = ParamSpace::new(vec![ParamDef::continuous("a", 0.0, 1.0)]);
+        let mut rng = Rng::seed_from_u64(5);
+        let s = 20;
+        let design = LatinHypercube::new(&space, s).generate(&mut rng);
+        let mut seen: Vec<f64> = design.iter().map(|p| p[0]).collect();
+        seen.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        // With S levels over [0,1] every grid value appears exactly once.
+        for (i, v) in seen.iter().enumerate() {
+            let expected = i as f64 / (s - 1) as f64;
+            assert!((v - expected).abs() < 1e-12, "stratum {i} missing");
+        }
+    }
+
+    #[test]
+    fn fixed_levels_are_balanced() {
+        let space = space2();
+        let mut rng = Rng::seed_from_u64(6);
+        let design = LatinHypercube::new(&space, 40).generate(&mut rng);
+        let mut counts = std::collections::HashMap::new();
+        for p in &design {
+            *counts.entry(format!("{:.4}", p[1])).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 4, "all 4 levels should appear");
+        for (level, c) in counts {
+            assert_eq!(c, 10, "level {level} unbalanced");
+        }
+    }
+
+    #[test]
+    fn best_of_is_no_worse_than_single_draw() {
+        let space = space2();
+        let mut rng = Rng::seed_from_u64(7);
+        let lhs = LatinHypercube::new(&space, 20);
+        let (_, best_score) = lhs.best_of_with_score(32, &mut rng);
+        let mut worse = 0;
+        for _ in 0..16 {
+            if l2_star(&lhs.generate(&mut rng)) < best_score {
+                worse += 1;
+            }
+        }
+        // The optimized design should beat the typical random draw.
+        assert!(worse <= 3, "best-of-32 design was beaten {worse}/16 times");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = space2();
+        let d1 = LatinHypercube::new(&space, 10).generate(&mut Rng::seed_from_u64(9));
+        let d2 = LatinHypercube::new(&space, 10).generate(&mut Rng::seed_from_u64(9));
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn tiny_sample_panics() {
+        LatinHypercube::new(&space2(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_design_in_unit_cube(seed in any::<u64>(), s in 2usize..40) {
+            let space = space2();
+            let mut rng = Rng::seed_from_u64(seed);
+            let design = LatinHypercube::new(&space, s).generate(&mut rng);
+            prop_assert_eq!(design.len(), s);
+            for p in &design {
+                prop_assert_eq!(p.len(), 2);
+                for &v in p {
+                    prop_assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_points_snapped_to_levels(seed in any::<u64>()) {
+            let space = space2();
+            let mut rng = Rng::seed_from_u64(seed);
+            let design = LatinHypercube::new(&space, 12).generate(&mut rng);
+            for p in &design {
+                // Dimension b has 4 levels: unit coords multiples of 1/3.
+                let scaled = p[1] * 3.0;
+                prop_assert!((scaled - scaled.round()).abs() < 1e-9);
+            }
+        }
+    }
+}

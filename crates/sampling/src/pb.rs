@@ -1,0 +1,220 @@
+//! Plackett–Burman two-level screening designs.
+//!
+//! The related-work baseline of Yi et al. (HPCA 2005): a PB design with
+//! `N` runs estimates up to `N - 1` main effects in `N` simulations, but
+//! cannot resolve interactions. A *foldover* design (the design plus its
+//! mirror image) removes the aliasing of main effects with two-factor
+//! interactions at the cost of doubling the run count.
+
+use crate::Design;
+
+/// Generator first rows for the cyclic Plackett–Burman constructions.
+/// `true` encodes the `+` level.
+fn generator_row(n: usize) -> Option<Vec<bool>> {
+    let row: &[u8] = match n {
+        12 => b"++-+++---+-",
+        20 => b"++--++++-+-+----++-",
+        24 => b"+++++-+-++--++--+-+----",
+        _ => return None,
+    };
+    Some(row.iter().map(|&c| c == b'+').collect())
+}
+
+/// A Plackett–Burman design with `runs` runs over `factors` factors.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_sampling::pb::PlackettBurman;
+///
+/// let design = PlackettBurman::new(12, 9).unwrap();
+/// assert_eq!(design.runs(), 12);
+/// let pts = design.unit_points();
+/// assert_eq!(pts.len(), 12);
+/// assert_eq!(pts[0].len(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlackettBurman {
+    /// `matrix[run][factor]`, `true` = high level.
+    matrix: Vec<Vec<bool>>,
+}
+
+impl PlackettBurman {
+    /// Constructs a PB design with `runs ∈ {4, 8, 12, 16, 20, 24, 32}`
+    /// and up to `runs - 1` factors.
+    ///
+    /// Returns `None` if the run count is unsupported or cannot
+    /// accommodate the number of factors.
+    pub fn new(runs: usize, factors: usize) -> Option<Self> {
+        if factors == 0 || factors > runs.saturating_sub(1) {
+            return None;
+        }
+        let full = if runs.is_power_of_two() && runs >= 4 && runs <= 32 {
+            hadamard_pm(runs)
+        } else {
+            let gen = generator_row(runs)?;
+            let m = runs - 1;
+            let mut rows = Vec::with_capacity(runs);
+            for r in 0..m {
+                rows.push((0..m).map(|c| gen[(c + m - r) % m]).collect::<Vec<bool>>());
+            }
+            rows.push(vec![false; m]); // final all-minus row
+            rows
+        };
+        let matrix = full
+            .into_iter()
+            .map(|row| row.into_iter().take(factors).collect())
+            .collect();
+        Some(PlackettBurman { matrix })
+    }
+
+    /// The number of runs.
+    pub fn runs(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// The number of factors.
+    pub fn factors(&self) -> usize {
+        self.matrix.first().map_or(0, Vec::len)
+    }
+
+    /// The signed levels (`-1.0` / `+1.0`) of each run.
+    pub fn signed_points(&self) -> Vec<Vec<f64>> {
+        self.matrix
+            .iter()
+            .map(|row| row.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect())
+            .collect()
+    }
+
+    /// The design in unit coordinates (`-` → 0, `+` → 1).
+    pub fn unit_points(&self) -> Design {
+        self.matrix
+            .iter()
+            .map(|row| row.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect())
+            .collect()
+    }
+
+    /// The foldover design: this design followed by its mirror image.
+    ///
+    /// Foldover de-aliases main effects from two-factor interactions
+    /// (resolution IV), as used by Yi et al.
+    pub fn foldover(&self) -> PlackettBurman {
+        let mut matrix = self.matrix.clone();
+        matrix.extend(
+            self.matrix
+                .iter()
+                .map(|row| row.iter().map(|&b| !b).collect::<Vec<bool>>()),
+        );
+        PlackettBurman { matrix }
+    }
+}
+
+/// Sylvester-construction Hadamard matrix converted to ±: row 0 and
+/// column 0 are all `+`; factor columns are columns `1..`.
+fn hadamard_pm(n: usize) -> Vec<Vec<bool>> {
+    debug_assert!(n.is_power_of_two());
+    let mut h = vec![vec![true]];
+    while h.len() < n {
+        let m = h.len();
+        let mut next = vec![vec![false; 2 * m]; 2 * m];
+        for i in 0..m {
+            for j in 0..m {
+                next[i][j] = h[i][j];
+                next[i][j + m] = h[i][j];
+                next[i + m][j] = h[i][j];
+                next[i + m][j + m] = !h[i][j];
+            }
+        }
+        h = next;
+    }
+    // Drop the constant first column; keep the rest as factor columns.
+    h.into_iter()
+        .map(|row| row.into_iter().skip(1).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// All PB designs must have orthogonal, balanced columns.
+    fn assert_orthogonal(pb: &PlackettBurman) {
+        let pts = pb.signed_points();
+        let runs = pts.len() as f64;
+        for a in 0..pb.factors() {
+            let sum: f64 = pts.iter().map(|r| r[a]).sum();
+            assert!(
+                sum.abs() < 1e-9,
+                "column {a} unbalanced (sum {sum}) in {} runs",
+                pb.runs()
+            );
+            for b in (a + 1)..pb.factors() {
+                let dot: f64 = pts.iter().map(|r| r[a] * r[b]).sum();
+                assert!(
+                    dot.abs() < 1e-9,
+                    "columns {a},{b} not orthogonal (dot {dot}), runs={}",
+                    runs
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pb12_is_orthogonal_and_balanced() {
+        assert_orthogonal(&PlackettBurman::new(12, 11).unwrap());
+    }
+
+    #[test]
+    fn pb20_is_orthogonal_and_balanced() {
+        assert_orthogonal(&PlackettBurman::new(20, 19).unwrap());
+    }
+
+    #[test]
+    fn pb24_is_orthogonal_and_balanced() {
+        assert_orthogonal(&PlackettBurman::new(24, 23).unwrap());
+    }
+
+    #[test]
+    fn hadamard_sizes_are_orthogonal() {
+        for n in [4usize, 8, 16, 32] {
+            assert_orthogonal(&PlackettBurman::new(n, n - 1).unwrap());
+        }
+    }
+
+    #[test]
+    fn nine_factor_design_for_the_paper_space() {
+        let pb = PlackettBurman::new(12, 9).unwrap();
+        assert_eq!(pb.factors(), 9);
+        assert_orthogonal(&pb);
+    }
+
+    #[test]
+    fn foldover_doubles_runs_and_mirrors() {
+        let pb = PlackettBurman::new(12, 9).unwrap();
+        let fo = pb.foldover();
+        assert_eq!(fo.runs(), 24);
+        let pts = fo.signed_points();
+        for i in 0..12 {
+            for k in 0..9 {
+                assert_eq!(pts[i][k], -pts[i + 12][k], "run {i} factor {k} not mirrored");
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_sizes_return_none() {
+        assert!(PlackettBurman::new(13, 5).is_none());
+        assert!(PlackettBurman::new(12, 12).is_none());
+        assert!(PlackettBurman::new(12, 0).is_none());
+    }
+
+    #[test]
+    fn unit_points_are_zero_one() {
+        let pb = PlackettBurman::new(12, 9).unwrap();
+        for row in pb.unit_points() {
+            for v in row {
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Branch direction and target prediction.
+
+/// Which direction predictor the front end uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PredictorKind {
+    /// A table of 2-bit counters indexed by PC only.
+    #[default]
+    Bimodal,
+    /// gshare: counters indexed by `PC ⊕ global history`.
+    Gshare,
+    /// A tournament of bimodal and gshare with a per-PC chooser
+    /// (Alpha 21264 style).
+    Tournament,
+}
+
+/// A gshare direction predictor: a table of 2-bit saturating counters
+/// indexed by `PC ⊕ global history`.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_sim::Gshare;
+///
+/// // With zero history bits gshare degenerates to a bimodal table,
+/// // which makes the learning easy to see.
+/// let mut g = Gshare::new(4096, 0);
+/// for _ in 0..8 { g.update(0x400, true, g.predict(0x400)); }
+/// assert!(g.predict(0x400));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<u8>,
+    history: u64,
+    history_mask: u64,
+    index_mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `entries` 2-bit counters and
+    /// `history_bits` of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two and
+    /// `history_bits <= 32`.
+    pub fn new(entries: u32, history_bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        assert!(history_bits <= 32, "history too long");
+        Gshare {
+            counters: vec![1; entries as usize], // weakly not-taken
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+            index_mask: (entries - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.index_mask) as usize
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Trains the predictor with the actual outcome. `predicted` must be
+    /// the value returned by [`Gshare::predict`] *before* this update
+    /// (needed by callers for bookkeeping; the predictor itself uses the
+    /// actual outcome).
+    pub fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        let _ = predicted;
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & self.history_mask;
+    }
+}
+
+/// A direct-mapped branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    tags: Vec<u64>,
+    targets: Vec<u64>,
+    mask: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        Btb {
+            tags: vec![u64::MAX; entries as usize],
+            targets: vec![0; entries as usize],
+            mask: (entries - 1) as u64,
+        }
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let idx = ((pc >> 2) & self.mask) as usize;
+        (self.tags[idx] == pc).then(|| self.targets[idx])
+    }
+
+    /// Installs or updates the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = ((pc >> 2) & self.mask) as usize;
+        self.tags[idx] = pc;
+        self.targets[idx] = target;
+    }
+}
+
+/// The combined front-end branch predictor: gshare direction + BTB
+/// target + a return address stack (RAS). A branch is considered
+/// mispredicted if the predicted direction is wrong, or if it is
+/// predicted taken but the predicted target is stale or missing.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    kind: PredictorKind,
+    gshare: Gshare,
+    bimodal: Gshare,
+    /// Per-PC chooser counters for the tournament: >=2 selects gshare.
+    chooser: Vec<u8>,
+    chooser_mask: u64,
+    btb: Btb,
+    ras: Vec<u64>,
+    ras_capacity: usize,
+    /// Total predicted branches.
+    pub predictions: u64,
+    /// Direction or target mispredictions.
+    pub mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Depth of the return address stack.
+    pub const RAS_DEPTH: usize = 16;
+
+    /// Creates the predictor with the bimodal direction scheme when
+    /// `history_bits == 0`, gshare otherwise (backward-compatible
+    /// behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table sizes are not powers of two.
+    pub fn new(gshare_entries: u32, history_bits: u32, btb_entries: u32) -> Self {
+        let kind = if history_bits == 0 {
+            PredictorKind::Bimodal
+        } else {
+            PredictorKind::Gshare
+        };
+        Self::with_kind(kind, gshare_entries, history_bits.max(1), btb_entries)
+    }
+
+    /// Creates a predictor of an explicit kind. For `Tournament`, both
+    /// component tables get `entries` counters and the chooser another
+    /// `entries`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table sizes are not powers of two.
+    pub fn with_kind(
+        kind: PredictorKind,
+        entries: u32,
+        history_bits: u32,
+        btb_entries: u32,
+    ) -> Self {
+        assert!(entries.is_power_of_two(), "entries must be a power of two");
+        BranchPredictor {
+            kind,
+            gshare: Gshare::new(entries, history_bits),
+            bimodal: Gshare::new(entries, 0),
+            chooser: vec![2; entries as usize],
+            chooser_mask: (entries - 1) as u64,
+            btb: Btb::new(btb_entries),
+            ras: Vec::with_capacity(Self::RAS_DEPTH),
+            ras_capacity: Self::RAS_DEPTH,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Predicts the direction of a conditional branch and trains the
+    /// component tables.
+    fn predict_direction(&mut self, pc: u64, taken: bool) -> bool {
+        match self.kind {
+            PredictorKind::Bimodal => {
+                let p = self.bimodal.predict(pc);
+                self.bimodal.update(pc, taken, p);
+                p
+            }
+            PredictorKind::Gshare => {
+                let p = self.gshare.predict(pc);
+                self.gshare.update(pc, taken, p);
+                p
+            }
+            PredictorKind::Tournament => {
+                let pg = self.gshare.predict(pc);
+                let pb = self.bimodal.predict(pc);
+                let idx = ((pc >> 2) & self.chooser_mask) as usize;
+                let use_gshare = self.chooser[idx] >= 2;
+                let p = if use_gshare { pg } else { pb };
+                // Train the chooser toward whichever component was right
+                // (when they disagree).
+                if pg != pb {
+                    let c = &mut self.chooser[idx];
+                    if pg == taken {
+                        *c = (*c + 1).min(3);
+                    } else {
+                        *c = c.saturating_sub(1);
+                    }
+                }
+                self.gshare.update(pc, taken, pg);
+                self.bimodal.update(pc, taken, pb);
+                p
+            }
+        }
+    }
+
+    /// Predicts and immediately trains on the resolved branch (the trace
+    /// carries the oracle outcome). Returns `true` if the branch was
+    /// *mispredicted*.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool, target: u64) -> bool {
+        self.predict_kind(crate::BranchKind::Conditional, pc, taken, target)
+    }
+
+    /// Like [`BranchPredictor::predict_and_update`] but honouring the
+    /// branch kind: calls push the return address stack, returns predict
+    /// their target from it.
+    pub fn predict_kind(
+        &mut self,
+        kind: crate::BranchKind,
+        pc: u64,
+        taken: bool,
+        target: u64,
+    ) -> bool {
+        self.predictions += 1;
+        let mispredicted = match kind {
+            crate::BranchKind::Conditional => {
+                let dir_pred = self.predict_direction(pc, taken);
+                let target_pred = self.btb.lookup(pc);
+                let wrong = if dir_pred != taken {
+                    true
+                } else if taken {
+                    target_pred != Some(target)
+                } else {
+                    false
+                };
+                if taken {
+                    self.btb.update(pc, target);
+                }
+                wrong
+            }
+            crate::BranchKind::Call => {
+                // Direction is trivially taken; the target comes from
+                // the BTB. Push the sequential return address.
+                let wrong = self.btb.lookup(pc) != Some(target);
+                self.btb.update(pc, target);
+                if self.ras.len() == self.ras_capacity {
+                    self.ras.remove(0); // overflow drops the oldest
+                }
+                self.ras.push(pc + 4);
+                wrong
+            }
+            crate::BranchKind::Return => self.ras.pop() != Some(target),
+        };
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        mispredicted
+    }
+
+    /// Fraction of branches mispredicted so far.
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_rng::Rng;
+
+    #[test]
+    fn gshare_learns_biased_branch() {
+        let mut g = Gshare::new(1024, 8);
+        for _ in 0..10 {
+            let p = g.predict(0x100);
+            g.update(0x100, true, p);
+        }
+        assert!(g.predict(0x100));
+        for _ in 0..10 {
+            let p = g.predict(0x100);
+            g.update(0x100, false, p);
+        }
+        assert!(!g.predict(0x100));
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern_via_history() {
+        let mut g = Gshare::new(4096, 8);
+        let pc = 0x200;
+        let mut wrong_late = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let p = g.predict(pc);
+            if i >= 200 && p != taken {
+                wrong_late += 1;
+            }
+            g.update(pc, taken, p);
+        }
+        assert!(
+            wrong_late <= 2,
+            "history should capture alternation, {wrong_late} late errors"
+        );
+    }
+
+    #[test]
+    fn btb_remembers_targets() {
+        let mut btb = Btb::new(256);
+        assert_eq!(btb.lookup(0x400), None);
+        btb.update(0x400, 0x5000);
+        assert_eq!(btb.lookup(0x400), Some(0x5000));
+        // A conflicting pc evicts.
+        btb.update(0x400 + 256 * 4, 0x6000);
+        assert_eq!(btb.lookup(0x400), None);
+    }
+
+    #[test]
+    fn predictor_counts_mispredictions() {
+        let mut bp = BranchPredictor::new(1024, 8, 256);
+        // Warm up a strongly taken branch; the very first prediction
+        // may miss direction, and the first taken occurrence misses BTB.
+        for _ in 0..20 {
+            bp.predict_and_update(0x100, true, 0x900);
+        }
+        let early = bp.mispredictions;
+        for _ in 0..100 {
+            bp.predict_and_update(0x100, true, 0x900);
+        }
+        assert_eq!(bp.mispredictions, early, "warm branch keeps mispredicting");
+        assert!(bp.misprediction_rate() < 0.2);
+    }
+
+    #[test]
+    fn random_branches_mispredict_often() {
+        let mut bp = BranchPredictor::new(4096, 12, 2048);
+        let mut rng = Rng::seed_from_u64(3);
+        for i in 0..20_000 {
+            let pc = 0x1000 + (i % 37) * 4;
+            bp.predict_and_update(pc, rng.chance(0.5), 0x8000);
+        }
+        let rate = bp.misprediction_rate();
+        assert!(rate > 0.35, "random branches should be hard: rate {rate}");
+    }
+
+    #[test]
+    fn tournament_beats_or_matches_its_components() {
+        // A workload mixing biased branches (bimodal territory) with a
+        // strongly history-correlated branch (gshare territory).
+        let mut rng = Rng::seed_from_u64(12);
+        let mut outcomes: Vec<(u64, bool)> = Vec::new();
+        for i in 0..30_000u64 {
+            // Branch A: 90% taken. Branch B: alternates. Branch C: random.
+            match i % 3 {
+                0 => outcomes.push((0x100, rng.chance(0.9))),
+                1 => outcomes.push((0x200, i % 6 < 3)),
+                _ => outcomes.push((0x300, rng.chance(0.5))),
+            }
+        }
+        let rate = |kind: PredictorKind| {
+            let mut bp = BranchPredictor::with_kind(kind, 4096, 10, 2048);
+            for &(pc, taken) in &outcomes {
+                bp.predict_and_update(pc, taken, 0x900);
+            }
+            bp.misprediction_rate()
+        };
+        let bimodal = rate(PredictorKind::Bimodal);
+        let gshare = rate(PredictorKind::Gshare);
+        let tournament = rate(PredictorKind::Tournament);
+        assert!(
+            tournament <= bimodal.min(gshare) + 0.01,
+            "tournament {tournament} vs bimodal {bimodal} / gshare {gshare}"
+        );
+    }
+
+    #[test]
+    fn with_kind_respects_the_requested_scheme() {
+        // An alternating branch: gshare learns it, bimodal cannot.
+        let run = |kind| {
+            let mut bp = BranchPredictor::with_kind(kind, 1024, 8, 256);
+            let mut wrong = 0;
+            for i in 0..2000u64 {
+                if bp.predict_and_update(0x40, i % 2 == 0, 0x80) {
+                    wrong += 1;
+                }
+            }
+            wrong
+        };
+        assert!(run(PredictorKind::Gshare) < 50);
+        assert!(run(PredictorKind::Bimodal) > 500);
+    }
+
+    #[test]
+    fn target_change_counts_as_misprediction() {
+        let mut bp = BranchPredictor::new(1024, 8, 256);
+        for _ in 0..10 {
+            bp.predict_and_update(0x100, true, 0x900);
+        }
+        let before = bp.mispredictions;
+        bp.predict_and_update(0x100, true, 0xA00); // new target
+        assert_eq!(bp.mispredictions, before + 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! A cycle-level, trace-driven, out-of-order superscalar processor
+//! simulator.
+//!
+//! This crate is the "detailed simulation" substrate of the MICRO 2006
+//! reproduction: it models the performance-critical events and
+//! structures of a speculative, dynamically scheduled superscalar
+//! processor —
+//!
+//! * a parameterizable pipeline whose front-end depth sets the branch
+//!   misprediction refill penalty,
+//! * the reorder buffer, issue queue and load/store queue,
+//! * a gshare branch direction predictor and a branch target buffer,
+//! * split L1 instruction/data caches and a unified L2, all set
+//!   associative with LRU replacement,
+//! * a DRAM model with banks, a memory-controller queue (MSHR-limited
+//!   outstanding misses) and a shared memory bus with contention,
+//! * per-class functional units and store-to-load forwarding.
+//!
+//! The nine microarchitectural parameters of the paper's Table 1 are all
+//! honoured by [`SimConfig`]. Simulation is *trace driven*: the
+//! instruction stream (a [`TraceSource`]) is a pure function of the
+//! workload, never of the configuration, so CPI is a deterministic
+//! function of the design point — the property the surrogate-modeling
+//! methodology requires.
+//!
+//! # Examples
+//!
+//! ```
+//! use ppm_sim::{Processor, SimConfig, Instr, Op};
+//!
+//! // A tiny hand-written trace: independent ALU ops in a small loop
+//! // (the loop keeps the instruction cache warm).
+//! let trace = (0..50_000).map(|i| Instr::alu(Op::IntAlu, 0x1000 + (i % 256) * 4, 0, 0));
+//! let config = SimConfig::default();
+//! let stats = Processor::new(config).run(trace);
+//! assert!(stats.cpi() < 1.0); // superscalar issue beats 1 IPC
+//! ```
+
+#![warn(missing_docs)]
+
+mod bpred;
+mod energy;
+mod cache;
+mod config;
+mod hierarchy;
+mod memory;
+mod pipeline;
+mod stats;
+mod trace;
+
+pub use bpred::{BranchPredictor, Btb, Gshare, PredictorKind};
+pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};
+pub use cache::{Cache, CacheStats, ReplacementPolicy};
+pub use config::{ConfigError, FixedMachine, SimConfig, SimConfigBuilder};
+pub use hierarchy::{AccessOutcome, Hierarchy};
+pub use memory::MemorySystem;
+pub use pipeline::Processor;
+pub use stats::SimStats;
+pub use trace::{BranchKind, Instr, Op, TraceSource};

@@ -1,0 +1,200 @@
+//! Trace representation: the dynamic instruction stream fed to the
+//! processor model.
+
+/// Instruction classes distinguished by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply/divide.
+    IntMul,
+    /// Pipelined floating-point add/sub/convert.
+    FpAlu,
+    /// Multi-cycle floating-point multiply/divide.
+    FpMul,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Conditional or unconditional control transfer.
+    Branch,
+}
+
+impl Op {
+    /// True for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, Op::Load | Op::Store)
+    }
+}
+
+/// The flavor of a control transfer, which decides how the front end
+/// predicts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BranchKind {
+    /// A conditional (or unconditional direct) branch: gshare + BTB.
+    #[default]
+    Conditional,
+    /// A function call: always taken; pushes `pc + 4` on the return
+    /// address stack.
+    Call,
+    /// A function return: always taken; target predicted by the return
+    /// address stack.
+    Return,
+}
+
+/// One dynamic instruction of a trace.
+///
+/// Register dependences are encoded positionally: `src1_dist`/`src2_dist`
+/// give the distance (in dynamic instructions) back to the producing
+/// instruction, or 0 for "no register source" / "producer far enough in
+/// the past to be irrelevant".
+///
+/// # Examples
+///
+/// ```
+/// use ppm_sim::{Instr, Op};
+///
+/// let add = Instr::alu(Op::IntAlu, 0x4000, 1, 2); // depends on the two previous ops
+/// assert_eq!(add.op, Op::IntAlu);
+/// let ld = Instr::load(0x4004, 0xdead_bee0, 1, 0);
+/// assert!(ld.op.is_mem());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Instruction class.
+    pub op: Op,
+    /// Distance to the first register producer (0 = none).
+    pub src1_dist: u32,
+    /// Distance to the second register producer (0 = none).
+    pub src2_dist: u32,
+    /// Effective address, for loads and stores.
+    pub mem_addr: u64,
+    /// Actual direction, for branches.
+    pub taken: bool,
+    /// Actual target, for branches.
+    pub target: u64,
+    /// How the front end should predict this branch (ignored for
+    /// non-branch instructions).
+    pub kind: BranchKind,
+}
+
+impl Instr {
+    /// A non-memory, non-branch instruction.
+    pub fn alu(op: Op, pc: u64, src1_dist: u32, src2_dist: u32) -> Self {
+        debug_assert!(!op.is_mem() && op != Op::Branch);
+        Instr {
+            pc,
+            op,
+            src1_dist,
+            src2_dist,
+            mem_addr: 0,
+            taken: false,
+            target: 0,
+            kind: BranchKind::Conditional,
+        }
+    }
+
+    /// A load from `addr`.
+    pub fn load(pc: u64, addr: u64, src1_dist: u32, src2_dist: u32) -> Self {
+        Instr {
+            pc,
+            op: Op::Load,
+            src1_dist,
+            src2_dist,
+            mem_addr: addr,
+            taken: false,
+            target: 0,
+            kind: BranchKind::Conditional,
+        }
+    }
+
+    /// A store to `addr`.
+    pub fn store(pc: u64, addr: u64, src1_dist: u32, src2_dist: u32) -> Self {
+        Instr {
+            pc,
+            op: Op::Store,
+            src1_dist,
+            src2_dist,
+            mem_addr: addr,
+            taken: false,
+            target: 0,
+            kind: BranchKind::Conditional,
+        }
+    }
+
+    /// A conditional branch with its resolved direction and target.
+    pub fn branch(pc: u64, taken: bool, target: u64, src1_dist: u32) -> Self {
+        Instr {
+            pc,
+            op: Op::Branch,
+            src1_dist,
+            src2_dist: 0,
+            mem_addr: 0,
+            taken,
+            target,
+            kind: BranchKind::Conditional,
+        }
+    }
+
+    /// A function call to `target`.
+    pub fn call(pc: u64, target: u64) -> Self {
+        Instr {
+            kind: BranchKind::Call,
+            ..Instr::branch(pc, true, target, 0)
+        }
+    }
+
+    /// A function return to `target`.
+    pub fn ret(pc: u64, target: u64) -> Self {
+        Instr {
+            kind: BranchKind::Return,
+            ..Instr::branch(pc, true, target, 0)
+        }
+    }
+}
+
+/// A source of dynamic instructions.
+///
+/// Implemented by the synthetic workload generators in `ppm-workload`;
+/// any iterator of [`Instr`] works. The stream must not depend on the
+/// processor configuration.
+pub trait TraceSource: Iterator<Item = Instr> {}
+
+impl<T: Iterator<Item = Instr>> TraceSource for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classes() {
+        assert!(Op::Load.is_mem());
+        assert!(Op::Store.is_mem());
+        assert!(!Op::Branch.is_mem());
+        assert!(!Op::IntAlu.is_mem());
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let b = Instr::branch(0x100, true, 0x200, 3);
+        assert_eq!(b.op, Op::Branch);
+        assert!(b.taken);
+        assert_eq!(b.target, 0x200);
+        assert_eq!(b.src1_dist, 3);
+
+        let s = Instr::store(0x104, 0xff00, 1, 2);
+        assert_eq!(s.mem_addr, 0xff00);
+        assert_eq!(s.src2_dist, 2);
+    }
+
+    #[test]
+    fn any_iterator_is_a_trace_source() {
+        fn takes_source<T: TraceSource>(t: T) -> usize {
+            t.count()
+        }
+        let v = vec![Instr::alu(Op::IntAlu, 0, 0, 0); 5];
+        assert_eq!(takes_source(v.into_iter()), 5);
+    }
+}

@@ -1,0 +1,364 @@
+//! The eight SPEC CPU2000 program surrogates and their profiles.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{InputSet, InstrMix, MemRegion, Profile};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// The benchmarks of the paper's Table 3: six SPECint and two SPECfp
+/// programs, run with MinneSPEC `lgred`-scale inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// 181.mcf — single-depot vehicle scheduling; pointer-chasing over a
+    /// multi-megabyte network, extremely memory bound.
+    Mcf,
+    /// 186.crafty — chess; large code, branchy, hard-to-predict control.
+    Crafty,
+    /// 197.parser — dictionary link grammar; mixed memory and control.
+    Parser,
+    /// 253.perlbmk — Perl interpreter; large code footprint, indirect
+    /// control.
+    Perlbmk,
+    /// 255.vortex — object database; the largest code footprint, very
+    /// instruction-cache sensitive.
+    Vortex,
+    /// 300.twolf — place and route; a working set that fits mid-size L2s.
+    Twolf,
+    /// 183.equake — FP earthquake simulation; streaming array access,
+    /// highly predictable loops.
+    Equake,
+    /// 188.ammp — FP molecular dynamics; regular computation with a
+    /// moderate working set.
+    Ammp,
+}
+
+impl Benchmark {
+    /// All eight benchmarks in the paper's Table 3 order.
+    pub fn all() -> [Benchmark; 8] {
+        [
+            Benchmark::Mcf,
+            Benchmark::Crafty,
+            Benchmark::Parser,
+            Benchmark::Perlbmk,
+            Benchmark::Vortex,
+            Benchmark::Twolf,
+            Benchmark::Equake,
+            Benchmark::Ammp,
+        ]
+    }
+
+    /// The SPEC-style name (e.g. `"181.mcf"`).
+    pub fn name(&self) -> &'static str {
+        self.profile().name
+    }
+
+    /// The profile for a given input set.
+    pub fn profile_with(&self, input: InputSet) -> Profile {
+        match input {
+            InputSet::MinneLgred => self.profile(),
+            InputSet::Reference => self.profile().reference_variant(),
+        }
+    }
+
+    /// The statistical profile of this benchmark (MinneSPEC `lgred`
+    /// inputs, as in the paper).
+    pub fn profile(&self) -> Profile {
+        match self {
+            Benchmark::Mcf => Profile {
+                name: "181.mcf",
+                mix: InstrMix {
+                    load: 0.32,
+                    store: 0.09,
+                    int_mul: 0.01,
+                    fp_alu: 0.0,
+                    fp_mul: 0.0,
+                },
+                // Pointer chasing: short dependency distances, little ILP.
+                dep_p: 0.55,
+                two_src_frac: 0.35,
+                chase_frac: 0.97,
+                code_blocks: 420,
+                block_len_mean: 5.3,
+                branch_noise: 0.06,
+                loop_back_prob: 0.45,
+                loop_bias: (0.9, 0.96),
+                hot_code_frac: 0.7,
+                call_frac: 0.15,
+                blocks_per_fn: 10.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.33, sequential: 0.85 },
+                    MemRegion { size: 48 * KB, weight: 0.44, sequential: 0.65 },
+                    MemRegion { size: 768 * KB, weight: 0.13, sequential: 0.1 },
+                    MemRegion { size: 24 * MB, weight: 0.05, sequential: 0.05 },
+                ],
+            },
+            Benchmark::Crafty => Profile {
+                name: "186.crafty",
+                mix: InstrMix {
+                    load: 0.27,
+                    store: 0.07,
+                    int_mul: 0.02,
+                    fp_alu: 0.0,
+                    fp_mul: 0.0,
+                },
+                dep_p: 0.35,
+                two_src_frac: 0.40,
+                chase_frac: 0.1,
+                code_blocks: 4000,
+                block_len_mean: 6.5,
+                branch_noise: 0.12,
+                loop_back_prob: 0.18,
+                loop_bias: (0.9, 0.96),
+                hot_code_frac: 0.4,
+                call_frac: 0.22,
+                blocks_per_fn: 14.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.48, sequential: 0.9 },
+                    MemRegion { size: 32 * KB, weight: 0.49, sequential: 0.85 },
+                    MemRegion { size: 640 * KB, weight: 0.025, sequential: 0.5 },
+                    MemRegion { size: 2 * MB, weight: 0.005, sequential: 0.3 },
+                ],
+            },
+            Benchmark::Parser => Profile {
+                name: "197.parser",
+                mix: InstrMix {
+                    load: 0.26,
+                    store: 0.10,
+                    int_mul: 0.01,
+                    fp_alu: 0.0,
+                    fp_mul: 0.0,
+                },
+                dep_p: 0.45,
+                two_src_frac: 0.35,
+                chase_frac: 0.35,
+                code_blocks: 2500,
+                block_len_mean: 5.8,
+                branch_noise: 0.09,
+                loop_back_prob: 0.25,
+                loop_bias: (0.9, 0.96),
+                hot_code_frac: 0.5,
+                call_frac: 0.2,
+                blocks_per_fn: 12.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.44, sequential: 0.88 },
+                    MemRegion { size: 32 * KB, weight: 0.47, sequential: 0.8 },
+                    MemRegion { size: 1 * MB, weight: 0.06, sequential: 0.3 },
+                    MemRegion { size: 8 * MB, weight: 0.03, sequential: 0.15 },
+                ],
+            },
+            Benchmark::Perlbmk => Profile {
+                name: "253.perlbmk",
+                mix: InstrMix {
+                    load: 0.28,
+                    store: 0.14,
+                    int_mul: 0.01,
+                    fp_alu: 0.0,
+                    fp_mul: 0.0,
+                },
+                dep_p: 0.45,
+                two_src_frac: 0.35,
+                chase_frac: 0.25,
+                code_blocks: 5000,
+                block_len_mean: 6.2,
+                branch_noise: 0.07,
+                loop_back_prob: 0.15,
+                loop_bias: (0.91, 0.97),
+                hot_code_frac: 0.35,
+                call_frac: 0.25,
+                blocks_per_fn: 12.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.46, sequential: 0.9 },
+                    MemRegion { size: 40 * KB, weight: 0.49, sequential: 0.82 },
+                    MemRegion { size: 1536 * KB, weight: 0.04, sequential: 0.5 },
+                    MemRegion { size: 4 * MB, weight: 0.01, sequential: 0.3 },
+                ],
+            },
+            Benchmark::Vortex => Profile {
+                name: "255.vortex",
+                mix: InstrMix {
+                    load: 0.30,
+                    store: 0.14,
+                    int_mul: 0.01,
+                    fp_alu: 0.0,
+                    fp_mul: 0.0,
+                },
+                dep_p: 0.40,
+                two_src_frac: 0.35,
+                chase_frac: 0.25,
+                code_blocks: 6000,
+                block_len_mean: 6.8,
+                branch_noise: 0.035,
+                loop_back_prob: 0.12,
+                loop_bias: (0.92, 0.97),
+                hot_code_frac: 0.3,
+                call_frac: 0.25,
+                blocks_per_fn: 14.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.46, sequential: 0.9 },
+                    MemRegion { size: 48 * KB, weight: 0.5, sequential: 0.85 },
+                    MemRegion { size: 2 * MB, weight: 0.035, sequential: 0.5 },
+                    MemRegion { size: 6 * MB, weight: 0.005, sequential: 0.3 },
+                ],
+            },
+            Benchmark::Twolf => Profile {
+                name: "300.twolf",
+                mix: InstrMix {
+                    load: 0.27,
+                    store: 0.09,
+                    int_mul: 0.03,
+                    fp_alu: 0.04,
+                    fp_mul: 0.02,
+                },
+                dep_p: 0.45,
+                two_src_frac: 0.40,
+                chase_frac: 0.3,
+                code_blocks: 1000,
+                block_len_mean: 6.0,
+                branch_noise: 0.08,
+                loop_back_prob: 0.35,
+                loop_bias: (0.9, 0.96),
+                hot_code_frac: 0.6,
+                call_frac: 0.18,
+                blocks_per_fn: 12.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.42, sequential: 0.85 },
+                    MemRegion { size: 24 * KB, weight: 0.47, sequential: 0.75 },
+                    MemRegion { size: 1536 * KB, weight: 0.08, sequential: 0.2 },
+                    MemRegion { size: 3 * MB, weight: 0.01, sequential: 0.2 },
+                ],
+            },
+            Benchmark::Equake => Profile {
+                name: "183.equake",
+                mix: InstrMix {
+                    load: 0.34,
+                    store: 0.10,
+                    int_mul: 0.01,
+                    fp_alu: 0.22,
+                    fp_mul: 0.12,
+                },
+                dep_p: 0.25,
+                two_src_frac: 0.50,
+                chase_frac: 0.05,
+                code_blocks: 500,
+                block_len_mean: 11.5,
+                branch_noise: 0.01,
+                loop_back_prob: 0.75,
+                loop_bias: (0.97, 0.995),
+                hot_code_frac: 0.85,
+                call_frac: 0.1,
+                blocks_per_fn: 16.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.33, sequential: 0.88 },
+                    MemRegion { size: 32 * KB, weight: 0.37, sequential: 0.7 },
+                    MemRegion { size: 8 * MB, weight: 0.3, sequential: 0.97 },
+                ],
+            },
+            Benchmark::Ammp => Profile {
+                name: "188.ammp",
+                mix: InstrMix {
+                    load: 0.29,
+                    store: 0.08,
+                    int_mul: 0.01,
+                    fp_alu: 0.24,
+                    fp_mul: 0.15,
+                },
+                dep_p: 0.28,
+                two_src_frac: 0.50,
+                chase_frac: 0.08,
+                code_blocks: 700,
+                block_len_mean: 13.0,
+                branch_noise: 0.015,
+                loop_back_prob: 0.7,
+                loop_bias: (0.96, 0.99),
+                hot_code_frac: 0.8,
+                call_frac: 0.1,
+                blocks_per_fn: 16.0,
+                regions: vec![
+                    MemRegion { size: 8 * KB, weight: 0.38, sequential: 0.88 },
+                    MemRegion { size: 48 * KB, weight: 0.42, sequential: 0.7 },
+                    MemRegion { size: 4 * MB, weight: 0.2, sequential: 0.9 },
+                ],
+            },
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown benchmark name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBenchmarkError(String);
+
+impl fmt::Display for ParseBenchmarkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown benchmark {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBenchmarkError {}
+
+impl FromStr for Benchmark {
+    type Err = ParseBenchmarkError;
+
+    /// Parses either the full SPEC name (`"181.mcf"`) or the short name
+    /// (`"mcf"`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Benchmark::all()
+            .into_iter()
+            .find(|b| {
+                let name = b.name();
+                name == lower || name.split('.').nth(1) == Some(lower.as_str())
+            })
+            .ok_or_else(|| ParseBenchmarkError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn parse_accepts_short_and_long_names() {
+        assert_eq!("mcf".parse::<Benchmark>().unwrap(), Benchmark::Mcf);
+        assert_eq!("181.mcf".parse::<Benchmark>().unwrap(), Benchmark::Mcf);
+        assert_eq!("VORTEX".parse::<Benchmark>().unwrap(), Benchmark::Vortex);
+        assert!("gcc".parse::<Benchmark>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Twolf.to_string(), "300.twolf");
+    }
+
+    #[test]
+    fn fp_benchmarks_have_fp_work() {
+        for b in [Benchmark::Equake, Benchmark::Ammp] {
+            let p = b.profile();
+            assert!(p.mix.fp_alu + p.mix.fp_mul > 0.2, "{b} lacks FP work");
+        }
+        assert_eq!(Benchmark::Mcf.profile().mix.fp_alu, 0.0);
+    }
+
+    #[test]
+    fn fp_benchmarks_are_more_predictable() {
+        let int_noise = Benchmark::Crafty.profile().branch_noise;
+        for b in [Benchmark::Equake, Benchmark::Ammp] {
+            assert!(b.profile().branch_noise < int_noise / 2.0);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Design-space exploration: the use case the paper's introduction
+//! motivates. Train a surrogate model once, then search thousands of
+//! configurations for an optimum under design constraints — without
+//! touching the simulator again.
+//!
+//! Here: find the best-performing mcf configuration whose "area budget"
+//! rules out the biggest structures (ROB ≤ 96 entries, L2 ≤ 2 MiB) and
+//! whose pipeline cannot be shallower than 10 stages.
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use ppm::model::builder::{BuildConfig, RbfModelBuilder};
+use ppm::model::response::{Response, SimulatorResponse};
+use ppm::model::space::DesignSpace;
+use ppm::model::study::search_optimum;
+use ppm::workload::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = DesignSpace::paper_table1();
+    let response = SimulatorResponse::new(Benchmark::Mcf, 100_000);
+
+    println!("training the surrogate (90 simulations)...");
+    let built = RbfModelBuilder::new(space.clone(), BuildConfig::default().with_sample_size(90))
+        .build(&response)?;
+
+    // Constraints in engineering units (Table 1 order).
+    let feasible = |actual: &[f64]| {
+        let rob = actual[1];
+        let l2_kb = actual[4];
+        let depth = actual[0];
+        rob <= 96.0 && l2_kb <= 2048.0 && depth >= 10.0
+    };
+
+    println!("searching 5000 candidate configurations through the model...");
+    let result = search_optimum(&space, |x| built.predict(x), feasible, 5000, 7)
+        .expect("the constraint region is non-empty");
+
+    let config = space.to_config(&result.unit);
+    println!("\nbest feasible configuration found:");
+    println!(
+        "  depth={} rob={} iq={} lsq={} L2={}KB lat={} il1={}KB dl1={}KB lat={}",
+        config.pipe_depth,
+        config.rob_size,
+        config.iq_size(),
+        config.lsq_size(),
+        config.l2_size_kb,
+        config.l2_lat,
+        config.il1_size_kb,
+        config.dl1_size_kb,
+        config.dl1_lat
+    );
+    println!("  predicted CPI: {:.3}", result.predicted);
+
+    // Verify the single winning point with one real simulation.
+    let simulated = response.eval(&result.unit);
+    println!(
+        "  simulated CPI: {simulated:.3} ({:.2}% model error at the optimum)",
+        100.0 * ((result.predicted - simulated) / simulated).abs()
+    );
+    println!("\n(one simulation to verify, instead of 5000 to search)");
+    Ok(())
+}

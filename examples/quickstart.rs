@@ -1,0 +1,57 @@
+//! Quickstart: build a predictive CPI model for one benchmark and use
+//! it in place of the simulator.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ppm::model::builder::{BuildConfig, RbfModelBuilder};
+use ppm::model::response::{Response, SimulatorResponse};
+use ppm::model::space::DesignSpace;
+use ppm::workload::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The design space: the paper's nine parameters (Table 1).
+    let space = DesignSpace::paper_table1();
+
+    // 2. The response to model: CPI of crafty, measured by the
+    //    cycle-level simulator (100k instructions per design point).
+    let response = SimulatorResponse::new(Benchmark::Crafty, 100_000);
+
+    // 3. BuildRBFmodel: latin hypercube sample with the best L2-star
+    //    discrepancy, detailed simulation at each point, RBF network
+    //    with tree-derived centers and AICc selection.
+    println!("building the model (simulating 60 design points)...");
+    let config = BuildConfig::default().with_sample_size(60);
+    let built = RbfModelBuilder::new(space.clone(), config).build(&response)?;
+    println!(
+        "model: {} RBF centers, p_min={}, alpha={}, sample discrepancy {:.4}",
+        built.model.network.num_centers(),
+        built.model.p_min,
+        built.model.alpha,
+        built.discrepancy
+    );
+
+    // 4. Use the model: predict the CPI of a configuration the
+    //    simulator has never seen, then check against simulation.
+    let candidate = [0.7, 0.6, 0.5, 0.5, 0.66, 0.8, 0.5, 0.66, 0.9];
+    let predicted = built.predict(&candidate);
+    let simulated = response.eval(&candidate);
+    let config = space.to_config(&candidate);
+    println!(
+        "\ncandidate: depth={} rob={} iq={} lsq={} L2={}KB/{}cyc il1={}KB dl1={}KB/{}cyc",
+        config.pipe_depth,
+        config.rob_size,
+        config.iq_size(),
+        config.lsq_size(),
+        config.l2_size_kb,
+        config.l2_lat,
+        config.il1_size_kb,
+        config.dl1_size_kb,
+        config.dl1_lat
+    );
+    println!(
+        "predicted CPI {predicted:.3} vs simulated {simulated:.3} ({:.2}% error)",
+        100.0 * ((predicted - simulated) / simulated).abs()
+    );
+    println!("\n(the prediction took microseconds; the simulation took ~10^5 cycles of work)");
+    Ok(())
+}

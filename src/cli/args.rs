@@ -1,0 +1,199 @@
+//! Minimal flag parsing for the CLI (no external dependency).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from command-line parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No command was given.
+    MissingCommand,
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A flag appeared twice.
+    Duplicate(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// Expected kind, e.g. "integer".
+        expected: &'static str,
+    },
+    /// A positional argument appeared where a flag was expected.
+    Unexpected(String),
+    /// A required flag is absent.
+    Required(&'static str),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no command given (try `ppm help`)"),
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::Duplicate(flag) => write!(f, "flag {flag} given twice"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "flag {flag}: {value:?} is not a valid {expected}"),
+            ArgError::Unexpected(arg) => write!(f, "unexpected argument {arg:?}"),
+            ArgError::Required(flag) => write!(f, "missing required flag {flag}"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// A parsed command line: the command word plus `--flag value` pairs
+/// and boolean `--flag` switches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The first positional argument.
+    pub command: String,
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: [&str; 1] = ["--energy"];
+
+impl Parsed {
+    /// Parses raw arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// See [`ArgError`].
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with('-') {
+            return Err(ArgError::Unexpected(command));
+        }
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        while let Some(arg) = iter.next() {
+            if !arg.starts_with("--") {
+                return Err(ArgError::Unexpected(arg));
+            }
+            if SWITCHES.contains(&arg.as_str()) {
+                switches.push(arg);
+                continue;
+            }
+            let value = iter.next().ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
+            if values.insert(arg.clone(), value).is_some() {
+                return Err(ArgError::Duplicate(arg));
+            }
+        }
+        Ok(Parsed {
+            command,
+            values,
+            switches,
+        })
+    }
+
+    /// A string flag's value, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Required`] when absent.
+    pub fn require(&self, flag: &'static str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or(ArgError::Required(flag))
+    }
+
+    /// A numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::BadValue`] when present but unparseable.
+    pub fn num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// True if a boolean switch was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+
+    /// All flag names that were provided (for validation).
+    pub fn provided_flags(&self) -> impl Iterator<Item = &str> {
+        self.values
+            .keys()
+            .map(String::as_str)
+            .chain(self.switches.iter().map(String::as_str))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Parsed, ArgError> {
+        Parsed::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let p = parse(&["simulate", "--benchmark", "mcf", "--rob", "64", "--energy"]).unwrap();
+        assert_eq!(p.command, "simulate");
+        assert_eq!(p.get("--benchmark"), Some("mcf"));
+        assert_eq!(p.num("--rob", 0u32).unwrap(), 64);
+        assert!(p.switch("--energy"));
+        assert!(!p.switch("--quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let p = parse(&["simulate"]).unwrap();
+        assert_eq!(p.num("--rob", 76u32).unwrap(), 76);
+        assert_eq!(p.num("--iq", 0.5f64).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+        assert!(matches!(
+            parse(&["build", "--out"]),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&["build", "--rob", "1", "--rob", "2"]),
+            Err(ArgError::Duplicate(_))
+        ));
+        assert!(matches!(
+            parse(&["build", "stray"]),
+            Err(ArgError::Unexpected(_))
+        ));
+        let p = parse(&["build", "--rob", "lots"]).unwrap();
+        assert!(matches!(
+            p.num("--rob", 0u32),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert!(matches!(p.require("--out"), Err(ArgError::Required("--out"))));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = ArgError::BadValue {
+            flag: "--rob".into(),
+            value: "x".into(),
+            expected: "u32",
+        };
+        assert!(e.to_string().contains("--rob"));
+        assert!(ArgError::MissingCommand.to_string().contains("help"));
+    }
+}

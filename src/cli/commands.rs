@@ -1,0 +1,404 @@
+//! Command implementations for the `ppm` CLI.
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
+
+use ppm_core::builder::{BuildConfig, RbfModelBuilder};
+use ppm_core::persist;
+use ppm_core::response::{Metric, SimulatorResponse};
+use ppm_core::space::DesignSpace;
+use ppm_core::study::pb_screening;
+use ppm_firstorder::{FirstOrderModel, ProgramStats};
+use ppm_sim::{estimate_energy, EnergyParams, Processor, SimConfig};
+use ppm_workload::{Benchmark, TraceGenerator};
+
+use crate::cli::args::{ArgError, Parsed};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Argument problems.
+    Args(ArgError),
+    /// Anything else, with a user-facing message.
+    Message(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Message(m) => f.write_str(m),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn msg(m: impl fmt::Display) -> CliError {
+    CliError::Message(m.to_string())
+}
+
+/// Runs a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message on any failure.
+pub fn run(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    match parsed.command.as_str() {
+        "help" | "--help" | "-h" => {
+            out.write_str(crate::cli::USAGE).map_err(msg)?;
+            Ok(())
+        }
+        "benchmarks" => benchmarks(out),
+        "simulate" => simulate(parsed, out),
+        "build" => build(parsed, out),
+        "predict" => predict(parsed, out),
+        "screen" => screen(parsed, out),
+        "firstorder" => firstorder(parsed, out),
+        "workload-info" => workload_info(parsed, out),
+        other => Err(msg(format!("unknown command {other:?} (try `ppm help`)"))),
+    }
+}
+
+fn benchmark_arg(parsed: &Parsed) -> Result<Benchmark, CliError> {
+    let name = parsed.require("--benchmark")?;
+    Benchmark::from_str(name).map_err(msg)
+}
+
+/// Builds a simulator configuration from the config flags.
+fn config_from(parsed: &Parsed) -> Result<SimConfig, CliError> {
+    let default = SimConfig::default();
+    SimConfig::builder()
+        .pipe_depth(parsed.num("--depth", default.pipe_depth)?)
+        .rob_size(parsed.num("--rob", default.rob_size)?)
+        .iq_frac(parsed.num("--iq", default.iq_frac)?)
+        .lsq_frac(parsed.num("--lsq", default.lsq_frac)?)
+        .l2_size_kb(parsed.num("--l2-kb", default.l2_size_kb)?)
+        .l2_lat(parsed.num("--l2-lat", default.l2_lat)?)
+        .il1_size_kb(parsed.num("--il1-kb", default.il1_size_kb)?)
+        .dl1_size_kb(parsed.num("--dl1-kb", default.dl1_size_kb)?)
+        .dl1_lat(parsed.num("--dl1-lat", default.dl1_lat)?)
+        .build()
+        .map_err(msg)
+}
+
+/// Converts config flags to a unit design point in the Table 1 space.
+fn unit_from(parsed: &Parsed, space: &DesignSpace) -> Result<Vec<f64>, CliError> {
+    let config = config_from(parsed)?;
+    let actual = vec![
+        config.pipe_depth as f64,
+        config.rob_size as f64,
+        config.iq_frac,
+        config.lsq_frac,
+        config.l2_size_kb as f64,
+        config.l2_lat as f64,
+        config.il1_size_kb as f64,
+        config.dl1_size_kb as f64,
+        config.dl1_lat as f64,
+    ];
+    Ok(space.params().to_unit(&actual))
+}
+
+fn benchmarks(out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    writeln!(out, "{:<14} {:>9} {:>8} {:>8}", "benchmark", "code_KB", "loads%", "branch%")
+        .map_err(msg)?;
+    for b in Benchmark::all() {
+        let p = b.profile();
+        writeln!(
+            out,
+            "{:<14} {:>9} {:>8.0} {:>8.1}",
+            b.to_string(),
+            p.code_footprint() / 1024,
+            100.0 * p.mix.load,
+            100.0 * p.branch_fraction()
+        )
+        .map_err(msg)?;
+    }
+    Ok(())
+}
+
+fn simulate(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let bench = benchmark_arg(parsed)?;
+    let config = config_from(parsed)?;
+    let instructions: usize = parsed.num("--instructions", 100_000)?;
+    let seed: u64 = parsed.num("--seed", 1u64)?;
+    let trace = TraceGenerator::new(bench, seed).take(instructions);
+    let stats = Processor::new(config.clone()).run(trace);
+    writeln!(out, "benchmark      {bench}").map_err(msg)?;
+    writeln!(out, "instructions   {}", stats.instructions).map_err(msg)?;
+    writeln!(out, "cycles         {}", stats.cycles).map_err(msg)?;
+    writeln!(out, "CPI            {:.4}", stats.cpi()).map_err(msg)?;
+    writeln!(out, "IPC            {:.4}", stats.ipc()).map_err(msg)?;
+    writeln!(out, "il1 miss rate  {:.4}", stats.il1.miss_rate()).map_err(msg)?;
+    writeln!(out, "dl1 miss rate  {:.4}", stats.dl1.miss_rate()).map_err(msg)?;
+    writeln!(out, "l2 miss rate   {:.4}", stats.l2.miss_rate()).map_err(msg)?;
+    writeln!(out, "mispredicts    {:.4}", stats.mispredict_rate()).map_err(msg)?;
+    writeln!(out, "dram accesses  {}", stats.dram_accesses).map_err(msg)?;
+    if parsed.switch("--energy") {
+        let e = estimate_energy(&stats, &config, &EnergyParams::default());
+        writeln!(out, "energy total   {:.1}", e.total()).map_err(msg)?;
+        writeln!(out, "EPI            {:.4}", e.epi()).map_err(msg)?;
+        writeln!(out, "EDP            {:.4}", e.edp()).map_err(msg)?;
+    }
+    Ok(())
+}
+
+fn metric_arg(parsed: &Parsed) -> Result<(Metric, &'static str), CliError> {
+    match parsed.get("--metric").unwrap_or("cpi") {
+        "cpi" => Ok((Metric::Cpi, "cpi")),
+        "epi" => Ok((Metric::Epi, "epi")),
+        "edp" => Ok((Metric::Edp, "edp")),
+        other => Err(msg(format!("unknown metric {other:?} (cpi|epi|edp)"))),
+    }
+}
+
+fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let bench = benchmark_arg(parsed)?;
+    let out_path = parsed.require("--out")?.to_string();
+    let sample: usize = parsed.num("--sample", 90)?;
+    let instructions: usize = parsed.num("--instructions", 100_000)?;
+    let seed: u64 = parsed.num("--seed", 1u64)?;
+    let (metric, metric_name) = metric_arg(parsed)?;
+
+    let space = DesignSpace::paper_table1();
+    let response = SimulatorResponse::new(bench, instructions)
+        .with_seed(seed)
+        .with_metric(metric);
+    writeln!(out, "simulating {sample} design points of {bench}...").map_err(msg)?;
+    let config = BuildConfig::default()
+        .with_sample_size(sample)
+        .with_seed(seed);
+    let built = RbfModelBuilder::new(space, config)
+        .build(&response)
+        .map_err(msg)?;
+    let meta = vec![
+        ("benchmark".to_string(), bench.to_string()),
+        ("metric".to_string(), metric_name.to_string()),
+        ("sample".to_string(), sample.to_string()),
+        ("instructions".to_string(), instructions.to_string()),
+        ("seed".to_string(), seed.to_string()),
+        ("p_min".to_string(), built.model.p_min.to_string()),
+        ("alpha".to_string(), built.model.alpha.to_string()),
+    ];
+    persist::save(&built.model.network, &meta, Path::new(&out_path)).map_err(msg)?;
+    writeln!(
+        out,
+        "model with {} centers (p_min={}, alpha={}) written to {}",
+        built.model.network.num_centers(),
+        built.model.p_min,
+        built.model.alpha,
+        out_path
+    )
+    .map_err(msg)?;
+    Ok(())
+}
+
+fn predict(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let model_path = parsed.require("--model")?;
+    let saved = persist::load(Path::new(model_path)).map_err(msg)?;
+    let space = DesignSpace::paper_table1();
+    let unit = unit_from(parsed, &space)?;
+    let value = saved.network.predict(&unit);
+    let metric = saved.meta_value("metric").unwrap_or("cpi");
+    if let Some(bench) = saved.meta_value("benchmark") {
+        writeln!(out, "benchmark  {bench}").map_err(msg)?;
+    }
+    writeln!(out, "predicted {metric}  {value:.4}").map_err(msg)?;
+    Ok(())
+}
+
+fn screen(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let bench = benchmark_arg(parsed)?;
+    let instructions: usize = parsed.num("--instructions", 100_000)?;
+    let space = DesignSpace::paper_table1();
+    let response = SimulatorResponse::new(bench, instructions);
+    writeln!(out, "running foldover Plackett-Burman screening (24 simulations)...").map_err(msg)?;
+    let effects = pb_screening(&space, &response, 12, 1);
+    writeln!(out, "{:<12} {:>12}", "parameter", "effect (CPI)").map_err(msg)?;
+    for e in effects {
+        writeln!(out, "{:<12} {:>12.4}", e.param, e.effect).map_err(msg)?;
+    }
+    Ok(())
+}
+
+fn workload_info(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let bench = benchmark_arg(parsed)?;
+    let instructions: usize = parsed.num("--instructions", 100_000)?;
+    let seed: u64 = parsed.num("--seed", 1u64)?;
+    let stats = ProgramStats::collect(
+        TraceGenerator::new(bench, seed).take(instructions),
+        &SimConfig::default(),
+    );
+    writeln!(out, "benchmark           {bench}").map_err(msg)?;
+    writeln!(out, "instructions        {}", stats.instructions).map_err(msg)?;
+    writeln!(out, "load fraction       {:.3}", stats.load_frac).map_err(msg)?;
+    writeln!(out, "branch fraction     {:.3}", stats.branch_frac).map_err(msg)?;
+    writeln!(out, "mispredict rate     {:.4}", stats.mispredict_rate).map_err(msg)?;
+    writeln!(out, "chained load frac   {:.3}", stats.chained_load_frac).map_err(msg)?;
+    writeln!(out, "dataflow ILP        {}", stats
+        .ilp_curve
+        .iter()
+        .map(|(w, i)| format!("{w}:{i:.2}"))
+        .collect::<Vec<_>>()
+        .join(" "))
+    .map_err(msg)?;
+    let fmt_mpi = |table: &std::collections::HashMap<u32, f64>| {
+        let mut entries: Vec<_> = table.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        entries
+            .iter()
+            .map(|(k, v)| format!("{k}K:{:.4}", v))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    writeln!(out, "il1 misses/instr    {}", fmt_mpi(&stats.il1_mpi)).map_err(msg)?;
+    writeln!(out, "dl1 misses/instr    {}", fmt_mpi(&stats.dl1_mpi)).map_err(msg)?;
+    writeln!(out, "l2 misses/instr     {}", fmt_mpi(&stats.l2_mpi)).map_err(msg)?;
+    Ok(())
+}
+
+fn firstorder(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let bench = benchmark_arg(parsed)?;
+    let instructions: usize = parsed.num("--instructions", 100_000)?;
+    let seed: u64 = parsed.num("--seed", 1u64)?;
+    let config = config_from(parsed)?;
+    let stats = ProgramStats::collect(
+        TraceGenerator::new(bench, seed).take(instructions),
+        &SimConfig::default(),
+    );
+    let model = FirstOrderModel::new(stats);
+    let predicted = model.predict(&config);
+    writeln!(out, "benchmark            {bench}").map_err(msg)?;
+    writeln!(out, "first-order CPI      {predicted:.4}").map_err(msg)?;
+    writeln!(
+        out,
+        "(one trace pass; compare with `ppm simulate` for the detailed number)"
+    )
+    .map_err(msg)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
+        let parsed = Parsed::parse(args.iter().map(|s| s.to_string()))?;
+        let mut out = String::new();
+        run(&parsed, &mut out)?;
+        Ok(out)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("simulate"));
+    }
+
+    #[test]
+    fn benchmarks_lists_all_eight() {
+        let out = run_cli(&["benchmarks"]).unwrap();
+        for b in Benchmark::all() {
+            assert!(out.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn simulate_reports_cpi() {
+        let out = run_cli(&[
+            "simulate",
+            "--benchmark",
+            "crafty",
+            "--instructions",
+            "20000",
+            "--energy",
+        ])
+        .unwrap();
+        assert!(out.contains("CPI"));
+        assert!(out.contains("EPI"));
+    }
+
+    #[test]
+    fn simulate_respects_config_flags() {
+        let slow = run_cli(&[
+            "simulate", "--benchmark", "mcf", "--instructions", "20000",
+            "--l2-lat", "20",
+        ])
+        .unwrap();
+        let fast = run_cli(&[
+            "simulate", "--benchmark", "mcf", "--instructions", "20000",
+            "--l2-lat", "5",
+        ])
+        .unwrap();
+        let cpi = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.starts_with("CPI"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .expect("CPI line")
+        };
+        assert!(cpi(&slow) > cpi(&fast));
+    }
+
+    #[test]
+    fn build_then_predict_round_trip() {
+        let dir = std::env::temp_dir().join("ppm_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.txt");
+        let path = model_path.to_str().unwrap();
+        let out = run_cli(&[
+            "build", "--benchmark", "ammp", "--out", path,
+            "--sample", "25", "--instructions", "15000",
+        ])
+        .unwrap();
+        assert!(out.contains("centers"));
+        let out = run_cli(&["predict", "--model", path, "--rob", "100"]).unwrap();
+        assert!(out.contains("predicted cpi"));
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn workload_info_reports_characteristics() {
+        let out = run_cli(&[
+            "workload-info", "--benchmark", "mcf", "--instructions", "20000",
+        ])
+        .unwrap();
+        assert!(out.contains("chained load frac"));
+        assert!(out.contains("dataflow ILP"));
+    }
+
+    #[test]
+    fn firstorder_runs() {
+        let out = run_cli(&[
+            "firstorder", "--benchmark", "twolf", "--instructions", "20000",
+        ])
+        .unwrap();
+        assert!(out.contains("first-order CPI"));
+    }
+
+    #[test]
+    fn unknown_command_and_benchmark_error() {
+        assert!(run_cli(&["frobnicate"]).is_err());
+        let err = run_cli(&["simulate", "--benchmark", "gcc"]).unwrap_err();
+        assert!(err.to_string().contains("gcc"));
+    }
+
+    #[test]
+    fn invalid_config_is_reported() {
+        let err = run_cli(&[
+            "simulate", "--benchmark", "mcf", "--depth", "3",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("pipe_depth"));
+    }
+}

@@ -1,0 +1,54 @@
+//! The `ppm` command-line interface.
+//!
+//! ```text
+//! ppm benchmarks                          list the workload surrogates
+//! ppm simulate  --benchmark mcf [config]  run one detailed simulation
+//! ppm build     --benchmark mcf --out m.txt [--sample 90] [--metric cpi]
+//! ppm predict   --model m.txt [config]    evaluate a saved model
+//! ppm screen    --benchmark mcf           Plackett-Burman screening
+//! ppm firstorder --benchmark mcf [config] analytical CPI estimate
+//! ```
+//!
+//! Configuration flags (all optional, defaults are the mid-range
+//! machine): `--depth N --rob N --iq F --lsq F --l2-kb N --l2-lat N
+//! --il1-kb N --dl1-kb N --dl1-lat N`, plus `--instructions N` for the
+//! trace length and `--seed N`.
+
+mod args;
+mod commands;
+
+pub use args::{ArgError, Parsed};
+pub use commands::{run, CliError};
+
+/// Usage text printed by `ppm help`.
+pub const USAGE: &str = "\
+ppm — predictive performance models for superscalar processors
+
+USAGE:
+  ppm <command> [flags]
+
+COMMANDS:
+  benchmarks                     list available workload surrogates
+  simulate    --benchmark <b>    run one detailed simulation
+  build       --benchmark <b> --out <file>
+                                 build an RBF model (simulates a sample)
+  predict     --model <file>     evaluate a saved model at a configuration
+  screen      --benchmark <b>    Plackett-Burman main-effect screening
+  firstorder  --benchmark <b>    first-order analytical CPI estimate
+  workload-info --benchmark <b>  one-pass program statistics
+  help                           print this text
+
+CONFIGURATION FLAGS (defaults: the mid-range machine):
+  --depth <7..24>     pipeline depth       --rob <24..128>   reorder buffer
+  --iq <0.25..0.75>   IQ/ROB fraction      --lsq <0.25..0.75> LSQ/ROB fraction
+  --l2-kb <256..8192> L2 capacity          --l2-lat <5..20>  L2 latency
+  --il1-kb <8..64>    L1I capacity         --dl1-kb <8..64>  L1D capacity
+  --dl1-lat <1..4>    L1D latency
+
+OTHER FLAGS:
+  --instructions <n>  trace length (default 100000)
+  --seed <n>          workload seed (default 1)
+  --sample <n>        training sample size for `build` (default 90)
+  --metric <cpi|epi|edp>  modeled metric for `build` (default cpi)
+  --energy            also report the energy estimate (simulate)
+";

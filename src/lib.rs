@@ -1,0 +1,51 @@
+//! # ppm — Predictive Performance Models for Superscalar Processors
+//!
+//! A facade crate re-exporting the whole workspace: a reproduction of
+//! P. J. Joseph, K. Vaswani, M. J. Thazhuthaveetil, *A Predictive
+//! Performance Model for Superscalar Processors* (MICRO 2006).
+//!
+//! The workspace builds non-linear surrogate models of processor
+//! performance (cycles per instruction) over a 9-parameter
+//! microarchitectural design space:
+//!
+//! * [`sim`] — a cycle-level, trace-driven out-of-order superscalar
+//!   simulator (the "detailed simulation" substrate).
+//! * [`workload`] — deterministic synthetic workload surrogates for the
+//!   eight SPEC CPU2000 benchmarks the paper studies.
+//! * [`sampling`] — latin hypercube sampling and L2-star discrepancy.
+//! * [`regtree`] — regression trees over sampled design points.
+//! * [`rbf`] — radial basis function networks with tree-derived centers
+//!   and AICc subset selection.
+//! * [`linreg`] — the linear + two-factor-interaction baseline model.
+//! * [`model`] — the end-to-end `BuildRBFmodel` procedure tying it all
+//!   together, plus evaluation and trend-analysis utilities.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ppm::model::{BuildConfig, RbfModelBuilder};
+//! use ppm::model::space::DesignSpace;
+//! use ppm::model::response::SimulatorResponse;
+//! use ppm::workload::Benchmark;
+//!
+//! let space = DesignSpace::paper_table1();
+//! let response = SimulatorResponse::new(Benchmark::Mcf, 200_000);
+//! let config = BuildConfig::default().with_sample_size(90);
+//! let built = RbfModelBuilder::new(space, config).build(&response).unwrap();
+//! println!("model with {} centers", built.model.network.num_centers());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use ppm_core as model;
+pub use ppm_firstorder as firstorder;
+pub use ppm_linalg as linalg;
+pub use ppm_linreg as linreg;
+pub use ppm_rbf as rbf;
+pub use ppm_regtree as regtree;
+pub use ppm_rng as rng;
+pub use ppm_sampling as sampling;
+pub use ppm_sim as sim;
+pub use ppm_workload as workload;

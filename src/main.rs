@@ -1,0 +1,28 @@
+//! The `ppm` command-line tool. See `ppm help` or [`ppm::cli::USAGE`].
+
+use std::process::ExitCode;
+
+use ppm::cli::{self, Parsed};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Parsed::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = String::new();
+    match cli::run(&parsed, &mut out) {
+        Ok(()) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
