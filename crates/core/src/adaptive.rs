@@ -78,6 +78,8 @@ pub fn build_adaptive<R: Response>(
 
     let builder = RbfModelBuilder::new(space.clone(), config.build.clone());
     while design.len() < config.budget {
+        ppm_telemetry::counter("adaptive.rounds").inc();
+        ppm_telemetry::event("adaptive.round", &[("points", design.len().into())]);
         // Fit both learners to the data so far.
         let built = builder.fit(design.clone(), responses.clone(), f64::NAN)?;
         let data = Dataset::new(design.clone(), responses.clone())?;

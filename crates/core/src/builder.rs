@@ -262,10 +262,16 @@ impl RbfModelBuilder {
         assert!(!sample_sizes.is_empty(), "no sample sizes given");
         let mut best: Option<(BuiltModel, ErrorStats)> = None;
         for &n in sample_sizes {
+            ppm_telemetry::counter("build.escalations").inc();
+            ppm_telemetry::event("build.sample_size", &[("points", n.into())]);
             let mut builder = self.clone();
             builder.config.sample_size = n;
             let built = builder.build(response)?;
             let stats = built.evaluate(test_points, test_actual);
+            ppm_telemetry::event(
+                "build.evaluated",
+                &[("points", n.into()), ("mean_pct", stats.mean_pct.into())],
+            );
             if stats.mean_pct <= target_mean_pct {
                 return Ok((built, stats));
             }
@@ -297,8 +303,7 @@ mod tests {
 
     #[test]
     fn build_produces_accurate_model_on_smooth_response() {
-        let builder =
-            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(80));
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(80));
         let built = builder.build(&smooth_response()).unwrap();
         let test = builder.test_points(&DesignSpace::paper_table2(), 40);
         let actual: Vec<f64> = test.iter().map(|p| smooth_response().eval(p)).collect();
@@ -308,8 +313,7 @@ mod tests {
 
     #[test]
     fn sample_selection_is_deterministic_and_snapped() {
-        let builder =
-            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
         let (a, da) = builder.select_sample();
         let (b, db) = builder.select_sample();
         assert_eq!(a, b);
@@ -337,8 +341,7 @@ mod tests {
 
     #[test]
     fn test_points_lie_in_the_restricted_region() {
-        let builder =
-            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
         let test = builder.test_points(&DesignSpace::paper_table2(), 50);
         assert_eq!(test.len(), 50);
         for p in &test {
@@ -355,8 +358,7 @@ mod tests {
 
     #[test]
     fn build_to_accuracy_stops_at_first_adequate_size() {
-        let builder =
-            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
         let response = smooth_response();
         let test = builder.test_points(&DesignSpace::paper_table2(), 30);
         let actual: Vec<f64> = test.iter().map(|p| response.eval(p)).collect();
@@ -369,8 +371,7 @@ mod tests {
 
     #[test]
     fn build_to_accuracy_reports_unreachable_target() {
-        let builder =
-            RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(20));
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(20));
         // A response too rough to model with 20 points.
         let response = FnResponse::new(9, |x| {
             1.0 + (37.0 * x[0]).sin() + (53.0 * x[1]).cos() * (29.0 * x[2]).sin()

@@ -116,7 +116,11 @@ pub fn to_string(network: &RbfNetwork, meta: &[(String, String)]) -> String {
 /// # Errors
 ///
 /// Returns [`PersistError::Io`] on filesystem failure.
-pub fn save(network: &RbfNetwork, meta: &[(String, String)], path: &Path) -> Result<(), PersistError> {
+pub fn save(
+    network: &RbfNetwork,
+    meta: &[(String, String)],
+    path: &Path,
+) -> Result<(), PersistError> {
     fs::write(path, to_string(network, meta))?;
     Ok(())
 }
@@ -170,7 +174,10 @@ pub fn from_str(text: &str) -> Result<SavedModel, PersistError> {
                 let mut fields = rest.split('|');
                 let parse_vec = |s: &str| -> Result<Vec<f64>, PersistError> {
                     s.split_whitespace()
-                        .map(|t| t.parse::<f64>().map_err(|_| bad(&format!("bad float {t:?}"))))
+                        .map(|t| {
+                            t.parse::<f64>()
+                                .map_err(|_| bad(&format!("bad float {t:?}")))
+                        })
                         .collect()
                 };
                 let center = parse_vec(fields.next().ok_or_else(|| bad("missing center"))?)?;

@@ -173,27 +173,26 @@ impl<F: Fn(&[f64]) -> f64 + Sync> Response for FnResponse<F> {
 /// Panics if `threads == 0`.
 pub fn eval_batch<R: Response>(response: &R, points: &[Vec<f64>], threads: usize) -> Vec<f64> {
     assert!(threads > 0, "need at least one thread");
+    let _span = ppm_telemetry::span("stage.simulation");
+    ppm_telemetry::event(
+        "sim.batch",
+        &[("points", points.len().into()), ("threads", threads.into())],
+    );
     if threads == 1 || points.len() <= 1 {
         return points.iter().map(|p| response.eval(p)).collect();
     }
     let n = points.len();
     let mut results = vec![0.0f64; n];
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (ci, (pts, out)) in points
-            .chunks(chunk)
-            .zip(results.chunks_mut(chunk))
-            .enumerate()
-        {
-            let _ = ci;
-            s.spawn(move |_| {
+    std::thread::scope(|s| {
+        for (pts, out) in points.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            s.spawn(move || {
                 for (p, o) in pts.iter().zip(out.iter_mut()) {
                     *o = response.eval(p);
                 }
             });
         }
-    })
-    .expect("response evaluation thread panicked");
+    });
     results
 }
 
@@ -219,9 +218,7 @@ mod tests {
     #[test]
     fn eval_batch_matches_serial_and_is_ordered() {
         let r = FnResponse::new(3, |x| x[0] * 100.0 + x[1] * 10.0 + x[2]);
-        let points: Vec<Vec<f64>> = (0..37)
-            .map(|i| vec![i as f64 / 37.0, 0.5, 0.25])
-            .collect();
+        let points: Vec<Vec<f64>> = (0..37).map(|i| vec![i as f64 / 37.0, 0.5, 0.25]).collect();
         let serial = eval_batch(&r, &points, 1);
         let parallel = eval_batch(&r, &points, 8);
         assert_eq!(serial, parallel);
@@ -253,7 +250,11 @@ mod tests {
         let edp = base.clone().with_metric(Metric::Edp).eval(&x);
         assert!(cpi > 0.0 && epi > 0.0);
         // EDP = EPI x CPI by construction.
-        assert!((edp - epi * cpi).abs() / edp < 1e-9, "{edp} vs {}", epi * cpi);
+        assert!(
+            (edp - epi * cpi).abs() / edp < 1e-9,
+            "{edp} vs {}",
+            epi * cpi
+        );
     }
 
     #[test]

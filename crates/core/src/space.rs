@@ -78,15 +78,57 @@ impl DesignSpace {
     pub fn paper_table1() -> Self {
         DesignSpace {
             params: ParamSpace::new(vec![
-                ParamDef::new(PARAM_NAMES[0], 24.0, 7.0, Levels::Fixed(18), Transform::Linear),
-                ParamDef::new(PARAM_NAMES[1], 24.0, 128.0, Levels::SampleSize, Transform::Linear),
-                ParamDef::new(PARAM_NAMES[2], 0.25, 0.75, Levels::SampleSize, Transform::Linear),
-                ParamDef::new(PARAM_NAMES[3], 0.25, 0.75, Levels::SampleSize, Transform::Linear),
-                ParamDef::new(PARAM_NAMES[4], 256.0, 8192.0, Levels::Fixed(6), Transform::Log),
-                ParamDef::new(PARAM_NAMES[5], 20.0, 5.0, Levels::Fixed(16), Transform::Linear),
+                ParamDef::new(
+                    PARAM_NAMES[0],
+                    24.0,
+                    7.0,
+                    Levels::Fixed(18),
+                    Transform::Linear,
+                ),
+                ParamDef::new(
+                    PARAM_NAMES[1],
+                    24.0,
+                    128.0,
+                    Levels::SampleSize,
+                    Transform::Linear,
+                ),
+                ParamDef::new(
+                    PARAM_NAMES[2],
+                    0.25,
+                    0.75,
+                    Levels::SampleSize,
+                    Transform::Linear,
+                ),
+                ParamDef::new(
+                    PARAM_NAMES[3],
+                    0.25,
+                    0.75,
+                    Levels::SampleSize,
+                    Transform::Linear,
+                ),
+                ParamDef::new(
+                    PARAM_NAMES[4],
+                    256.0,
+                    8192.0,
+                    Levels::Fixed(6),
+                    Transform::Log,
+                ),
+                ParamDef::new(
+                    PARAM_NAMES[5],
+                    20.0,
+                    5.0,
+                    Levels::Fixed(16),
+                    Transform::Linear,
+                ),
                 ParamDef::new(PARAM_NAMES[6], 8.0, 64.0, Levels::Fixed(4), Transform::Log),
                 ParamDef::new(PARAM_NAMES[7], 8.0, 64.0, Levels::Fixed(4), Transform::Log),
-                ParamDef::new(PARAM_NAMES[8], 4.0, 1.0, Levels::Fixed(4), Transform::Linear),
+                ParamDef::new(
+                    PARAM_NAMES[8],
+                    4.0,
+                    1.0,
+                    Levels::Fixed(4),
+                    Transform::Linear,
+                ),
             ]),
         }
     }
@@ -97,15 +139,15 @@ impl DesignSpace {
         let t1 = DesignSpace::paper_table1();
         // Table 2 vs Table 1 endpoints, converted to unit bounds.
         let bounds = [
-            ((24.0 - 22.0) / 17.0, (24.0 - 9.0) / 17.0),   // pipe 22..9
+            ((24.0 - 22.0) / 17.0, (24.0 - 9.0) / 17.0), // pipe 22..9
             ((37.0 - 24.0) / 104.0, (115.0 - 24.0) / 104.0), // rob 37..115
-            (0.12, 0.88),                                   // iq 0.31..0.69
-            (0.12, 0.88),                                   // lsq 0.31..0.69
-            (0.0, 1.0),                                     // L2 size full
-            ((20.0 - 18.0) / 15.0, (20.0 - 7.0) / 15.0),   // L2 lat 18..7
-            (0.0, 1.0),                                     // il1 full
-            (0.0, 1.0),                                     // dl1 full
-            (0.0, 1.0),                                     // dl1 lat full
+            (0.12, 0.88),                                // iq 0.31..0.69
+            (0.12, 0.88),                                // lsq 0.31..0.69
+            (0.0, 1.0),                                  // L2 size full
+            ((20.0 - 18.0) / 15.0, (20.0 - 7.0) / 15.0), // L2 lat 18..7
+            (0.0, 1.0),                                  // il1 full
+            (0.0, 1.0),                                  // dl1 full
+            (0.0, 1.0),                                  // dl1 lat full
         ];
         DesignSpace {
             params: t1.params.restricted(&bounds),
@@ -171,7 +213,10 @@ impl DesignSpace {
             dl1_lat: v[8].round() as u32,
             ..SimConfig::default()
         };
-        debug_assert!(config.validate().is_ok(), "unit point maps to invalid config");
+        debug_assert!(
+            config.validate().is_ok(),
+            "unit point maps to invalid config"
+        );
         config
     }
 

@@ -38,6 +38,7 @@ pub fn pb_screening<R: Response>(
     runs: usize,
     threads: usize,
 ) -> Vec<MainEffect> {
+    let _span = ppm_telemetry::span("study.pb_screening");
     let design = PlackettBurman::new(runs, space.dim())
         .unwrap_or_else(|| panic!("no PB design with {runs} runs for {} factors", space.dim()))
         .foldover();
@@ -111,7 +112,10 @@ pub fn interaction_grid(
     base: &[f64],
     sample_size_for_levels: usize,
 ) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
-    assert!(param_a < space.dim() && param_b < space.dim(), "parameter out of range");
+    assert!(
+        param_a < space.dim() && param_b < space.dim(),
+        "parameter out of range"
+    );
     assert_ne!(param_a, param_b, "need two distinct parameters");
     assert_eq!(base.len(), space.dim(), "base point dimension mismatch");
     let pa = &space.params().params()[param_a];
@@ -212,6 +216,7 @@ pub fn search_optimum(
     seed: u64,
 ) -> Option<SearchResult> {
     assert!(samples > 0, "need at least one sample");
+    let _span = ppm_telemetry::span("study.search_optimum");
     let mut rng = Rng::seed_from_u64(derive_seed(seed, 300));
     let dim = space.dim();
     let mut best: Option<(Vec<f64>, f64)> = None;
@@ -271,15 +276,17 @@ mod tests {
         let space = DesignSpace::paper_table1();
         // Response dominated by L2 latency (param 5), with smaller ROB
         // (param 1) and dl1_lat (param 8) effects.
-        let response = FnResponse::new(9, |x| {
-            2.0 + 3.0 * x[5] + 1.0 * x[1] + 0.4 * x[8]
-        });
+        let response = FnResponse::new(9, |x| 2.0 + 3.0 * x[5] + 1.0 * x[1] + 0.4 * x[8]);
         let effects = pb_screening(&space, &response, 12, 1);
         assert_eq!(effects.len(), 9);
         assert_eq!(effects[0].param, "L2_lat");
         assert_eq!(effects[1].param, "ROB_size");
         // Effect magnitude should approximate the coefficient.
-        assert!((effects[0].effect.abs() - 3.0).abs() < 0.2, "{:?}", effects[0]);
+        assert!(
+            (effects[0].effect.abs() - 3.0).abs() < 0.2,
+            "{:?}",
+            effects[0]
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ impl FirstOrderModel {
     /// Panics if the configuration is invalid.
     pub fn predict(&self, config: &SimConfig) -> f64 {
         config.validate().expect("valid configuration");
+        ppm_telemetry::counter("firstorder.predictions").inc();
         let s = &self.stats;
 
         // Base: dataflow ILP limited by the window and machine width.
@@ -63,9 +64,8 @@ impl FirstOrderModel {
         // Branches: refill penalty scales with the front-end depth; a
         // constant accounts for resolution (dispatch→execute).
         let resolve = 3.0;
-        let cpi_branch = s.branch_frac
-            * s.mispredict_rate
-            * (config.front_depth() as f64 + resolve);
+        let cpi_branch =
+            s.branch_frac * s.mispredict_rate * (config.front_depth() as f64 + resolve);
 
         // Instruction fetch: il1 misses served by the L2 (instruction
         // working sets fit every L2 of the space). Partially hidden by
@@ -169,8 +169,10 @@ mod tests {
     #[should_panic(expected = "valid configuration")]
     fn invalid_config_panics() {
         let m = model(Benchmark::Twolf);
-        let mut config = SimConfig::default();
-        config.rob_size = 1;
+        let config = SimConfig {
+            rob_size: 1,
+            ..SimConfig::default()
+        };
         m.predict(&config);
     }
 }

@@ -73,8 +73,7 @@ impl ProgramStats {
             .iter()
             .map(|&kb| (kb, Cache::new(kb as u64 * 1024, f.l2_assoc, line), 0u64))
             .collect();
-        let mut bpred =
-            BranchPredictor::new(f.gshare_entries, f.gshare_history, f.btb_entries);
+        let mut bpred = BranchPredictor::new(f.gshare_entries, f.gshare_history, f.btb_entries);
 
         // Dataflow scheduling state: completion "time" per recent
         // instruction (ring buffer of the last 256).
@@ -149,7 +148,7 @@ impl ProgramStats {
             ready_at[idx] = t;
             for (w, &size) in WINDOW_SIZES.iter().enumerate() {
                 chunk_max[w] = chunk_max[w].max(t);
-                if (n + 1) % size as u64 == 0 {
+                if (n + 1).is_multiple_of(size as u64) {
                     let depth = chunk_max[w] - chunk_start_time[w];
                     window_depth_acc[w].0 += 1;
                     window_depth_acc[w].1 += depth.max(1);

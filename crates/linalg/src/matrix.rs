@@ -138,9 +138,7 @@ impl Matrix {
     /// Panics if `x.len() != self.cols()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| crate::dot(self.row(i), x))
-            .collect()
+        (0..self.rows).map(|i| crate::dot(self.row(i), x)).collect()
     }
 
     /// Matrix–matrix product `A B`.
@@ -196,9 +194,8 @@ impl Matrix {
     pub fn t_matvec(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "t_matvec dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &yi) in y.iter().enumerate() {
             let r = self.row(i);
-            let yi = y[i];
             for j in 0..self.cols {
                 out[j] += r[j] * yi;
             }
@@ -225,14 +222,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -255,7 +258,7 @@ impl fmt::Display for Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ppm_rng::Rng;
 
     #[test]
     fn identity_matvec_is_identity() {
@@ -315,34 +318,44 @@ mod tests {
         assert!(s.contains("1.0000"));
     }
 
-    fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
-        (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-100.0f64..100.0, r * c)
-                .prop_map(move |data| Matrix::from_vec(r, c, data))
-        })
+    fn random_matrix(rng: &mut Rng, max_dim: usize) -> Matrix {
+        let r = 1 + rng.below(max_dim as u64) as usize;
+        let c = 1 + rng.below(max_dim as u64) as usize;
+        let data: Vec<f64> = (0..r * c).map(|_| 200.0 * rng.unit_f64() - 100.0).collect();
+        Matrix::from_vec(r, c, data)
     }
 
-    proptest! {
-        #[test]
-        fn prop_transpose_involution(m in arb_matrix(6)) {
-            prop_assert_eq!(m.transpose().transpose(), m);
+    #[test]
+    fn random_transpose_involution() {
+        let mut rng = Rng::seed_from_u64(41);
+        for _ in 0..64 {
+            let m = random_matrix(&mut rng, 6);
+            assert_eq!(m.transpose().transpose(), m);
         }
+    }
 
-        #[test]
-        fn prop_gram_is_symmetric_psd_diagonal(m in arb_matrix(5)) {
+    #[test]
+    fn random_gram_is_symmetric_psd_diagonal() {
+        let mut rng = Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            let m = random_matrix(&mut rng, 5);
             let g = m.gram();
             for i in 0..g.rows() {
-                prop_assert!(g[(i, i)] >= -1e-9);
+                assert!(g[(i, i)] >= -1e-9);
                 for j in 0..g.cols() {
-                    prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
+                    assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-9);
                 }
             }
         }
+    }
 
-        #[test]
-        fn prop_identity_matmul(m in arb_matrix(5)) {
+    #[test]
+    fn random_identity_matmul() {
+        let mut rng = Rng::seed_from_u64(43);
+        for _ in 0..64 {
+            let m = random_matrix(&mut rng, 5);
             let id = Matrix::identity(m.rows());
-            prop_assert_eq!(id.matmul(&m), m.clone());
+            assert_eq!(id.matmul(&m), m);
         }
     }
 }

@@ -96,13 +96,13 @@ impl Qr {
                 continue;
             }
             let mut s = y[j];
-            for i in (j + 1)..m {
-                s += self.packed[(i, j)] * y[i];
+            for (i, &yi) in y.iter().enumerate().take(m).skip(j + 1) {
+                s += self.packed[(i, j)] * yi;
             }
             s *= self.tau[j];
             y[j] -= s;
-            for i in (j + 1)..m {
-                y[i] -= s * self.packed[(i, j)];
+            for (i, yi) in y.iter_mut().enumerate().take(m).skip(j + 1) {
+                *yi -= s * self.packed[(i, j)];
             }
         }
         y
@@ -156,8 +156,8 @@ impl Qr {
                 return None;
             }
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.r(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                s -= self.r(i, j) * xj;
             }
             x[i] = s / d;
         }

@@ -59,7 +59,11 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
             rhs: b.len(),
         });
     }
-    Qr::new(a).solve(b).ok_or(LinalgError::RankDeficient)
+    let t0 = std::time::Instant::now();
+    let result = Qr::new(a).solve(b).ok_or(LinalgError::RankDeficient);
+    ppm_telemetry::counter("linalg.lstsq_solves").inc();
+    ppm_telemetry::histogram("linalg.lstsq_us").record(t0.elapsed().as_micros() as u64);
+    result
 }
 
 /// Solves the ridge-regularized least-squares problem
@@ -95,14 +99,21 @@ pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, Linal
     }
     let mut g = a.gram();
     // Scale the ridge by the Gram diagonal so it is unit-independent.
-    let scale = (0..g.rows()).map(|i| g[(i, i)]).fold(0.0_f64, f64::max).max(1.0);
+    let scale = (0..g.rows())
+        .map(|i| g[(i, i)])
+        .fold(0.0_f64, f64::max)
+        .max(1.0);
     for i in 0..g.rows() {
         g[(i, i)] += lambda * scale;
     }
     let rhs = a.t_matvec(b);
-    Cholesky::new(&g)
+    let t0 = std::time::Instant::now();
+    let result = Cholesky::new(&g)
         .map(|c| c.solve(&rhs))
-        .ok_or(LinalgError::RankDeficient)
+        .ok_or(LinalgError::RankDeficient);
+    ppm_telemetry::counter("linalg.ridge_solves").inc();
+    ppm_telemetry::histogram("linalg.ridge_us").record(t0.elapsed().as_micros() as u64);
+    result
 }
 
 #[cfg(test)]

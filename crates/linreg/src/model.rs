@@ -122,6 +122,7 @@ impl LinearTrainer {
     /// identify the full term set, or [`LinregError::Singular`] if the
     /// design matrix is degenerate beyond repair.
     pub fn fit(&self, data: &Dataset) -> Result<LinearModel, LinregError> {
+        ppm_telemetry::counter("linreg.fits").inc();
         let mut terms = Term::full_set(data.dim(), self.interactions);
         if data.len() <= terms.len() {
             // The paper notes sample sizes must exceed the term count
@@ -167,9 +168,7 @@ impl LinearTrainer {
 }
 
 fn fit_terms(data: &Dataset, terms: &[Term]) -> Result<LinearModel, LinregError> {
-    let x = Matrix::from_fn(data.len(), terms.len(), |i, j| {
-        terms[j].eval(data.point(i))
-    });
+    let x = Matrix::from_fn(data.len(), terms.len(), |i, j| terms[j].eval(data.point(i)));
     let coef = match lstsq(&x, data.y()) {
         Ok(c) => c,
         Err(_) => lstsq_ridge(&x, data.y(), 1e-9).map_err(|_| LinregError::Singular)?,

@@ -87,7 +87,7 @@ impl Rbf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ppm_rng::Rng;
 
     #[test]
     fn unit_response_at_center() {
@@ -125,27 +125,30 @@ mod tests {
         Rbf::new(vec![0.5], vec![0.5, 0.5]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_response_in_unit_interval(
-            c in proptest::collection::vec(0.0f64..1.0, 1..6),
-            x_off in proptest::collection::vec(-2.0f64..2.0, 1..6),
-            r in 0.01f64..10.0,
-        ) {
-            let dim = c.len().min(x_off.len());
-            let c = c[..dim].to_vec();
-            let x: Vec<f64> = c.iter().zip(&x_off[..dim]).map(|(a, b)| a + b).collect();
+    #[test]
+    fn random_response_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(101);
+        for _ in 0..128 {
+            let dim = 1 + rng.below(5) as usize;
+            let c: Vec<f64> = (0..dim).map(|_| rng.unit_f64()).collect();
+            let x: Vec<f64> = c.iter().map(|a| a + 4.0 * rng.unit_f64() - 2.0).collect();
+            let r = 0.01 + 9.99 * rng.unit_f64();
             let h = Rbf::new(c, vec![r; dim]);
             let v = h.eval(&x);
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v), "response {v} outside [0, 1]");
         }
+    }
 
-        #[test]
-        fn prop_symmetric_about_center(off in 0.01f64..1.0, r in 0.05f64..5.0) {
+    #[test]
+    fn random_symmetric_about_center() {
+        let mut rng = Rng::seed_from_u64(102);
+        for _ in 0..128 {
+            let off = 0.01 + 0.99 * rng.unit_f64();
+            let r = 0.05 + 4.95 * rng.unit_f64();
             let h = Rbf::new(vec![0.5], vec![r]);
             let a = h.eval(&[0.5 + off]);
             let b = h.eval(&[0.5 - off]);
-            prop_assert!((a - b).abs() < 1e-12);
+            assert!((a - b).abs() < 1e-12);
         }
     }
 }

@@ -47,5 +47,7 @@ mod trainer;
 pub use basis::Rbf;
 pub use criteria::Criterion;
 pub use network::RbfNetwork;
-pub use selection::{select_all_leaves, select_centers, select_centers_forward, SelectionConfig, SelectionResult};
+pub use selection::{
+    select_all_leaves, select_centers, select_centers_forward, SelectionConfig, SelectionResult,
+};
 pub use trainer::{FittedRbf, RbfTrainer};

@@ -33,7 +33,10 @@ impl RbfNetwork {
     /// functions have inconsistent dimensionality.
     pub fn new(bases: Vec<Rbf>, weights: Vec<f64>) -> Self {
         assert_eq!(bases.len(), weights.len(), "bases/weights length mismatch");
-        assert!(!bases.is_empty(), "network needs at least one basis function");
+        assert!(
+            !bases.is_empty(),
+            "network needs at least one basis function"
+        );
         let dim = bases[0].dim();
         assert!(
             bases.iter().all(|b| b.dim() == dim),

@@ -128,8 +128,14 @@ pub fn select_centers(
         .enumerate()
         .filter_map(|(i, &s)| s.then_some(i))
         .collect();
-    let bases: Vec<Rbf> = selected_nodes.iter().map(|&i| candidates[i].clone()).collect();
-    let weights = current.weights.clone().expect("non-empty model has weights");
+    let bases: Vec<Rbf> = selected_nodes
+        .iter()
+        .map(|&i| candidates[i].clone())
+        .collect();
+    let weights = current
+        .weights
+        .clone()
+        .expect("non-empty model has weights");
     SelectionResult {
         network: RbfNetwork::new(bases, weights),
         selected_nodes,
@@ -176,8 +182,7 @@ pub fn select_centers_forward(
             selected[i] = true;
             let eval = evaluate(&h_full, data.y(), &selected, config);
             selected[i] = false;
-            if eval.score < current.score
-                && best.as_ref().is_none_or(|(_, b)| eval.score < b.score)
+            if eval.score < current.score && best.as_ref().is_none_or(|(_, b)| eval.score < b.score)
             {
                 best = Some((i, eval));
             }
@@ -256,8 +261,14 @@ fn finish(
         .enumerate()
         .filter_map(|(i, &s)| s.then_some(i))
         .collect();
-    let bases: Vec<Rbf> = selected_nodes.iter().map(|&i| candidates[i].clone()).collect();
-    let weights = current.weights.clone().expect("non-empty model has weights");
+    let bases: Vec<Rbf> = selected_nodes
+        .iter()
+        .map(|&i| candidates[i].clone())
+        .collect();
+    let weights = current
+        .weights
+        .clone()
+        .expect("non-empty model has weights");
     SelectionResult {
         network: RbfNetwork::new(bases, weights),
         selected_nodes,
@@ -456,14 +467,23 @@ mod tests {
         assert!(fwd.sse.is_finite());
         // Greedy forward should achieve a competitive criterion value.
         let orr = select_centers(&tree, &data, &config);
-        assert!(fwd.score <= orr.score + 50.0, "fwd {} vs orr {}", fwd.score, orr.score);
+        assert!(
+            fwd.score <= orr.score + 50.0,
+            "fwd {} vs orr {}",
+            fwd.score,
+            orr.score
+        );
     }
 
     #[test]
     fn all_leaves_uses_every_leaf_up_to_data_count() {
         let data = smooth_dataset(40, 33);
         let tree = RegressionTree::fit(&data, 4);
-        let result = select_all_leaves(&data_tree_config(&tree), &data, &SelectionConfig::with_alpha(6.0));
+        let result = select_all_leaves(
+            data_tree_config(&tree),
+            &data,
+            &SelectionConfig::with_alpha(6.0),
+        );
         let leaves = tree.num_leaves();
         assert!(result.network.num_centers() <= leaves);
         assert!(result.network.num_centers() >= leaves.min(data.len() - 2));

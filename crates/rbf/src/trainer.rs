@@ -84,6 +84,7 @@ impl RbfTrainer {
     pub fn fit(&self, data: &Dataset) -> FittedRbf {
         assert!(!self.p_min_candidates.is_empty(), "no p_min candidates");
         assert!(!self.alpha_candidates.is_empty(), "no alpha candidates");
+        let _span = ppm_telemetry::span("stage.rbf_train");
         let mut best: Option<FittedRbf> = None;
         for &p_min in &self.p_min_candidates {
             let tree = RegressionTree::fit(data, p_min);
@@ -94,6 +95,16 @@ impl RbfTrainer {
                     max_centers: self.max_centers,
                 };
                 let result = select_centers(&tree, data, &config);
+                ppm_telemetry::counter("rbf.grid_cells").inc();
+                ppm_telemetry::event(
+                    "rbf.cell",
+                    &[
+                        ("p_min", p_min.into()),
+                        ("alpha", alpha.into()),
+                        ("score", result.score.into()),
+                        ("centers", result.network.num_centers().into()),
+                    ],
+                );
                 let candidate = FittedRbf {
                     network: result.network,
                     p_min,
@@ -108,7 +119,20 @@ impl RbfTrainer {
                 }
             }
         }
-        best.expect("non-empty candidate grids")
+        let best = best.expect("non-empty candidate grids");
+        ppm_telemetry::gauge("rbf.selected_aicc").set(best.score);
+        ppm_telemetry::gauge("rbf.selected_centers").set(best.network.num_centers() as f64);
+        ppm_telemetry::event(
+            "rbf.selected",
+            &[
+                ("p_min", best.p_min.into()),
+                ("alpha", best.alpha.into()),
+                ("aicc", best.score.into()),
+                ("centers", best.network.num_centers().into()),
+                ("sse", best.sse.into()),
+            ],
+        );
+        best
     }
 
     /// Fits with a single fixed `(p_min, α)` pair, bypassing the grid

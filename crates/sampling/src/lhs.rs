@@ -96,15 +96,30 @@ impl<'a> LatinHypercube<'a> {
     /// Panics if `candidates == 0`.
     pub fn best_of_with_score(&self, candidates: usize, rng: &mut Rng) -> (Design, f64) {
         assert!(candidates > 0, "need at least one candidate");
+        let _span = ppm_telemetry::span("stage.sampling");
+        ppm_telemetry::counter("sampling.candidates").add(candidates as u64);
         let mut best: Option<(Design, f64)> = None;
-        for _ in 0..candidates {
+        for i in 0..candidates {
             let d = self.generate(rng);
             let score = l2_star(&d);
             if best.as_ref().is_none_or(|(_, s)| score < *s) {
+                ppm_telemetry::event(
+                    "sampling.best_improved",
+                    &[("candidate", i.into()), ("discrepancy", score.into())],
+                );
                 best = Some((d, score));
             }
         }
-        best.expect("candidates > 0")
+        let (design, score) = best.expect("candidates > 0");
+        ppm_telemetry::event(
+            "sampling.selected",
+            &[
+                ("points", design.len().into()),
+                ("candidates", candidates.into()),
+                ("discrepancy", score.into()),
+            ],
+        );
+        (design, score)
     }
 }
 
@@ -113,7 +128,6 @@ mod tests {
     use super::*;
     use crate::space::{ParamDef, Transform};
     use ppm_rng::Rng;
-    use proptest::prelude::*;
 
     fn space2() -> ParamSpace {
         ParamSpace::new(vec![
@@ -182,32 +196,33 @@ mod tests {
         LatinHypercube::new(&space2(), 1);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn prop_design_in_unit_cube(seed in any::<u64>(), s in 2usize..40) {
+    #[test]
+    fn random_design_in_unit_cube() {
+        for seed in 0..32u64 {
             let space = space2();
             let mut rng = Rng::seed_from_u64(seed);
+            let s = 2 + (seed as usize % 38);
             let design = LatinHypercube::new(&space, s).generate(&mut rng);
-            prop_assert_eq!(design.len(), s);
+            assert_eq!(design.len(), s);
             for p in &design {
-                prop_assert_eq!(p.len(), 2);
+                assert_eq!(p.len(), 2);
                 for &v in p {
-                    prop_assert!((0.0..=1.0).contains(&v));
+                    assert!((0.0..=1.0).contains(&v), "seed {seed}: {v}");
                 }
             }
         }
+    }
 
-        #[test]
-        fn prop_points_snapped_to_levels(seed in any::<u64>()) {
+    #[test]
+    fn random_points_snapped_to_levels() {
+        for seed in 0..32u64 {
             let space = space2();
             let mut rng = Rng::seed_from_u64(seed);
             let design = LatinHypercube::new(&space, 12).generate(&mut rng);
             for p in &design {
                 // Dimension b has 4 levels: unit coords multiples of 1/3.
                 let scaled = p[1] * 3.0;
-                prop_assert!((scaled - scaled.round()).abs() < 1e-9);
+                assert!((scaled - scaled.round()).abs() < 1e-9, "seed {seed}");
             }
         }
     }

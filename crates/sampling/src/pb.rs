@@ -49,7 +49,7 @@ impl PlackettBurman {
         if factors == 0 || factors > runs.saturating_sub(1) {
             return None;
         }
-        let full = if runs.is_power_of_two() && runs >= 4 && runs <= 32 {
+        let full = if runs.is_power_of_two() && (4..=32).contains(&runs) {
             hadamard_pm(runs)
         } else {
             let gen = generator_row(runs)?;
@@ -195,8 +195,8 @@ mod tests {
         assert_eq!(fo.runs(), 24);
         let pts = fo.signed_points();
         for i in 0..12 {
-            for k in 0..9 {
-                assert_eq!(pts[i][k], -pts[i + 12][k], "run {i} factor {k} not mirrored");
+            for (k, &v) in pts[i].iter().enumerate().take(9) {
+                assert_eq!(v, -pts[i + 12][k], "run {i} factor {k} not mirrored");
             }
         }
     }

@@ -60,18 +60,15 @@ mod tests {
 
     #[test]
     fn random_design_respects_levels() {
-        let space = ParamSpace::new(vec![ParamDef::leveled(
-            "b",
-            8.0,
-            64.0,
-            4,
-            Transform::Log,
-        )]);
+        let space = ParamSpace::new(vec![ParamDef::leveled("b", 8.0, 64.0, 4, Transform::Log)]);
         let mut rng = Rng::seed_from_u64(2);
         let pts = random_design(&space, 100, &mut rng);
         for p in &pts {
             let scaled = p[0] * 3.0;
-            assert!((scaled - scaled.round()).abs() < 1e-9, "unsnapped point {p:?}");
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-9,
+                "unsnapped point {p:?}"
+            );
         }
     }
 

@@ -338,7 +338,7 @@ impl ParamSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use ppm_rng::Rng;
 
     #[test]
     fn linear_warp_endpoints() {
@@ -431,19 +431,26 @@ mod tests {
         ParamDef::continuous("a", 1.0, 1.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_to_actual_within_range(t in 0.0f64..=1.0) {
-            let p = ParamDef::leveled("x", 8.0, 64.0, 4, Transform::Log);
+    #[test]
+    fn random_to_actual_within_range() {
+        let mut rng = Rng::seed_from_u64(31);
+        let p = ParamDef::leveled("x", 8.0, 64.0, 4, Transform::Log);
+        for i in 0..=128 {
+            let t = if i <= 1 { i as f64 } else { rng.unit_f64() };
             let v = p.to_actual(t);
-            prop_assert!(v >= 8.0 - 1e-9 && v <= 64.0 + 1e-9);
+            assert!((8.0 - 1e-9..=64.0 + 1e-9).contains(&v), "t {t} gave {v}");
         }
+    }
 
-        #[test]
-        fn prop_snap_idempotent(t in 0.0f64..=1.0, k in 2usize..20) {
+    #[test]
+    fn random_snap_idempotent() {
+        let mut rng = Rng::seed_from_u64(32);
+        for _ in 0..128 {
+            let t = rng.unit_f64();
+            let k = 2 + rng.below(18) as usize;
             let p = ParamDef::leveled("x", 0.0, 1.0, k, Transform::Linear);
             let s = p.snap(t, 50);
-            prop_assert_eq!(p.snap(s, 50), s);
+            assert_eq!(p.snap(s, 50), s, "t {t} k {k}");
         }
     }
 }

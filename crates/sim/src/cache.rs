@@ -91,7 +91,10 @@ impl Cache {
         policy: ReplacementPolicy,
     ) -> Self {
         assert!(size_bytes > 0 && assoc > 0 && line_size > 0);
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = size_bytes / line_size as u64;
         assert!(
             lines >= assoc as u64,
@@ -204,7 +207,6 @@ impl Cache {
 mod tests {
     use super::*;
     use ppm_rng::Rng;
-    use proptest::prelude::*;
 
     #[test]
     fn geometry() {
@@ -351,42 +353,46 @@ mod tests {
         Cache::new(8 * 1024, 2, 48);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        /// A bigger cache never has more misses on the same trace
-        /// (inclusion property for LRU with same line size & assoc scaling
-        /// by sets).
-        #[test]
-        fn prop_stack_property_across_sizes(seed in any::<u64>()) {
+    /// A bigger cache never has more misses on the same trace
+    /// (inclusion property for LRU with same line size & assoc scaling
+    /// by sets).
+    #[test]
+    fn random_stack_property_across_sizes() {
+        for seed in 0..32u64 {
             let mut rng = Rng::seed_from_u64(seed);
-            let addrs: Vec<u64> = (0..4000)
-                .map(|_| rng.below(1 << 16))
-                .collect();
+            let addrs: Vec<u64> = (0..4000).map(|_| rng.below(1 << 16)).collect();
             let mut small = Cache::new(8 * 1024, 2, 64);
             let mut big = Cache::new(64 * 1024, 2, 64);
             for &a in &addrs {
                 small.access(a);
                 big.access(a);
             }
-            prop_assert!(big.stats().misses <= small.stats().misses);
+            assert!(big.stats().misses <= small.stats().misses, "seed {seed}");
         }
+    }
 
-        /// Repeating a short loop that fits in the cache eventually stops
-        /// missing.
-        #[test]
-        fn prop_loops_become_hits(stride in 1u64..8, lines in 4u64..32) {
-            let mut c = Cache::new(16 * 1024, 2, 64);
-            for _ in 0..3 {
+    /// Repeating a short loop that fits in the cache eventually stops
+    /// missing.
+    #[test]
+    fn random_loops_become_hits() {
+        for stride in 1u64..8 {
+            for lines in [4u64, 9, 17, 31] {
+                let mut c = Cache::new(16 * 1024, 2, 64);
+                for _ in 0..3 {
+                    for i in 0..lines {
+                        c.access(i * stride * 64);
+                    }
+                }
+                let misses_before = c.stats().misses;
                 for i in 0..lines {
                     c.access(i * stride * 64);
                 }
+                assert_eq!(
+                    c.stats().misses,
+                    misses_before,
+                    "stride {stride} lines {lines}"
+                );
             }
-            let misses_before = c.stats().misses;
-            for i in 0..lines {
-                c.access(i * stride * 64);
-            }
-            prop_assert_eq!(c.stats().misses, misses_before);
         }
     }
 }

@@ -222,7 +222,11 @@ impl SimConfig {
     /// Returns [`ConfigError::OutOfRange`] describing the first violated
     /// constraint.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        fn check(ok: bool, param: &'static str, constraint: &'static str) -> Result<(), ConfigError> {
+        fn check(
+            ok: bool,
+            param: &'static str,
+            constraint: &'static str,
+        ) -> Result<(), ConfigError> {
             if ok {
                 Ok(())
             } else {
@@ -254,7 +258,11 @@ impl SimConfig {
             "l2_size_kb",
             "power of two in [64, 65536]",
         )?;
-        check((2..=64).contains(&self.l2_lat), "l2_lat", "2 <= l2_lat <= 64")?;
+        check(
+            (2..=64).contains(&self.l2_lat),
+            "l2_lat",
+            "2 <= l2_lat <= 64",
+        )?;
         check(
             (4..=512).contains(&self.il1_size_kb) && self.il1_size_kb.is_power_of_two(),
             "il1_size_kb",
@@ -270,11 +278,7 @@ impl SimConfig {
             "dl1_lat",
             "1 <= dl1_lat <= 8",
         )?;
-        check(
-            self.dl1_lat < self.l2_lat,
-            "dl1_lat",
-            "dl1_lat < l2_lat",
-        )?;
+        check(self.dl1_lat < self.l2_lat, "dl1_lat", "dl1_lat < l2_lat")?;
         check(
             self.fixed.width >= 1 && self.fixed.width <= 16,
             "width",
@@ -406,8 +410,10 @@ mod tests {
 
     #[test]
     fn front_depth_tracks_pipe_depth() {
-        let mut c = SimConfig::default();
-        c.pipe_depth = 24;
+        let mut c = SimConfig {
+            pipe_depth: 24,
+            ..SimConfig::default()
+        };
         assert_eq!(c.front_depth(), 20);
         c.pipe_depth = 7;
         assert_eq!(c.front_depth(), 3);

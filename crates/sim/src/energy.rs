@@ -135,16 +135,13 @@ pub fn estimate_energy(
     // Functional-unit work by committed class; window bookkeeping per
     // committed instruction (wrong-path work is not simulated, so
     // committed counts are exact activity counts).
-    let window_entries =
-        (config.rob_size + config.iq_size() + config.lsq_size()) as f64;
+    let window_entries = (config.rob_size + config.iq_size() + config.lsq_size()) as f64;
     let core = stats.int_ops as f64 * params.int_alu
         + stats.mul_ops as f64 * params.int_mul
         + stats.fp_ops as f64 * params.fp_alu
         + stats.fp_mul_ops as f64 * params.fp_mul
         + stats.branches as f64 * params.branch
-        + stats.instructions as f64
-            * params.window_per_instr
-            * (window_entries / 192.0).sqrt();
+        + stats.instructions as f64 * params.window_per_instr * (window_entries / 192.0).sqrt();
 
     let caches = stats.il1.accesses as f64 * params.cache_access(config.il1_size_kb, f.il1_assoc)
         + stats.dl1.accesses as f64 * params.cache_access(config.dl1_size_kb, f.dl1_assoc)
@@ -194,9 +191,7 @@ mod tests {
         let (stats, config) = run(SimConfig::default());
         let e = estimate_energy(&stats, &config, &EnergyParams::default());
         assert!(e.core > 0.0 && e.caches > 0.0 && e.leakage > 0.0);
-        assert!(
-            (e.total() - (e.core + e.caches + e.dram + e.leakage)).abs() < 1e-9
-        );
+        assert!((e.total() - (e.core + e.caches + e.dram + e.leakage)).abs() < 1e-9);
     }
 
     #[test]
@@ -242,7 +237,10 @@ mod tests {
         let trace2 = (0..10_000u64).map(|i| Instr::alu(Op::IntAlu, loop_pc(i), 0, 0));
         let stats2 = Processor::new(config.clone()).run(trace2);
         let e2 = estimate_energy(&stats2, &config, &EnergyParams::default());
-        assert!(e.core > e2.core, "FP multiplies should cost more than ALU ops");
+        assert!(
+            e.core > e2.core,
+            "FP multiplies should cost more than ALU ops"
+        );
     }
 
     #[test]

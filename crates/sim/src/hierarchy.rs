@@ -202,8 +202,8 @@ mod tests {
     fn l2_hit_latency() {
         let mut h = hierarchy();
         h.data_access(0, 0x100); // installs in L1 and L2
-        // Evict from L1 by thrashing its set, leaving L2 resident.
-        // L1 is 32 KiB 2-way with 64 B lines → 256 sets → set stride 16 KiB.
+                                 // Evict from L1 by thrashing its set, leaving L2 resident.
+                                 // L1 is 32 KiB 2-way with 64 B lines → 256 sets → set stride 16 KiB.
         h.data_access(1000, 0x100 + 16 * 1024);
         h.data_access(2000, 0x100 + 32 * 1024);
         let o = h.data_access(10_000, 0x100);
@@ -234,7 +234,7 @@ mod tests {
     fn inst_and_data_share_l2() {
         let mut h = hierarchy();
         h.inst_access(0, 0x8000); // install via I-side
-        // Data access to the same line: L1D misses but L2 hits.
+                                  // Data access to the same line: L1D misses but L2 hits.
         let o = h.data_access(1000, 0x8000);
         assert!(!o.l1_hit);
         assert!(o.l2_hit);
@@ -264,8 +264,10 @@ mod tests {
 
     #[test]
     fn next_line_prefetch_cuts_sequential_instruction_misses() {
-        let mut fixed = crate::FixedMachine::default();
-        fixed.next_line_prefetch = true;
+        let fixed = crate::FixedMachine {
+            next_line_prefetch: true,
+            ..crate::FixedMachine::default()
+        };
         let on_config = SimConfig {
             fixed,
             ..SimConfig::default()
@@ -286,15 +288,20 @@ mod tests {
 
     #[test]
     fn prefetch_does_not_affect_data_side() {
-        let mut fixed = crate::FixedMachine::default();
-        fixed.next_line_prefetch = true;
+        let fixed = crate::FixedMachine {
+            next_line_prefetch: true,
+            ..crate::FixedMachine::default()
+        };
         let config = SimConfig {
             fixed,
             ..SimConfig::default()
         };
         let mut h = Hierarchy::new(&config);
         h.data_access(0, 0x40_0000);
-        assert!(!h.dl1().probe(0x40_0000 + 64), "data side must not prefetch");
+        assert!(
+            !h.dl1().probe(0x40_0000 + 64),
+            "data side must not prefetch"
+        );
     }
 
     #[test]

@@ -39,9 +39,9 @@
 #![warn(missing_docs)]
 
 mod bpred;
-mod energy;
 mod cache;
 mod config;
+mod energy;
 mod hierarchy;
 mod memory;
 mod pipeline;
@@ -49,9 +49,9 @@ mod stats;
 mod trace;
 
 pub use bpred::{BranchPredictor, Btb, Gshare, PredictorKind};
-pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};
 pub use cache::{Cache, CacheStats, ReplacementPolicy};
 pub use config::{ConfigError, FixedMachine, SimConfig, SimConfigBuilder};
+pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};
 pub use hierarchy::{AccessOutcome, Hierarchy};
 pub use memory::MemorySystem;
 pub use pipeline::Processor;

@@ -64,7 +64,10 @@ impl MemorySystem {
         mshrs: u32,
         line_bits: u32,
     ) -> Self {
-        assert!(banks.is_power_of_two() && banks > 0, "banks must be a power of two");
+        assert!(
+            banks.is_power_of_two() && banks > 0,
+            "banks must be a power of two"
+        );
         assert!(mem_lat > 0 && bank_busy > 0 && bus_per_line > 0 && mshrs > 0);
         MemorySystem {
             mem_lat: mem_lat as u64,

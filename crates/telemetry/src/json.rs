@@ -1,0 +1,184 @@
+//! Minimal JSON serialization for telemetry records.
+//!
+//! Only what the JSONL exporter needs: string escaping per RFC 8259 and
+//! a small value enum for event fields. Not a general-purpose JSON
+//! library — there is deliberately no parser.
+
+use std::fmt::Write;
+
+/// A scalar field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point. Non-finite values serialize as `null` (JSON has
+    /// no NaN/Infinity).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on output).
+    Str(String),
+}
+
+impl Value {
+    /// Appends this value's JSON representation to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Str(s) => write_json_string(out, s),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+///
+/// Escapes the two mandatory characters (`"` and `\`), the common
+/// control-character shorthands, and any other control character as
+/// `\u00XX`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Returns `s` as a quoted, escaped JSON string.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_json_string(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        json_string(s)
+    }
+
+    #[test]
+    fn plain_strings_are_quoted_verbatim() {
+        assert_eq!(escaped("stage.sampling"), "\"stage.sampling\"");
+        assert_eq!(escaped(""), "\"\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_are_escaped() {
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escaped("C:\\path\"x\""), "\"C:\\\\path\\\"x\\\"\"");
+    }
+
+    #[test]
+    fn control_characters_use_shorthand_or_unicode() {
+        assert_eq!(escaped("a\nb"), "\"a\\nb\"");
+        assert_eq!(escaped("a\tb"), "\"a\\tb\"");
+        assert_eq!(escaped("a\rb"), "\"a\\rb\"");
+        assert_eq!(escaped("a\u{08}b"), "\"a\\bb\"");
+        assert_eq!(escaped("a\u{0c}b"), "\"a\\fb\"");
+        assert_eq!(escaped("a\u{01}b"), "\"a\\u0001b\"");
+        assert_eq!(escaped("a\u{1f}b"), "\"a\\u001fb\"");
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        assert_eq!(escaped("αβ→é"), "\"αβ→é\"");
+    }
+
+    #[test]
+    fn values_serialize() {
+        let mut s = String::new();
+        Value::U64(42).write_json(&mut s);
+        s.push(' ');
+        Value::I64(-3).write_json(&mut s);
+        s.push(' ');
+        Value::F64(1.5).write_json(&mut s);
+        s.push(' ');
+        Value::Bool(true).write_json(&mut s);
+        s.push(' ');
+        Value::Str("x\"y".into()).write_json(&mut s);
+        assert_eq!(s, "42 -3 1.5 true \"x\\\"y\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut s = String::new();
+            Value::F64(v).write_json(&mut s);
+            assert_eq!(s, "null");
+        }
+    }
+}

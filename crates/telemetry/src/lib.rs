@@ -1,0 +1,260 @@
+//! # ppm-telemetry
+//!
+//! Zero-dependency tracing, metrics, and profiling for the
+//! BuildRBFmodel pipeline.
+//!
+//! The crate provides three instrument kinds held in a global
+//! [`Registry`] — [`Counter`]s, [`Gauge`]s, and log-bucketed
+//! [`Histogram`]s with quantile queries — plus RAII [`Span`] timers
+//! that nest per thread, and discrete [`event`]s with typed fields.
+//! Output goes through pluggable [`Sink`]s: a human-readable stderr
+//! progress reporter and a JSON-lines exporter ship in-crate.
+//!
+//! Everything is hand-rolled on `std`; there are no dependencies.
+//!
+//! ## Usage
+//!
+//! ```
+//! use ppm_telemetry as tel;
+//!
+//! tel::counter("sampling.discrepancy_evals").add(10);
+//! tel::gauge("rbf.selected_aicc").set(-41.2);
+//! {
+//!     let _span = tel::span("stage.sampling");
+//!     tel::event("lhs.selected", &[("score", 0.012.into())]);
+//! } // span duration recorded on drop
+//! ```
+//!
+//! ## Cost when idle
+//!
+//! Instruments are single atomics; with no sinks installed, events and
+//! span closings return after one relaxed atomic load. Call sites never
+//! need to be conditionally compiled out.
+
+mod json;
+mod registry;
+mod sink;
+mod span;
+
+pub use json::{json_string, Value};
+pub use registry::{Counter, Gauge, Histogram, MetricKind, MetricRecord, Registry};
+pub use sink::{BufferSink, JsonlSink, Record, Sink, StderrSink, Verbosity};
+pub use span::{current_depth, current_span, Span};
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static REGISTRY: Registry = Registry::new();
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static SINKS: Mutex<Vec<Box<dyn Sink>>> = Mutex::new(Vec::new());
+/// Mirrors `SINKS.len()` so the no-sink fast path skips the lock.
+static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// The global instrument registry.
+pub fn registry() -> &'static Registry {
+    &REGISTRY
+}
+
+/// The global counter named `name`. Hot paths should cache the handle.
+pub fn counter(name: &str) -> std::sync::Arc<Counter> {
+    REGISTRY.counter(name)
+}
+
+/// The global gauge named `name`.
+pub fn gauge(name: &str) -> std::sync::Arc<Gauge> {
+    REGISTRY.gauge(name)
+}
+
+/// The global histogram named `name`.
+pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {
+    REGISTRY.histogram(name)
+}
+
+/// Opens a global span named `name` (see [`Span::enter`]).
+pub fn span(name: &str) -> Span {
+    Span::enter(name)
+}
+
+/// Turns span/event collection on or off. Metrics handles keep
+/// working either way; disabled spans and events become no-ops.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span/event collection is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs a sink at the end of the dispatch order.
+pub fn add_sink(sink: Box<dyn Sink>) {
+    let mut sinks = SINKS.lock().expect("sink list poisoned");
+    sinks.push(sink);
+    SINK_COUNT.store(sinks.len(), Ordering::Release);
+}
+
+/// Removes every installed sink, flushing each first.
+pub fn clear_sinks() {
+    let mut sinks = SINKS.lock().expect("sink list poisoned");
+    for s in sinks.iter_mut() {
+        s.flush();
+    }
+    sinks.clear();
+    SINK_COUNT.store(0, Ordering::Release);
+}
+
+/// Flushes every installed sink (e.g. before process exit).
+pub fn flush_sinks() {
+    for s in SINKS.lock().expect("sink list poisoned").iter_mut() {
+        s.flush();
+    }
+}
+
+/// Sends a record to every sink whose verbosity admits it.
+pub(crate) fn dispatch(rec: &Record) {
+    if SINK_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    for s in SINKS.lock().expect("sink list poisoned").iter_mut() {
+        if rec.visible_at(s.verbosity()) {
+            s.record(rec);
+        }
+    }
+}
+
+/// Emits a discrete event with the given fields at the current span
+/// depth. No-op when telemetry is disabled.
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if !enabled() || SINK_COUNT.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    dispatch(&Record::Event {
+        name: name.to_string(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        depth: current_depth(),
+    });
+}
+
+/// Snapshots every instrument in the global registry and sends the
+/// resulting metric records to all sinks, then flushes.
+pub fn export_metrics() {
+    for m in REGISTRY.snapshot() {
+        dispatch(&Record::Metric(m));
+    }
+    flush_sinks();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that install global sinks.
+    static GLOBAL_SINK_TEST: Mutex<()> = Mutex::new(());
+
+    fn with_buffer<F: FnOnce()>(f: F) -> Vec<Record> {
+        let _guard = GLOBAL_SINK_TEST
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        clear_sinks();
+        let buf = BufferSink::new();
+        add_sink(Box::new(buf.clone()));
+        f();
+        clear_sinks();
+        buf.records()
+    }
+
+    #[test]
+    fn spans_close_in_nesting_order_with_parents() {
+        let records = with_buffer(|| {
+            let _outer = span("t.outer");
+            let _mid = span("t.mid");
+            let inner = span("t.inner");
+            drop(inner);
+        });
+        // Other tests may run concurrently on other threads; keep only
+        // this test's spans (span stacks are thread-local, so depth and
+        // parent are still ours alone).
+        let spans: Vec<(String, usize, Option<String>)> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span {
+                    name,
+                    depth,
+                    parent,
+                    ..
+                } if name.starts_with("t.") => Some((name.clone(), *depth, parent.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                ("t.inner".to_string(), 2, Some("t.mid".to_string())),
+                ("t.mid".to_string(), 1, Some("t.outer".to_string())),
+                ("t.outer".to_string(), 0, None),
+            ]
+        );
+    }
+
+    #[test]
+    fn span_durations_land_in_the_registry() {
+        {
+            let _s = span("reg_check");
+        }
+        let h = histogram("span.reg_check.us");
+        assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn events_carry_fields_and_depth() {
+        let records = with_buffer(|| {
+            let _s = span("t.evt_parent");
+            event("t.evt", &[("n", 3u64.into()), ("label", "a\"b".into())]);
+        });
+        let evt = records
+            .iter()
+            .find_map(|r| match r {
+                Record::Event {
+                    name,
+                    fields,
+                    depth,
+                } if name == "t.evt" => Some((fields.clone(), *depth)),
+                _ => None,
+            })
+            .expect("event captured");
+        assert_eq!(evt.1, 1);
+        assert_eq!(evt.0[0].0, "n");
+        assert_eq!(evt.0[0].1, Value::U64(3));
+        assert_eq!(evt.0[1].1, Value::Str("a\"b".to_string()));
+    }
+
+    #[test]
+    fn disabled_telemetry_emits_nothing() {
+        let records = with_buffer(|| {
+            set_enabled(false);
+            {
+                let _s = span("t.disabled");
+            }
+            event("t.disabled_evt", &[]);
+            set_enabled(true);
+        });
+        assert!(records.iter().all(|r| match r {
+            Record::Span { name, .. } => name != "t.disabled",
+            Record::Event { name, .. } => name != "t.disabled_evt",
+            Record::Metric(_) => true,
+        }));
+    }
+
+    #[test]
+    fn export_metrics_reaches_sinks() {
+        counter("t.export_counter").add(7);
+        let records = with_buffer(export_metrics);
+        assert!(records.iter().any(|r| matches!(
+            r,
+            Record::Metric(m) if m.name == "t.export_counter" && m.value == Some(7)
+        )));
+    }
+}

@@ -1,0 +1,339 @@
+//! Output sinks for telemetry records.
+//!
+//! A [`Sink`] receives discrete [`Record`]s — events, span closings, and
+//! metric snapshots — and renders them somewhere: human-readable
+//! progress on stderr ([`StderrSink`]), machine-readable JSON lines
+//! ([`JsonlSink`]), or an in-memory buffer for tests ([`BufferSink`]).
+//! Sinks are installed globally via [`crate::add_sink`] and invoked in
+//! installation order.
+
+use std::io::Write as IoWrite;
+use std::sync::{Arc, Mutex};
+
+use crate::json::{write_json_string, Value};
+use crate::registry::MetricRecord;
+
+/// How much a sink should say.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Nothing at all (successful runs are silent).
+    Quiet,
+    /// Coarse progress: stage-level spans and events.
+    Progress,
+    /// Everything, including nested spans.
+    Trace,
+}
+
+/// One telemetry record, as handed to sinks.
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// A discrete named occurrence with scalar fields.
+    Event {
+        /// Event name (dotted, e.g. `rbf.selected`).
+        name: String,
+        /// Ordered field list.
+        fields: Vec<(String, Value)>,
+        /// Nesting depth of the span stack at emission time.
+        depth: usize,
+    },
+    /// A span finished.
+    Span {
+        /// Span name (dotted, e.g. `stage.sampling`).
+        name: String,
+        /// Wall-clock duration in microseconds.
+        us: u64,
+        /// Nesting depth (0 = top level).
+        depth: usize,
+        /// Name of the enclosing span, if any.
+        parent: Option<String>,
+    },
+    /// A metric snapshot line (emitted at export time).
+    Metric(MetricRecord),
+}
+
+impl Record {
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        match self {
+            Record::Event {
+                name,
+                fields,
+                depth,
+            } => {
+                let mut s = String::with_capacity(64);
+                s.push_str("{\"t\":\"event\",\"name\":");
+                write_json_string(&mut s, name);
+                s.push_str(&format!(",\"depth\":{depth}"));
+                s.push_str(",\"fields\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    write_json_string(&mut s, k);
+                    s.push(':');
+                    v.write_json(&mut s);
+                }
+                s.push_str("}}");
+                s
+            }
+            Record::Span {
+                name,
+                us,
+                depth,
+                parent,
+            } => {
+                let mut s = String::with_capacity(64);
+                s.push_str("{\"t\":\"span\",\"name\":");
+                write_json_string(&mut s, name);
+                s.push_str(&format!(",\"us\":{us},\"depth\":{depth},\"parent\":"));
+                match parent {
+                    Some(p) => write_json_string(&mut s, p),
+                    None => s.push_str("null"),
+                }
+                s.push('}');
+                s
+            }
+            Record::Metric(m) => m.to_json_line(),
+        }
+    }
+
+    /// Renders the record as a human-readable progress line, or `None`
+    /// if this record kind has no human rendering (metric snapshots).
+    pub fn to_human_line(&self) -> Option<String> {
+        match self {
+            Record::Event {
+                name,
+                fields,
+                depth,
+            } => {
+                let mut s = format!("{:indent$}{name}", "", indent = depth * 2);
+                for (k, v) in fields {
+                    let mut vs = String::new();
+                    v.write_json(&mut vs);
+                    s.push_str(&format!(" {k}={vs}"));
+                }
+                Some(s)
+            }
+            Record::Span {
+                name, us, depth, ..
+            } => {
+                let ms = *us as f64 / 1000.0;
+                Some(format!(
+                    "{:indent$}{name} done in {ms:.1} ms",
+                    "",
+                    indent = depth * 2
+                ))
+            }
+            Record::Metric(_) => None,
+        }
+    }
+
+    /// Whether a sink at `v` should see this record.
+    pub fn visible_at(&self, v: Verbosity) -> bool {
+        match self {
+            Record::Metric(_) => v > Verbosity::Quiet,
+            Record::Event { depth, .. } | Record::Span { depth, .. } => match v {
+                Verbosity::Quiet => false,
+                Verbosity::Progress => *depth == 0,
+                Verbosity::Trace => true,
+            },
+        }
+    }
+}
+
+/// A destination for telemetry records.
+pub trait Sink: Send {
+    /// Handles one record. Filtering by verbosity happens *before*
+    /// this is called.
+    fn record(&mut self, rec: &Record);
+    /// The verbosity this sink wants.
+    fn verbosity(&self) -> Verbosity;
+    /// Flushes any buffered output.
+    fn flush(&mut self) {}
+}
+
+/// Human-readable progress lines on stderr.
+#[derive(Debug)]
+pub struct StderrSink {
+    verbosity: Verbosity,
+}
+
+impl StderrSink {
+    /// Creates a stderr reporter at the given verbosity.
+    pub fn new(verbosity: Verbosity) -> Self {
+        StderrSink { verbosity }
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&mut self, rec: &Record) {
+        if let Some(line) = rec.to_human_line() {
+            eprintln!("[ppm] {line}");
+        }
+    }
+
+    fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+}
+
+/// JSON-lines exporter writing to any `Write` (typically a file).
+pub struct JsonlSink<W: IoWrite + Send> {
+    writer: W,
+}
+
+impl<W: IoWrite + Send> JsonlSink<W> {
+    /// Creates a JSONL exporter over `writer`. Callers should wrap
+    /// files in a `BufWriter`.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+}
+
+impl<W: IoWrite + Send> Sink for JsonlSink<W> {
+    fn record(&mut self, rec: &Record) {
+        let _ = writeln!(self.writer, "{}", rec.to_json_line());
+    }
+
+    fn verbosity(&self) -> Verbosity {
+        // The JSONL file always gets the full trace; it exists to be
+        // filtered after the fact.
+        Verbosity::Trace
+    }
+
+    fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Captures records in memory; used by tests to assert on emissions.
+#[derive(Debug, Clone, Default)]
+pub struct BufferSink {
+    records: Arc<Mutex<Vec<Record>>>,
+}
+
+impl BufferSink {
+    /// Creates an empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clone of every record captured so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("buffer poisoned").clone()
+    }
+}
+
+impl Sink for BufferSink {
+    fn record(&mut self, rec: &Record) {
+        self.records
+            .lock()
+            .expect("buffer poisoned")
+            .push(rec.clone());
+    }
+
+    fn verbosity(&self) -> Verbosity {
+        Verbosity::Trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MetricKind, MetricRecord};
+
+    #[test]
+    fn event_records_serialize_with_escaped_fields() {
+        let rec = Record::Event {
+            name: "bench.loaded".to_string(),
+            fields: vec![
+                ("name".to_string(), Value::from("gcc \"O2\"\n")),
+                ("points".to_string(), Value::from(64u64)),
+                ("aicc".to_string(), Value::from(-12.5)),
+            ],
+            depth: 1,
+        };
+        assert_eq!(
+            rec.to_json_line(),
+            "{\"t\":\"event\",\"name\":\"bench.loaded\",\"depth\":1,\
+             \"fields\":{\"name\":\"gcc \\\"O2\\\"\\n\",\"points\":64,\"aicc\":-12.5}}"
+        );
+    }
+
+    #[test]
+    fn span_records_serialize_with_parent() {
+        let rec = Record::Span {
+            name: "stage.tree".to_string(),
+            us: 1500,
+            depth: 1,
+            parent: Some("build".to_string()),
+        };
+        assert_eq!(
+            rec.to_json_line(),
+            "{\"t\":\"span\",\"name\":\"stage.tree\",\"us\":1500,\"depth\":1,\"parent\":\"build\"}"
+        );
+        let top = Record::Span {
+            name: "build".to_string(),
+            us: 9000,
+            depth: 0,
+            parent: None,
+        };
+        assert!(top.to_json_line().ends_with("\"parent\":null}"));
+    }
+
+    #[test]
+    fn verbosity_filters_by_depth() {
+        let top = Record::Span {
+            name: "a".into(),
+            us: 1,
+            depth: 0,
+            parent: None,
+        };
+        let nested = Record::Span {
+            name: "b".into(),
+            us: 1,
+            depth: 2,
+            parent: Some("a".into()),
+        };
+        assert!(!top.visible_at(Verbosity::Quiet));
+        assert!(top.visible_at(Verbosity::Progress));
+        assert!(!nested.visible_at(Verbosity::Progress));
+        assert!(nested.visible_at(Verbosity::Trace));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&Record::Event {
+            name: "x".into(),
+            fields: vec![],
+            depth: 0,
+        });
+        sink.record(&Record::Metric(MetricRecord {
+            name: "c".into(),
+            kind: MetricKind::Counter,
+            value: Some(2),
+            gauge: None,
+            hist: None,
+        }));
+        let text = String::from_utf8(sink.writer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":\"event\""));
+        assert!(lines[1].starts_with("{\"t\":\"metric\""));
+    }
+
+    #[test]
+    fn human_lines_indent_by_depth() {
+        let rec = Record::Span {
+            name: "stage.rbf_train".into(),
+            us: 2500,
+            depth: 1,
+            parent: Some("build".into()),
+        };
+        assert_eq!(
+            rec.to_human_line().unwrap(),
+            "  stage.rbf_train done in 2.5 ms"
+        );
+    }
+}

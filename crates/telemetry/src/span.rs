@@ -1,0 +1,115 @@
+//! RAII wall-clock span timers with parent/child nesting.
+//!
+//! A [`Span`] measures the time between its creation and drop. Spans
+//! created while another span is alive on the same thread become its
+//! children: the closing record carries the nesting depth and parent
+//! name, and the human reporter indents accordingly.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::sink::Record;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The current nesting depth on this thread (number of open spans).
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// The name of the innermost open span on this thread, if any.
+pub fn current_span() -> Option<String> {
+    SPAN_STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// A running wall-clock timer, closed on drop.
+///
+/// When telemetry is disabled ([`crate::set_enabled`]) the constructor
+/// returns an inert span that records nothing, so instrumentation can
+/// stay in place unconditionally.
+#[derive(Debug)]
+pub struct Span {
+    name: Option<String>,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span named `name` and pushes it onto this thread's
+    /// span stack.
+    pub fn enter(name: &str) -> Self {
+        if !crate::enabled() {
+            return Span {
+                name: None,
+                start: Instant::now(),
+            };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+        Span {
+            name: Some(name.to_string()),
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else {
+            return;
+        };
+        let us = self.elapsed_us();
+        let (depth, parent) = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own entry; tolerate out-of-order drops by
+            // removing the deepest matching name.
+            if let Some(pos) = stack.iter().rposition(|n| n == &name) {
+                stack.remove(pos);
+            }
+            (stack.len(), stack.last().cloned())
+        });
+        crate::registry()
+            .histogram(&format!("span.{name}.us"))
+            .record(us);
+        crate::dispatch(&Record::Span {
+            name,
+            us,
+            depth,
+            parent,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_tracks_nesting() {
+        assert_eq!(current_depth(), 0);
+        let _a = Span::enter("outer");
+        assert_eq!(current_depth(), 1);
+        assert_eq!(current_span().as_deref(), Some("outer"));
+        {
+            let _b = Span::enter("inner");
+            assert_eq!(current_depth(), 2);
+            assert_eq!(current_span().as_deref(), Some("inner"));
+        }
+        assert_eq!(current_depth(), 1);
+        assert_eq!(current_span().as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let s = Span::enter("t");
+        let a = s.elapsed_us();
+        let b = s.elapsed_us();
+        assert!(b >= a);
+    }
+}

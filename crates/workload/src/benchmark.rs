@@ -89,10 +89,26 @@ impl Benchmark {
                 call_frac: 0.15,
                 blocks_per_fn: 10.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.33, sequential: 0.85 },
-                    MemRegion { size: 48 * KB, weight: 0.44, sequential: 0.65 },
-                    MemRegion { size: 768 * KB, weight: 0.13, sequential: 0.1 },
-                    MemRegion { size: 24 * MB, weight: 0.05, sequential: 0.05 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.33,
+                        sequential: 0.85,
+                    },
+                    MemRegion {
+                        size: 48 * KB,
+                        weight: 0.44,
+                        sequential: 0.65,
+                    },
+                    MemRegion {
+                        size: 768 * KB,
+                        weight: 0.13,
+                        sequential: 0.1,
+                    },
+                    MemRegion {
+                        size: 24 * MB,
+                        weight: 0.05,
+                        sequential: 0.05,
+                    },
                 ],
             },
             Benchmark::Crafty => Profile {
@@ -116,10 +132,26 @@ impl Benchmark {
                 call_frac: 0.22,
                 blocks_per_fn: 14.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.48, sequential: 0.9 },
-                    MemRegion { size: 32 * KB, weight: 0.49, sequential: 0.85 },
-                    MemRegion { size: 640 * KB, weight: 0.025, sequential: 0.5 },
-                    MemRegion { size: 2 * MB, weight: 0.005, sequential: 0.3 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.48,
+                        sequential: 0.9,
+                    },
+                    MemRegion {
+                        size: 32 * KB,
+                        weight: 0.49,
+                        sequential: 0.85,
+                    },
+                    MemRegion {
+                        size: 640 * KB,
+                        weight: 0.025,
+                        sequential: 0.5,
+                    },
+                    MemRegion {
+                        size: 2 * MB,
+                        weight: 0.005,
+                        sequential: 0.3,
+                    },
                 ],
             },
             Benchmark::Parser => Profile {
@@ -143,10 +175,26 @@ impl Benchmark {
                 call_frac: 0.2,
                 blocks_per_fn: 12.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.44, sequential: 0.88 },
-                    MemRegion { size: 32 * KB, weight: 0.47, sequential: 0.8 },
-                    MemRegion { size: 1 * MB, weight: 0.06, sequential: 0.3 },
-                    MemRegion { size: 8 * MB, weight: 0.03, sequential: 0.15 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.44,
+                        sequential: 0.88,
+                    },
+                    MemRegion {
+                        size: 32 * KB,
+                        weight: 0.47,
+                        sequential: 0.8,
+                    },
+                    MemRegion {
+                        size: MB,
+                        weight: 0.06,
+                        sequential: 0.3,
+                    },
+                    MemRegion {
+                        size: 8 * MB,
+                        weight: 0.03,
+                        sequential: 0.15,
+                    },
                 ],
             },
             Benchmark::Perlbmk => Profile {
@@ -170,10 +218,26 @@ impl Benchmark {
                 call_frac: 0.25,
                 blocks_per_fn: 12.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.46, sequential: 0.9 },
-                    MemRegion { size: 40 * KB, weight: 0.49, sequential: 0.82 },
-                    MemRegion { size: 1536 * KB, weight: 0.04, sequential: 0.5 },
-                    MemRegion { size: 4 * MB, weight: 0.01, sequential: 0.3 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.46,
+                        sequential: 0.9,
+                    },
+                    MemRegion {
+                        size: 40 * KB,
+                        weight: 0.49,
+                        sequential: 0.82,
+                    },
+                    MemRegion {
+                        size: 1536 * KB,
+                        weight: 0.04,
+                        sequential: 0.5,
+                    },
+                    MemRegion {
+                        size: 4 * MB,
+                        weight: 0.01,
+                        sequential: 0.3,
+                    },
                 ],
             },
             Benchmark::Vortex => Profile {
@@ -197,10 +261,26 @@ impl Benchmark {
                 call_frac: 0.25,
                 blocks_per_fn: 14.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.46, sequential: 0.9 },
-                    MemRegion { size: 48 * KB, weight: 0.5, sequential: 0.85 },
-                    MemRegion { size: 2 * MB, weight: 0.035, sequential: 0.5 },
-                    MemRegion { size: 6 * MB, weight: 0.005, sequential: 0.3 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.46,
+                        sequential: 0.9,
+                    },
+                    MemRegion {
+                        size: 48 * KB,
+                        weight: 0.5,
+                        sequential: 0.85,
+                    },
+                    MemRegion {
+                        size: 2 * MB,
+                        weight: 0.035,
+                        sequential: 0.5,
+                    },
+                    MemRegion {
+                        size: 6 * MB,
+                        weight: 0.005,
+                        sequential: 0.3,
+                    },
                 ],
             },
             Benchmark::Twolf => Profile {
@@ -224,10 +304,26 @@ impl Benchmark {
                 call_frac: 0.18,
                 blocks_per_fn: 12.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.42, sequential: 0.85 },
-                    MemRegion { size: 24 * KB, weight: 0.47, sequential: 0.75 },
-                    MemRegion { size: 1536 * KB, weight: 0.08, sequential: 0.2 },
-                    MemRegion { size: 3 * MB, weight: 0.01, sequential: 0.2 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.42,
+                        sequential: 0.85,
+                    },
+                    MemRegion {
+                        size: 24 * KB,
+                        weight: 0.47,
+                        sequential: 0.75,
+                    },
+                    MemRegion {
+                        size: 1536 * KB,
+                        weight: 0.08,
+                        sequential: 0.2,
+                    },
+                    MemRegion {
+                        size: 3 * MB,
+                        weight: 0.01,
+                        sequential: 0.2,
+                    },
                 ],
             },
             Benchmark::Equake => Profile {
@@ -251,9 +347,21 @@ impl Benchmark {
                 call_frac: 0.1,
                 blocks_per_fn: 16.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.33, sequential: 0.88 },
-                    MemRegion { size: 32 * KB, weight: 0.37, sequential: 0.7 },
-                    MemRegion { size: 8 * MB, weight: 0.3, sequential: 0.97 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.33,
+                        sequential: 0.88,
+                    },
+                    MemRegion {
+                        size: 32 * KB,
+                        weight: 0.37,
+                        sequential: 0.7,
+                    },
+                    MemRegion {
+                        size: 8 * MB,
+                        weight: 0.3,
+                        sequential: 0.97,
+                    },
                 ],
             },
             Benchmark::Ammp => Profile {
@@ -277,9 +385,21 @@ impl Benchmark {
                 call_frac: 0.1,
                 blocks_per_fn: 16.0,
                 regions: vec![
-                    MemRegion { size: 8 * KB, weight: 0.38, sequential: 0.88 },
-                    MemRegion { size: 48 * KB, weight: 0.42, sequential: 0.7 },
-                    MemRegion { size: 4 * MB, weight: 0.2, sequential: 0.9 },
+                    MemRegion {
+                        size: 8 * KB,
+                        weight: 0.38,
+                        sequential: 0.88,
+                    },
+                    MemRegion {
+                        size: 48 * KB,
+                        weight: 0.42,
+                        sequential: 0.7,
+                    },
+                    MemRegion {
+                        size: 4 * MB,
+                        weight: 0.2,
+                        sequential: 0.9,
+                    },
                 ],
             },
         }

@@ -114,6 +114,7 @@ impl TraceGenerator {
     /// Panics if the profile fails [`Profile::validate`].
     pub fn from_profile(profile: &Profile, seed: u64) -> Self {
         profile.validate();
+        ppm_telemetry::counter("workload.generators").inc();
         let mut structure = Rng::seed_from_u64(derive_seed(seed, 0));
         let walk = Rng::seed_from_u64(derive_seed(seed, 1));
 
@@ -271,7 +272,11 @@ fn build_cfg(profile: &Profile, rng: &mut Rng) -> Vec<Block> {
     let mut start = 0usize;
     while start < n {
         let size = (fn_size.sample(rng) as usize).clamp(3, n - start);
-        let size = if n - (start + size) < 3 { n - start } else { size };
+        let size = if n - (start + size) < 3 {
+            n - start
+        } else {
+            size
+        };
         fn_bounds.push((start, start + size - 1));
         start += size;
     }
@@ -374,8 +379,7 @@ mod tests {
             let profile = bench.profile();
             let n = 60_000;
             let trace: Vec<_> = TraceGenerator::new(bench, 3).take(n).collect();
-            let frac =
-                |op: Op| trace.iter().filter(|i| i.op == op).count() as f64 / n as f64;
+            let frac = |op: Op| trace.iter().filter(|i| i.op == op).count() as f64 / n as f64;
             let branches = frac(Op::Branch);
             // The call/return and loop structure length-biases block
             // visits, so allow a generous band around the static value.
@@ -420,7 +424,11 @@ mod tests {
         let pcs: std::collections::HashSet<u64> = gen.blocks.iter().map(|b| b.pc).collect();
         for i in gen.clone().take(10_000) {
             if i.op == Op::Branch && i.taken {
-                assert!(pcs.contains(&i.target), "target {:#x} is no block", i.target);
+                assert!(
+                    pcs.contains(&i.target),
+                    "target {:#x} is no block",
+                    i.target
+                );
             }
         }
     }
@@ -477,7 +485,11 @@ mod tests {
             "vortex active code only {} KB",
             vortex * 64 / 1024
         );
-        assert!(mcf * 64 < 12 * 1024, "mcf active code {} KB", mcf * 64 / 1024);
+        assert!(
+            mcf * 64 < 12 * 1024,
+            "mcf active code {} KB",
+            mcf * 64 / 1024
+        );
     }
 
     #[test]
@@ -546,10 +558,8 @@ mod tests {
             let trace = TraceGenerator::with_input(Benchmark::Twolf, input, 1).take(120_000);
             Processor::new(c).run(trace).cpi()
         };
-        let lg_swing =
-            run(crate::InputSet::MinneLgred, 20) - run(crate::InputSet::MinneLgred, 5);
-        let ref_swing =
-            run(crate::InputSet::Reference, 20) - run(crate::InputSet::Reference, 5);
+        let lg_swing = run(crate::InputSet::MinneLgred, 20) - run(crate::InputSet::MinneLgred, 5);
+        let ref_swing = run(crate::InputSet::Reference, 20) - run(crate::InputSet::Reference, 5);
         assert!(
             ref_swing > lg_swing,
             "reference inputs should amplify L2 sensitivity: {ref_swing} vs {lg_swing}"

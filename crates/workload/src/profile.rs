@@ -27,7 +27,13 @@ impl InstrMix {
     ///
     /// Panics if any fraction is negative or the sum exceeds 1.
     pub fn validate(&self) {
-        let parts = [self.load, self.store, self.int_mul, self.fp_alu, self.fp_mul];
+        let parts = [
+            self.load,
+            self.store,
+            self.int_mul,
+            self.fp_alu,
+            self.fp_mul,
+        ];
         assert!(
             parts.iter().all(|&f| (0.0..=1.0).contains(&f)),
             "mix fractions must be in [0, 1]"
@@ -100,18 +106,32 @@ impl Profile {
         self.mix.validate();
         assert!(self.dep_p > 0.0 && self.dep_p <= 1.0, "dep_p out of range");
         assert!((0.0..=1.0).contains(&self.two_src_frac));
-        assert!((0.0..=1.0).contains(&self.chase_frac), "chase_frac out of range");
+        assert!(
+            (0.0..=1.0).contains(&self.chase_frac),
+            "chase_frac out of range"
+        );
         assert!(self.code_blocks >= 4, "need at least 4 blocks");
-        assert!(self.block_len_mean >= 2.0, "blocks must average >= 2 instructions");
+        assert!(
+            self.block_len_mean >= 2.0,
+            "blocks must average >= 2 instructions"
+        );
         assert!((0.0..=1.0).contains(&self.branch_noise));
         assert!((0.0..=1.0).contains(&self.loop_back_prob));
         assert!(
-            self.loop_bias.0 > 0.5 && self.loop_bias.1 < 1.0 && self.loop_bias.0 <= self.loop_bias.1,
+            self.loop_bias.0 > 0.5
+                && self.loop_bias.1 < 1.0
+                && self.loop_bias.0 <= self.loop_bias.1,
             "loop_bias must be an increasing range within (0.5, 1)"
         );
         assert!((0.0..=1.0).contains(&self.hot_code_frac));
-        assert!((0.0..=0.5).contains(&self.call_frac), "call_frac out of range");
-        assert!(self.blocks_per_fn >= 3.0, "functions need >= 3 blocks on average");
+        assert!(
+            (0.0..=0.5).contains(&self.call_frac),
+            "call_frac out of range"
+        );
+        assert!(
+            self.blocks_per_fn >= 3.0,
+            "functions need >= 3 blocks on average"
+        );
         assert!(!self.regions.is_empty(), "need at least one data region");
         for r in &self.regions {
             assert!(r.size >= 64, "region smaller than a cache line");
@@ -198,9 +218,7 @@ mod tests {
 
     #[test]
     fn mcf_is_the_most_memory_hungry() {
-        let total = |b: Benchmark| -> u64 {
-            b.profile().regions.iter().map(|r| r.size).sum()
-        };
+        let total = |b: Benchmark| -> u64 { b.profile().regions.iter().map(|r| r.size).sum() };
         let mcf = total(Benchmark::Mcf);
         for b in Benchmark::all() {
             if b != Benchmark::Mcf {

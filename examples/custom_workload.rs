@@ -35,16 +35,29 @@ fn imdb_profile() -> Profile {
         call_frac: 0.18,
         blocks_per_fn: 12.0,
         regions: vec![
-            MemRegion { size: 8 * 1024, weight: 0.35, sequential: 0.85 },
-            MemRegion { size: 64 * 1024, weight: 0.40, sequential: 0.55 },
-            MemRegion { size: 16 * 1024 * 1024, weight: 0.25, sequential: 0.25 },
+            MemRegion {
+                size: 8 * 1024,
+                weight: 0.35,
+                sequential: 0.85,
+            },
+            MemRegion {
+                size: 64 * 1024,
+                weight: 0.40,
+                sequential: 0.55,
+            },
+            MemRegion {
+                size: 16 * 1024 * 1024,
+                weight: 0.25,
+                sequential: 0.25,
+            },
         ],
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = imdb_profile();
-    println!("custom workload: {} ({} KB code, {:.0}% loads)",
+    println!(
+        "custom workload: {} ({} KB code, {:.0}% loads)",
         profile.name,
         profile.code_footprint() / 1024,
         100.0 * profile.mix.load

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = Benchmark::Twolf;
 
     let mut models = Vec::new();
-    for (name, metric) in [("CPI", Metric::Cpi), ("EPI", Metric::Epi), ("EDP", Metric::Edp)] {
+    for (name, metric) in [
+        ("CPI", Metric::Cpi),
+        ("EPI", Metric::Epi),
+        ("EDP", Metric::Edp),
+    ] {
         let response = SimulatorResponse::new(bench, 80_000).with_metric(metric);
         println!("building the {name} model (60 simulations)...");
         let built =

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full offline verification gate for the ppm workspace.
+#
+# Runs the tier-1 gate (release build + tests) plus formatting and lint
+# checks. Requires no network access: the workspace has no external
+# dependencies (crates/bench is excluded and carries its own manifest).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all checks passed"

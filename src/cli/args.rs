@@ -58,7 +58,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 1] = ["--energy"];
+const SWITCHES: [&str; 3] = ["--energy", "--trace", "--quiet"];
 
 impl Parsed {
     /// Parses raw arguments (excluding the program name).
@@ -82,7 +82,9 @@ impl Parsed {
                 switches.push(arg);
                 continue;
             }
-            let value = iter.next().ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(arg.clone()))?;
             if values.insert(arg.clone(), value).is_some() {
                 return Err(ArgError::Duplicate(arg));
             }
@@ -183,7 +185,10 @@ mod tests {
             p.num("--rob", 0u32),
             Err(ArgError::BadValue { .. })
         ));
-        assert!(matches!(p.require("--out"), Err(ArgError::Required("--out"))));
+        assert!(matches!(
+            p.require("--out"),
+            Err(ArgError::Required("--out"))
+        ));
     }
 
     #[test]

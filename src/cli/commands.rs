@@ -109,8 +109,12 @@ fn unit_from(parsed: &Parsed, space: &DesignSpace) -> Result<Vec<f64>, CliError>
 }
 
 fn benchmarks(out: &mut dyn fmt::Write) -> Result<(), CliError> {
-    writeln!(out, "{:<14} {:>9} {:>8} {:>8}", "benchmark", "code_KB", "loads%", "branch%")
-        .map_err(msg)?;
+    writeln!(
+        out,
+        "{:<14} {:>9} {:>8} {:>8}",
+        "benchmark", "code_KB", "loads%", "branch%"
+    )
+    .map_err(msg)?;
     for b in Benchmark::all() {
         let p = b.profile();
         writeln!(
@@ -173,7 +177,15 @@ fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     let response = SimulatorResponse::new(bench, instructions)
         .with_seed(seed)
         .with_metric(metric);
-    writeln!(out, "simulating {sample} design points of {bench}...").map_err(msg)?;
+    ppm_telemetry::event(
+        "build.start",
+        &[
+            ("benchmark", bench.to_string().into()),
+            ("points", sample.into()),
+            ("instructions", instructions.into()),
+            ("metric", metric_name.into()),
+        ],
+    );
     let config = BuildConfig::default()
         .with_sample_size(sample)
         .with_seed(seed);
@@ -221,7 +233,13 @@ fn screen(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     let instructions: usize = parsed.num("--instructions", 100_000)?;
     let space = DesignSpace::paper_table1();
     let response = SimulatorResponse::new(bench, instructions);
-    writeln!(out, "running foldover Plackett-Burman screening (24 simulations)...").map_err(msg)?;
+    ppm_telemetry::event(
+        "screen.start",
+        &[
+            ("benchmark", bench.to_string().into()),
+            ("simulations", 24u64.into()),
+        ],
+    );
     let effects = pb_screening(&space, &response, 12, 1);
     writeln!(out, "{:<12} {:>12}", "parameter", "effect (CPI)").map_err(msg)?;
     for e in effects {
@@ -244,12 +262,16 @@ fn workload_info(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliErr
     writeln!(out, "branch fraction     {:.3}", stats.branch_frac).map_err(msg)?;
     writeln!(out, "mispredict rate     {:.4}", stats.mispredict_rate).map_err(msg)?;
     writeln!(out, "chained load frac   {:.3}", stats.chained_load_frac).map_err(msg)?;
-    writeln!(out, "dataflow ILP        {}", stats
-        .ilp_curve
-        .iter()
-        .map(|(w, i)| format!("{w}:{i:.2}"))
-        .collect::<Vec<_>>()
-        .join(" "))
+    writeln!(
+        out,
+        "dataflow ILP        {}",
+        stats
+            .ilp_curve
+            .iter()
+            .map(|(w, i)| format!("{w}:{i:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    )
     .map_err(msg)?;
     let fmt_mpi = |table: &std::collections::HashMap<u32, f64>| {
         let mut entries: Vec<_> = table.iter().collect();
@@ -331,13 +353,23 @@ mod tests {
     #[test]
     fn simulate_respects_config_flags() {
         let slow = run_cli(&[
-            "simulate", "--benchmark", "mcf", "--instructions", "20000",
-            "--l2-lat", "20",
+            "simulate",
+            "--benchmark",
+            "mcf",
+            "--instructions",
+            "20000",
+            "--l2-lat",
+            "20",
         ])
         .unwrap();
         let fast = run_cli(&[
-            "simulate", "--benchmark", "mcf", "--instructions", "20000",
-            "--l2-lat", "5",
+            "simulate",
+            "--benchmark",
+            "mcf",
+            "--instructions",
+            "20000",
+            "--l2-lat",
+            "5",
         ])
         .unwrap();
         let cpi = |s: &str| -> f64 {
@@ -357,8 +389,15 @@ mod tests {
         let model_path = dir.join("m.txt");
         let path = model_path.to_str().unwrap();
         let out = run_cli(&[
-            "build", "--benchmark", "ammp", "--out", path,
-            "--sample", "25", "--instructions", "15000",
+            "build",
+            "--benchmark",
+            "ammp",
+            "--out",
+            path,
+            "--sample",
+            "25",
+            "--instructions",
+            "15000",
         ])
         .unwrap();
         assert!(out.contains("centers"));
@@ -370,7 +409,11 @@ mod tests {
     #[test]
     fn workload_info_reports_characteristics() {
         let out = run_cli(&[
-            "workload-info", "--benchmark", "mcf", "--instructions", "20000",
+            "workload-info",
+            "--benchmark",
+            "mcf",
+            "--instructions",
+            "20000",
         ])
         .unwrap();
         assert!(out.contains("chained load frac"));
@@ -380,7 +423,11 @@ mod tests {
     #[test]
     fn firstorder_runs() {
         let out = run_cli(&[
-            "firstorder", "--benchmark", "twolf", "--instructions", "20000",
+            "firstorder",
+            "--benchmark",
+            "twolf",
+            "--instructions",
+            "20000",
         ])
         .unwrap();
         assert!(out.contains("first-order CPI"));
@@ -395,10 +442,7 @@ mod tests {
 
     #[test]
     fn invalid_config_is_reported() {
-        let err = run_cli(&[
-            "simulate", "--benchmark", "mcf", "--depth", "3",
-        ])
-        .unwrap_err();
+        let err = run_cli(&["simulate", "--benchmark", "mcf", "--depth", "3"]).unwrap_err();
         assert!(err.to_string().contains("pipe_depth"));
     }
 }

@@ -13,6 +13,11 @@
 //! machine): `--depth N --rob N --iq F --lsq F --l2-kb N --l2-lat N
 //! --il1-kb N --dl1-kb N --dl1-lat N`, plus `--instructions N` for the
 //! trace length and `--seed N`.
+//!
+//! Observability flags, accepted by every command: `--quiet` (no
+//! stderr progress), `--trace` (nested span tracing on stderr; the
+//! `PPM_TRACE` environment variable does the same), and
+//! `--metrics-out <file>` (JSON-lines telemetry export).
 
 mod args;
 mod commands;
@@ -51,4 +56,9 @@ OTHER FLAGS:
   --sample <n>        training sample size for `build` (default 90)
   --metric <cpi|epi|edp>  modeled metric for `build` (default cpi)
   --energy            also report the energy estimate (simulate)
+
+OBSERVABILITY FLAGS (any command):
+  --quiet             suppress progress output on stderr
+  --trace             nested span tracing on stderr (or set PPM_TRACE=1)
+  --metrics-out <f>   write spans, events, and metrics to <f> as JSON lines
 ";

@@ -1,8 +1,40 @@
 //! The `ppm` command-line tool. See `ppm help` or [`ppm::cli::USAGE`].
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
 use ppm::cli::{self, Parsed};
+use ppm_telemetry as tel;
+
+/// Installs telemetry sinks from `--quiet` / `--trace` / `--metrics-out`
+/// and the `PPM_TRACE` environment variable.
+///
+/// Precedence: `--quiet` silences the stderr reporter entirely;
+/// otherwise `--trace` (or a non-empty, non-`0` `PPM_TRACE`) selects
+/// full tracing and the default is stage-level progress. `--metrics-out`
+/// additionally writes every record as JSON lines to the given path.
+fn init_telemetry(parsed: &Parsed) -> Result<(), String> {
+    let env_trace = std::env::var("PPM_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    let verbosity = if parsed.switch("--quiet") {
+        tel::Verbosity::Quiet
+    } else if parsed.switch("--trace") || env_trace {
+        tel::Verbosity::Trace
+    } else {
+        tel::Verbosity::Progress
+    };
+    if verbosity > tel::Verbosity::Quiet {
+        tel::add_sink(Box::new(tel::StderrSink::new(verbosity)));
+    }
+    if let Some(path) = parsed.get("--metrics-out") {
+        let file =
+            File::create(path).map_err(|e| format!("cannot create metrics file {path}: {e}"))?;
+        tel::add_sink(Box::new(tel::JsonlSink::new(BufWriter::new(file))));
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,8 +45,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = init_telemetry(&parsed) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let mut out = String::new();
-    match cli::run(&parsed, &mut out) {
+    let result = cli::run(&parsed, &mut out);
+    tel::export_metrics();
+    tel::clear_sinks();
+    match result {
         Ok(()) => {
             print!("{out}");
             ExitCode::SUCCESS

@@ -82,11 +82,8 @@ fn facade_reexports_compose() {
     let y: Vec<f64> = design.iter().map(|p| 1.0 + p[0]).collect();
     let data = ppm::regtree::Dataset::new(design, y).expect("valid");
     let tree = ppm::regtree::RegressionTree::fit(&data, 2);
-    let result = ppm::rbf::select_centers(
-        &tree,
-        &data,
-        &ppm::rbf::SelectionConfig::with_alpha(6.0),
-    );
+    let result =
+        ppm::rbf::select_centers(&tree, &data, &ppm::rbf::SelectionConfig::with_alpha(6.0));
     assert!(result.network.num_centers() >= 1);
     let m = ppm::linalg::Matrix::identity(3);
     assert_eq!(m.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);

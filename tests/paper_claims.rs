@@ -22,7 +22,10 @@ fn discrepancy_curve_decreases_and_tapers() {
         scores.push(s);
     }
     for w in scores.windows(2) {
-        assert!(w[1] < w[0], "discrepancy should fall monotonically: {scores:?}");
+        assert!(
+            w[1] < w[0],
+            "discrepancy should fall monotonically: {scores:?}"
+        );
     }
     let early = scores[0] - scores[1];
     let late = scores[2] - scores[3];
@@ -83,10 +86,7 @@ fn mcf_splits_on_memory_parameters() {
     // Our mcf surrogate is more window-sensitive than the paper's (see
     // EXPERIMENTS.md), so we require memory parameters to be prominent
     // rather than to occupy every top slot.
-    let hits = splits
-        .iter()
-        .filter(|s| memory.contains(&s.param))
-        .count();
+    let hits = splits.iter().filter(|s| memory.contains(&s.param)).count();
     assert!(
         hits >= 1,
         "mcf's significant splits should feature memory parameters, got {:?}",
@@ -96,7 +96,10 @@ fn mcf_splits_on_memory_parameters() {
     let l2_rank = splits.iter().position(|s| s.param == "L2_lat");
     let depth_rank = splits.iter().position(|s| s.param == "pipe_depth");
     if let (Some(l2), Some(depth)) = (l2_rank, depth_rank) {
-        assert!(l2 < depth, "L2 latency should outrank pipeline depth for mcf");
+        assert!(
+            l2 < depth,
+            "L2 latency should outrank pipeline depth for mcf"
+        );
     }
 }
 

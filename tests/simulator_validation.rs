@@ -95,8 +95,8 @@ fn mispredict_penalty_matches_depth_arithmetic() {
     };
     let shallow = mk(7); // front depth 3
     let deep = mk(24); // front depth 20
-    // Each mispredict costs (front_depth + c) extra cycles; the rate is
-    // ~0.5, so the CPI difference is ~0.5 x 17 / 1 instruction.
+                       // Each mispredict costs (front_depth + c) extra cycles; the rate is
+                       // ~0.5, so the CPI difference is ~0.5 x 17 / 1 instruction.
     let diff = deep - shallow;
     assert!(
         (6.5..11.0).contains(&diff),
@@ -122,10 +122,8 @@ fn predictable_branches_are_free() {
 #[test]
 fn streaming_loads_overlap_their_misses() {
     let config = SimConfig::default();
-    let line_lat = (config.dl1_lat
-        + config.l2_lat
-        + config.fixed.mem_lat
-        + config.fixed.bus_per_line) as f64;
+    let line_lat =
+        (config.dl1_lat + config.l2_lat + config.fixed.mem_lat + config.fixed.bus_per_line) as f64;
     let lines_in_window = config.rob_size as f64 / 8.0; // 8 loads per line
     let latency_bound = line_lat / lines_in_window; // CPI if window-limited
     let bus_bound = config.fixed.bus_per_line as f64 / 8.0;
@@ -140,7 +138,10 @@ fn streaming_loads_overlap_their_misses() {
         "overlap missing: {got} vs window bound ~{latency_bound:.2}"
     );
     // And the MLP advantage over a fully serialized chain is large.
-    assert!(got * 10.0 < line_lat, "no MLP: {got} per load vs {line_lat} serial");
+    assert!(
+        got * 10.0 < line_lat,
+        "no MLP: {got} per load vs {line_lat} serial"
+    );
 }
 
 /// Full DRAM round trip for a dependent chain of missing loads:
@@ -148,8 +149,8 @@ fn streaming_loads_overlap_their_misses() {
 #[test]
 fn chained_misses_pay_the_full_memory_latency() {
     let config = SimConfig::default();
-    let full = (config.dl1_lat + config.l2_lat + config.fixed.mem_lat + config.fixed.bus_per_line)
-        as f64;
+    let full =
+        (config.dl1_lat + config.l2_lat + config.fixed.mem_lat + config.fixed.bus_per_line) as f64;
     // Each load depends on the previous and touches a fresh line.
     let trace = (0..3_000u64).map(|i| Instr::load(loop_pc(i), i * 64, 1, 0));
     let got = cpi(config, trace);
