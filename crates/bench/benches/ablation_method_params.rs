@@ -19,9 +19,9 @@ fn main() {
 
     let builder = RbfModelBuilder::new(space.clone(), scale.build_config(n));
     let (design, _) = builder.select_sample();
-    let responses = eval_batch(&response, &design, 1);
+    let responses = eval_batch(&response, &design, 1).expect("clean batch");
     let test = builder.test_points(&test_space, scale.test_points);
-    let actual = eval_batch(&response, &test, 1);
+    let actual = eval_batch(&response, &test, 1).expect("clean batch");
 
     let p_mins: &[usize] = &[1, 2, 4];
     let alphas: &[f64] = if scale.full {

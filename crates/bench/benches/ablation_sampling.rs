@@ -26,7 +26,7 @@ fn main() {
 
     let builder = RbfModelBuilder::new(space.clone(), scale.build_config(n));
     let test = builder.test_points(&test_space, scale.test_points);
-    let actual = eval_batch(&response, &test, 1);
+    let actual = eval_batch(&response, &test, 1).expect("clean batch");
 
     let mut report = Report::new(
         "ablation_sampling",
@@ -71,7 +71,7 @@ fn main() {
         for &seed in &seeds {
             let design = make(seed);
             disc_sum += l2_star(&design);
-            let responses = eval_batch(&response, &design, 1);
+            let responses = eval_batch(&response, &design, 1).expect("clean batch");
             let built = builder
                 .fit(design, responses, f64::NAN)
                 .expect("finite CPI responses");

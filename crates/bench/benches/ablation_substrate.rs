@@ -56,13 +56,14 @@ fn main() {
             };
             let trace = TraceGenerator::new(bench, 1).take(trace_len);
             Processor::new(config).run(trace).cpi()
-        });
+        })
+        .expect("non-zero dimension");
 
         let builder =
             RbfModelBuilder::new(space.clone(), scale.build_config(scale.final_sample));
         let built = builder.build(&response).expect("finite CPI responses");
         let test = builder.test_points(&test_space, scale.test_points);
-        let actual = eval_batch(&response, &test, 1);
+        let actual = eval_batch(&response, &test, 1).expect("clean batch");
         let stats = built.evaluate(&test, &actual);
         let mid = ppm_core::response::Response::eval(&response, &[0.5; 9]);
         report.row(vec![

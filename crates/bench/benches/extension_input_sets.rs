@@ -33,11 +33,12 @@ fn main() {
             let config = space_for_response.to_config(unit);
             let trace = TraceGenerator::with_input(bench, input, 1).take(trace_len);
             Processor::new(config).run(trace).cpi()
-        });
+        })
+        .expect("non-zero dimension");
         let builder =
             RbfModelBuilder::new(space.clone(), scale.build_config(scale.final_sample));
         let (design, _) = builder.select_sample();
-        let responses = eval_batch(&response, &design, 1);
+        let responses = eval_batch(&response, &design, 1).expect("clean batch");
         let splits = significant_splits(&space, &design, &responses, 1, 6).expect("valid");
         for (rank, s) in splits.iter().enumerate() {
             report.row(vec![

@@ -29,7 +29,7 @@ fn main() {
                 RbfModelBuilder::new(space.clone(), scale.build_config(scale.final_sample));
             let built = builder.build(&response).expect("finite responses");
             let test = builder.test_points(&test_space, scale.test_points);
-            let actual = eval_batch(&response, &test, 1);
+            let actual = eval_batch(&response, &test, 1).expect("clean batch");
             let stats = built.evaluate(&test, &actual);
             report.row(vec![
                 bench.to_string(),

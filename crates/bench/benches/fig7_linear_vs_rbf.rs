@@ -40,7 +40,7 @@ fn main() {
         let response = scale.response(bench);
         let probe = RbfModelBuilder::new(space.clone(), scale.build_config(30));
         let test = probe.test_points(&test_space, scale.test_points);
-        let actual = eval_batch(&response, &test, 1);
+        let actual = eval_batch(&response, &test, 1).expect("clean batch");
 
         for &n in &scale.sample_sizes {
             let builder = RbfModelBuilder::new(space.clone(), scale.build_config(n));

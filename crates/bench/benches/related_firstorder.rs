@@ -41,7 +41,7 @@ fn main() {
         let builder =
             RbfModelBuilder::new(space.clone(), scale.build_config(scale.final_sample));
         let test = builder.test_points(&test_space, scale.test_points);
-        let actual = eval_batch(&response, &test, 1);
+        let actual = eval_batch(&response, &test, 1).expect("clean batch");
 
         // First-order: one profiling pass, then analytic evaluation.
         let fo = FirstOrderModel::new(ProgramStats::collect(

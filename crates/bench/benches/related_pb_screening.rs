@@ -28,13 +28,13 @@ fn main() {
 
     for bench in [Benchmark::Mcf, Benchmark::Vortex] {
         let response = scale.response(bench);
-        let effects = pb_screening(&space, &response, 12, 1);
+        let effects = pb_screening(&space, &response, 12, 1).expect("supported PB design");
 
         // Tree ranking from a proper LHS sample for comparison.
         let builder =
             RbfModelBuilder::new(space.clone(), scale.build_config(scale.final_sample));
         let (design, _) = builder.select_sample();
-        let responses = eval_batch(&response, &design, 1);
+        let responses = eval_batch(&response, &design, 1).expect("clean batch");
         let splits =
             significant_splits(&space, &design, &responses, 1, usize::MAX).expect("valid");
         let tree_rank = |param: &str| -> String {

@@ -46,35 +46,49 @@ impl Default for AdaptiveConfig {
     }
 }
 
+impl AdaptiveConfig {
+    fn validate(&self) -> Result<(), BuildError> {
+        if self.initial_size < 2 {
+            return Err(BuildError::InvalidConfig(
+                "initial sample too small (need at least 2 points)".to_string(),
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err(BuildError::InvalidConfig(
+                "batch size must be positive".to_string(),
+            ));
+        }
+        if self.budget < self.initial_size {
+            return Err(BuildError::InvalidConfig(format!(
+                "budget {} below the initial sample size {}",
+                self.budget, self.initial_size
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Builds a model by adaptive refinement instead of a one-shot latin
 /// hypercube (see module docs).
 ///
 /// # Errors
 ///
-/// Returns [`BuildError::BadData`] if the response produces non-finite
-/// values.
-///
-/// # Panics
-///
-/// Panics if `initial_size < 2`, `batch_size == 0`, or
-/// `budget < initial_size`.
+/// Returns [`BuildError::InvalidConfig`] if `initial_size < 2`,
+/// `batch_size == 0`, or `budget < initial_size`;
+/// [`BuildError::ExcessiveFaults`] if a simulation batch fails; and
+/// [`BuildError::BadData`] if the sample cannot form a dataset.
 pub fn build_adaptive<R: Response>(
     space: &DesignSpace,
     response: &R,
     config: &AdaptiveConfig,
 ) -> Result<BuiltModel, BuildError> {
-    assert!(config.initial_size >= 2, "initial sample too small");
-    assert!(config.batch_size > 0, "batch size must be positive");
-    assert!(
-        config.budget >= config.initial_size,
-        "budget below the initial sample size"
-    );
+    config.validate()?;
     let mut rng = Rng::seed_from_u64(derive_seed(config.build.seed, 400));
 
     // Round 0: a small space-filling sample.
     let lhs = LatinHypercube::new(space.params(), config.initial_size);
     let mut design = lhs.best_of(config.build.lhs_candidates.max(1), &mut rng);
-    let mut responses = eval_batch(response, &design, config.build.threads);
+    let mut responses = eval_batch(response, &design, config.build.threads)?;
 
     let builder = RbfModelBuilder::new(space.clone(), config.build.clone());
     while design.len() < config.budget {
@@ -94,12 +108,12 @@ pub fn build_adaptive<R: Response>(
                 (disagreement, unit)
             })
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         let remaining = config.budget - design.len();
         let take = config.batch_size.min(remaining);
         let new_points: Vec<Vec<f64>> = scored.into_iter().take(take).map(|(_, p)| p).collect();
-        let new_responses = eval_batch(response, &new_points, config.build.threads);
+        let new_responses = eval_batch(response, &new_points, config.build.threads)?;
         design.extend(new_points);
         responses.extend(new_responses);
     }
@@ -118,6 +132,7 @@ mod tests {
             let d2: f64 = (0..3).map(|k| (x[k] - 0.8) * (x[k] - 0.8)).sum();
             2.0 + x[0] + 2.5 * (-d2 / 0.02).exp()
         })
+        .unwrap()
     }
 
     #[test]
@@ -162,14 +177,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "budget below")]
-    fn bad_budget_panics() {
+    fn bad_budget_is_a_typed_error() {
         let space = DesignSpace::paper_table1();
         let config = AdaptiveConfig {
             initial_size: 30,
             budget: 10,
             ..AdaptiveConfig::default()
         };
-        let _ = build_adaptive(&space, &bumpy(), &config);
+        let err = build_adaptive(&space, &bumpy(), &config).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
+        assert!(err.to_string().contains("budget 10 below"));
+    }
+
+    #[test]
+    fn zero_batch_size_is_a_typed_error() {
+        let space = DesignSpace::paper_table1();
+        let config = AdaptiveConfig {
+            batch_size: 0,
+            ..AdaptiveConfig::default()
+        };
+        let err = build_adaptive(&space, &bumpy(), &config).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
     }
 }

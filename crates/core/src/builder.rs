@@ -9,9 +9,11 @@ use ppm_rng::{derive_seed, Rng};
 use ppm_sampling::lhs::LatinHypercube;
 use ppm_sampling::random::random_design;
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::metrics::ErrorStats;
-use crate::response::{eval_batch, Response};
+use crate::response::Response;
 use crate::space::DesignSpace;
+use crate::supervise::{eval_batch_supervised, Quarantine, SupervisorPolicy};
 
 /// Errors from model building.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +29,22 @@ pub enum BuildError {
         /// The target (percent).
         target_pct: f64,
     },
+    /// A caller-supplied parameter was unusable (zero dimension, zero
+    /// threads, empty budget, ...).
+    InvalidConfig(String),
+    /// Too many design points were quarantined for the model to be
+    /// trustworthy (the graceful-degradation threshold was exceeded).
+    ExcessiveFaults {
+        /// Number of quarantined points.
+        quarantined: usize,
+        /// Batch size.
+        total: usize,
+        /// Evidence from the first quarantined point.
+        detail: String,
+    },
+    /// The checkpoint journal could not be read or written; the message
+    /// carries the rendered [`CheckpointError`].
+    Checkpoint(String),
 }
 
 impl fmt::Display for BuildError {
@@ -40,6 +58,16 @@ impl fmt::Display for BuildError {
                 f,
                 "accuracy target {target_pct}% not reached (best {best_mean_pct:.2}%)"
             ),
+            BuildError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BuildError::ExcessiveFaults {
+                quarantined,
+                total,
+                detail,
+            } => write!(
+                f,
+                "{quarantined} of {total} design points quarantined ({detail})"
+            ),
+            BuildError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
@@ -59,6 +87,12 @@ impl From<DatasetError> for BuildError {
     }
 }
 
+impl From<CheckpointError> for BuildError {
+    fn from(e: CheckpointError) -> Self {
+        BuildError::Checkpoint(e.to_string())
+    }
+}
+
 /// Configuration of the model-building procedure.
 #[derive(Debug, Clone)]
 pub struct BuildConfig {
@@ -73,6 +107,9 @@ pub struct BuildConfig {
     pub seed: u64,
     /// Worker threads for simulation.
     pub threads: usize,
+    /// Fault-tolerance policy for the simulation batches: retry budget,
+    /// backoff, and the quarantine threshold for graceful degradation.
+    pub supervisor: SupervisorPolicy,
 }
 
 impl Default for BuildConfig {
@@ -83,6 +120,7 @@ impl Default for BuildConfig {
             trainer: RbfTrainer::default(),
             seed: 1,
             threads: crate::response::default_threads(),
+            supervisor: SupervisorPolicy::default(),
         }
     }
 }
@@ -110,6 +148,12 @@ impl BuildConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the fault-tolerance policy.
+    pub fn with_supervisor(mut self, policy: SupervisorPolicy) -> Self {
+        self.supervisor = policy;
+        self
+    }
 }
 
 /// The outcome of one model build: the fitted network plus the sample it
@@ -118,12 +162,15 @@ impl BuildConfig {
 pub struct BuiltModel {
     /// The fitted RBF network with its method parameters.
     pub model: FittedRbf,
-    /// The training design (unit coordinates).
+    /// The training design (unit coordinates) — survivors only.
     pub design: Vec<Vec<f64>>,
     /// The simulated responses, aligned with `design`.
     pub responses: Vec<f64>,
     /// The L2-star discrepancy of the chosen sample.
     pub discrepancy: f64,
+    /// Design points dropped by the supervisor (empty for a clean
+    /// build). The model was trained without them.
+    pub quarantined: Vec<Quarantine>,
 }
 
 impl BuiltModel {
@@ -145,16 +192,16 @@ impl BuiltModel {
 /// # Examples
 ///
 /// ```
-/// use ppm_core::builder::{BuildConfig, RbfModelBuilder};
+/// use ppm_core::builder::{BuildConfig, BuildError, RbfModelBuilder};
 /// use ppm_core::response::FnResponse;
 /// use ppm_core::space::DesignSpace;
 ///
 /// let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
-/// let response = FnResponse::new(9, |x| 2.0 + x[0] * x[5]);
+/// let response = FnResponse::new(9, |x| 2.0 + x[0] * x[5])?;
 /// let built = builder.build(&response)?;
 /// let pred = built.predict(&[0.5; 9]);
 /// assert!(pred.is_finite());
-/// # Ok::<(), ppm_core::builder::BuildError>(())
+/// # Ok::<(), BuildError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct RbfModelBuilder {
@@ -187,16 +234,92 @@ impl RbfModelBuilder {
         lhs.best_of_with_score(self.config.lhs_candidates, &mut rng)
     }
 
-    /// Runs the full procedure: sample, simulate, fit (paper steps 1–4).
+    /// Runs the full procedure: sample, simulate under supervision, fit
+    /// (paper steps 1–4). Faulty points within the policy's quarantine
+    /// threshold are dropped and reported in
+    /// [`BuiltModel::quarantined`]; the model trains on the survivors.
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::BadData`] if the response produced
-    /// non-finite values.
+    /// Returns [`BuildError::ExcessiveFaults`] if too many points were
+    /// quarantined, or [`BuildError::BadData`] if the surviving sample
+    /// cannot form a dataset.
     pub fn build<R: Response>(&self, response: &R) -> Result<BuiltModel, BuildError> {
+        self.build_with_checkpoint(response, None)
+    }
+
+    /// Like [`RbfModelBuilder::build`], journaling every completed
+    /// simulation into `checkpoint` so an interrupted run can resume.
+    ///
+    /// Points already present in the journal are served from it without
+    /// re-simulation (emitting a `robust.resume` event). New results are
+    /// recorded and flushed atomically after the batch — including when
+    /// the batch then fails the quarantine threshold, so the completed
+    /// work survives the failure.
+    ///
+    /// Because sampling is deterministic in the seed, a resumed build
+    /// produces a model bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// As [`RbfModelBuilder::build`], plus [`BuildError::Checkpoint`]
+    /// if the journal cannot be flushed.
+    pub fn build_checkpointed<R: Response>(
+        &self,
+        response: &R,
+        checkpoint: &mut Checkpoint,
+    ) -> Result<BuiltModel, BuildError> {
+        self.build_with_checkpoint(response, Some(checkpoint))
+    }
+
+    fn build_with_checkpoint<R: Response>(
+        &self,
+        response: &R,
+        mut checkpoint: Option<&mut Checkpoint>,
+    ) -> Result<BuiltModel, BuildError> {
         let (design, discrepancy) = self.select_sample();
-        let responses = eval_batch(response, &design, self.config.threads);
-        self.fit(design, responses, discrepancy)
+        let precomputed: Vec<Option<f64>> = match checkpoint.as_deref() {
+            Some(cp) if !cp.is_empty() => {
+                let cached: Vec<Option<f64>> = design.iter().map(|p| cp.lookup(p)).collect();
+                let hits = cached.iter().filter(|v| v.is_some()).count();
+                if hits > 0 {
+                    ppm_telemetry::counter("robust.resumed").add(hits as u64);
+                    ppm_telemetry::event(
+                        "robust.resume",
+                        &[("cached", hits.into()), ("points", design.len().into())],
+                    );
+                }
+                cached
+            }
+            _ => Vec::new(),
+        };
+        // Run permissively so partial results reach the journal even
+        // when the batch will fail the quarantine threshold below.
+        let permissive = self
+            .config
+            .supervisor
+            .clone()
+            .with_max_quarantined_frac(1.0);
+        let outcome = eval_batch_supervised(
+            response,
+            &design,
+            self.config.threads,
+            &permissive,
+            &precomputed,
+        )?;
+        if let Some(cp) = checkpoint.take() {
+            for (p, v) in design.iter().zip(&outcome.values) {
+                if let Some(y) = v {
+                    cp.record(p, *y);
+                }
+            }
+            cp.flush()?;
+        }
+        outcome.check_threshold(&self.config.supervisor)?;
+        let (survivors, responses) = outcome.survivors(&design);
+        let mut built = self.fit(survivors, responses, discrepancy)?;
+        built.quarantined = outcome.quarantined;
+        Ok(built)
     }
 
     /// Fits a model to an existing simulated sample (useful when the
@@ -218,6 +341,7 @@ impl RbfModelBuilder {
             design,
             responses,
             discrepancy,
+            quarantined: Vec::new(),
         })
     }
 
@@ -244,13 +368,10 @@ impl RbfModelBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::TargetNotReached`] if even the largest
+    /// Returns [`BuildError::InvalidConfig`] if `sample_sizes` is
+    /// empty, [`BuildError::TargetNotReached`] if even the largest
     /// sample size misses the target, or [`BuildError::BadData`] on
     /// invalid responses.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sample_sizes` is empty.
     pub fn build_to_accuracy<R: Response>(
         &self,
         response: &R,
@@ -259,7 +380,11 @@ impl RbfModelBuilder {
         test_points: &[Vec<f64>],
         test_actual: &[f64],
     ) -> Result<(BuiltModel, ErrorStats), BuildError> {
-        assert!(!sample_sizes.is_empty(), "no sample sizes given");
+        if sample_sizes.is_empty() {
+            return Err(BuildError::InvalidConfig(
+                "no sample sizes given".to_string(),
+            ));
+        }
         let mut best: Option<(BuiltModel, ErrorStats)> = None;
         for &n in sample_sizes {
             ppm_telemetry::counter("build.escalations").inc();
@@ -299,12 +424,14 @@ mod tests {
         FnResponse::new(9, |x| {
             2.0 + 1.5 * x[0] + (2.0 * x[4]).exp() * 0.2 + x[5] * x[5] - 0.5 * x[5] * x[6]
         })
+        .unwrap()
     }
 
     #[test]
     fn build_produces_accurate_model_on_smooth_response() {
         let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(80));
         let built = builder.build(&smooth_response()).unwrap();
+        assert!(built.quarantined.is_empty());
         let test = builder.test_points(&DesignSpace::paper_table2(), 40);
         let actual: Vec<f64> = test.iter().map(|p| smooth_response().eval(p)).collect();
         let stats = built.evaluate(&test, &actual);
@@ -357,6 +484,35 @@ mod tests {
     }
 
     #[test]
+    fn build_degrades_gracefully_on_sparse_faults() {
+        // One specific point region yields NaN; everything else is fine.
+        let response = FnResponse::new(9, |x: &[f64]| {
+            if x[0] > 0.97 {
+                f64::NAN
+            } else {
+                2.0 + 1.5 * x[0] + x[5]
+            }
+        })
+        .unwrap();
+        let config = BuildConfig::quick(60)
+            .with_supervisor(SupervisorPolicy::default().with_max_quarantined_frac(0.2));
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), config);
+        let built = builder.build(&response).unwrap();
+        // An LHS of 60 points covers the faulty stratum at least once.
+        assert!(!built.quarantined.is_empty(), "fault region never sampled");
+        assert_eq!(built.design.len() + built.quarantined.len(), 60);
+        assert!(built.predict(&[0.5; 9]).is_finite());
+    }
+
+    #[test]
+    fn build_fails_typed_when_faults_exceed_threshold() {
+        let response = FnResponse::new(9, |_: &[f64]| f64::NAN).unwrap();
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(20));
+        let err = builder.build(&response).unwrap_err();
+        assert!(matches!(err, BuildError::ExcessiveFaults { .. }), "{err:?}");
+    }
+
+    #[test]
     fn build_to_accuracy_stops_at_first_adequate_size() {
         let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
         let response = smooth_response();
@@ -375,7 +531,8 @@ mod tests {
         // A response too rough to model with 20 points.
         let response = FnResponse::new(9, |x| {
             1.0 + (37.0 * x[0]).sin() + (53.0 * x[1]).cos() * (29.0 * x[2]).sin()
-        });
+        })
+        .unwrap();
         let test = builder.test_points(&DesignSpace::paper_table2(), 30);
         let actual: Vec<f64> = test.iter().map(|p| response.eval(p)).collect();
         let err = builder
@@ -383,5 +540,14 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, BuildError::TargetNotReached { .. }));
         assert!(err.to_string().contains("not reached"));
+    }
+
+    #[test]
+    fn build_to_accuracy_rejects_empty_budget() {
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(20));
+        let err = builder
+            .build_to_accuracy(&smooth_response(), &[], 5.0, &[], &[])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
     }
 }

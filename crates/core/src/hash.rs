@@ -1,0 +1,44 @@
+//! FNV-1a hashing shared by the checkpoint journal, the persisted model
+//! checksum, and the deterministic fault-injection harness.
+
+/// 64-bit FNV-1a over a byte slice.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over the bit patterns of a unit point, seeded — the stable
+/// per-point identity used to key checkpoints and fault decisions.
+pub(crate) fn hash_point(seed: u64, point: &[f64]) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + point.len() * 8);
+    bytes.extend_from_slice(&seed.to_le_bytes());
+    for &x in point {
+        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn point_hash_is_stable_and_seed_sensitive() {
+        let p = [0.25, 0.5, 0.75];
+        assert_eq!(hash_point(7, &p), hash_point(7, &p));
+        assert_ne!(hash_point(7, &p), hash_point(8, &p));
+        assert_ne!(hash_point(7, &p), hash_point(7, &[0.25, 0.5, 0.7500001]));
+    }
+}

@@ -33,26 +33,42 @@
 //! use ppm_core::space::DesignSpace;
 //!
 //! let space = DesignSpace::paper_table1();
-//! let response = FnResponse::new(9, |x| 1.0 + x[0] + (3.0 * x[4]).sin() * x[5]);
+//! let response = FnResponse::new(9, |x| 1.0 + x[0] + (3.0 * x[4]).sin() * x[5])?;
 //! let config = BuildConfig::quick(40);
 //! let built = RbfModelBuilder::new(space, config).build(&response)?;
 //! assert!(built.model.network.num_centers() >= 1);
 //! # Ok::<(), ppm_core::builder::BuildError>(())
 //! ```
+//!
+//! # Fault tolerance
+//!
+//! Simulation batches run under a supervised executor
+//! ([`supervise::eval_batch_supervised`]) that isolates panics,
+//! retries transient failures, and quarantines bad points; completed
+//! results can be journaled to a crash-safe [`checkpoint::Checkpoint`]
+//! and resumed without re-simulation. [`fault::FaultyResponse`] injects
+//! deterministic faults for testing these paths.
 
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod builder;
+pub mod checkpoint;
 pub mod crossval;
+pub mod fault;
+mod hash;
 pub mod metrics;
 pub mod persist;
 pub mod response;
 pub mod space;
 pub mod study;
+pub mod supervise;
 
 pub use adaptive::{build_adaptive, AdaptiveConfig};
 pub use builder::{BuildConfig, BuildError, BuiltModel, RbfModelBuilder};
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use fault::{FaultPlan, FaultyResponse, InjectedFault};
 pub use metrics::ErrorStats;
 pub use response::{FnResponse, Metric, Response, SimulatorResponse};
 pub use space::DesignSpace;
+pub use supervise::{eval_batch_supervised, BatchOutcome, Fault, Quarantine, SupervisorPolicy};

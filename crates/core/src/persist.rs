@@ -11,14 +11,23 @@
 //! centers 2
 //! rbf <c0..c8> | <r0..r8> | <weight>
 //! rbf ...
+//! checksum <fnv1a64 of everything above, 16 hex digits>
 //! ```
+//!
+//! The trailing checksum makes truncation and corruption detectable,
+//! and [`save`] writes through a sibling temp file renamed into place,
+//! so a crash mid-write can never leave a half-written model at the
+//! target path.
 
 use std::error::Error;
 use std::fmt;
 use std::fs;
+use std::io::Write as _;
 use std::path::Path;
 
 use ppm_rbf::{Rbf, RbfNetwork};
+
+use crate::hash::fnv1a64;
 
 /// Errors from reading or writing model files.
 #[derive(Debug)]
@@ -108,10 +117,14 @@ pub fn to_string(network: &RbfNetwork, meta: &[(String, String)]) -> String {
             fmt_vec(basis.radius())
         );
     }
+    let sum = fnv1a64(out.as_bytes());
+    let _ = writeln!(out, "checksum {sum:016x}");
     out
 }
 
-/// Writes a model file.
+/// Writes a model file crash-safely: the content goes to a sibling
+/// `.tmp` file, is synced, and is renamed over `path`, so an
+/// interrupted save can never leave a torn file at the target.
 ///
 /// # Errors
 ///
@@ -121,7 +134,15 @@ pub fn save(
     meta: &[(String, String)],
     path: &Path,
 ) -> Result<(), PersistError> {
-    fs::write(path, to_string(network, meta))?;
+    let mut tmp = path.to_path_buf();
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("model");
+    tmp.set_file_name(format!("{name}.tmp"));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(to_string(network, meta).as_bytes())?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
     Ok(())
 }
 
@@ -132,12 +153,31 @@ pub fn save(
 /// Returns [`PersistError::Format`] describing the first problem found.
 pub fn from_str(text: &str) -> Result<SavedModel, PersistError> {
     let bad = |msg: &str| PersistError::Format(msg.to_string());
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    match lines.next() {
+    match text.lines().find(|l| !l.trim().is_empty()) {
         Some("ppm-rbf-model v1") => {}
         Some(other) => return Err(bad(&format!("unknown header {other:?}"))),
         None => return Err(bad("empty file")),
     }
+    // The last line must be the checksum over everything before it.
+    let trimmed = text.trim_end();
+    let (body, sum_line) = match trimmed.rfind('\n') {
+        Some(idx) => (&trimmed[..idx + 1], &trimmed[idx + 1..]),
+        None => ("", trimmed),
+    };
+    let sum_hex = sum_line
+        .strip_prefix("checksum ")
+        .ok_or_else(|| bad("missing checksum line (file truncated?)"))?;
+    let expected = u64::from_str_radix(sum_hex.trim(), 16)
+        .map_err(|_| bad(&format!("bad checksum {sum_hex:?}")))?;
+    let actual = fnv1a64(body.as_bytes());
+    if actual != expected {
+        return Err(bad(&format!(
+            "checksum mismatch (stored {expected:016x}, computed {actual:016x}): \
+             file truncated or corrupted"
+        )));
+    }
+    let mut lines = body.lines().filter(|l| !l.trim().is_empty());
+    lines.next(); // the header, validated above
     let mut meta = Vec::new();
     let mut dim: Option<usize> = None;
     let mut centers: Option<usize> = None;
@@ -269,14 +309,76 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Appends a valid checksum line so tests can target payload-level
+    /// errors past the integrity check.
+    fn with_checksum(payload: &str) -> String {
+        let sum = fnv1a64(payload.as_bytes());
+        format!("{payload}checksum {sum:016x}\n")
+    }
+
     #[test]
     fn rejects_malformed_input() {
         assert!(from_str("").is_err());
         assert!(from_str("not a model").is_err());
-        assert!(from_str("ppm-rbf-model v1\ndim 2\ncenters 1\n").is_err());
-        assert!(from_str("ppm-rbf-model v1\ndim 2\ncenters 1\nrbf 0.5 | 0.5 | 1.0").is_err());
+        assert!(from_str(&with_checksum("ppm-rbf-model v1\ndim 2\ncenters 1\n")).is_err());
+        assert!(from_str(&with_checksum(
+            "ppm-rbf-model v1\ndim 2\ncenters 1\nrbf 0.5 | 0.5 | 1.0\n"
+        ))
+        .is_err());
         let err = from_str("ppm-rbf-model v2").unwrap_err();
         assert!(err.to_string().contains("unknown header"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = to_string(&network(), &[]);
+        // Drop the checksum line entirely: simulates a crash mid-write.
+        let cut = text.trim_end().rfind('\n').unwrap();
+        let err = from_str(&text[..cut]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // Drop an rbf line but keep the checksum: content mismatch.
+        let lines: Vec<&str> = text.lines().collect();
+        let dropped = [&lines[..4], &lines[lines.len() - 1..]].concat().join("\n");
+        let err = from_str(&dropped).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_flipped_checksum() {
+        let text = to_string(&network(), &[]);
+        let flipped = if text.trim_end().ends_with('0') {
+            format!("{}1\n", &text.trim_end()[..text.trim_end().len() - 1])
+        } else {
+            format!("{}0\n", &text.trim_end()[..text.trim_end().len() - 1])
+        };
+        let err = from_str(&flipped).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_corrupted_payload_byte() {
+        let text = to_string(&network(), &[("benchmark".into(), "mcf".into())]);
+        let corrupted = text.replacen("mcf", "mcg", 1);
+        let err = from_str(&corrupted).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_header_version() {
+        let err = from_str(&with_checksum("ppm-rbf-model v2\ndim 2\ncenters 0\n")).unwrap_err();
+        assert!(err.to_string().contains("unknown header"), "{err}");
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let dir = std::env::temp_dir().join("ppm_persist_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        save(&network(), &[], &path).unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("model.txt.tmp").exists());
+        load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

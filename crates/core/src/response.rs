@@ -4,7 +4,9 @@
 use ppm_sim::{estimate_energy, EnergyParams, Processor};
 use ppm_workload::{Benchmark, TraceGenerator};
 
+use crate::builder::BuildError;
 use crate::space::DesignSpace;
+use crate::supervise::{eval_batch_supervised, SupervisorPolicy};
 
 /// Which scalar a [`SimulatorResponse`] reports per design point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -29,6 +31,10 @@ pub enum Metric {
 /// Implementations must be deterministic: the same point always yields
 /// the same value. `Sync` is required so batches can be evaluated in
 /// parallel.
+///
+/// A faulty evaluation may panic or return a non-finite value; the
+/// supervised executor ([`crate::supervise`]) isolates both instead of
+/// letting them tear down the batch.
 pub trait Response: Sync {
     /// The dimensionality of the input space.
     fn dim(&self) -> usize;
@@ -43,6 +49,10 @@ pub trait Response: Sync {
 
 /// A response computed by running the cycle-level simulator on a
 /// benchmark trace (the paper's step 3).
+///
+/// Simulator failures (invalid derived config, degenerate CPI) surface
+/// as NaN from [`Response::eval`], which the supervised executor
+/// quarantines as [`crate::supervise::Fault::NonFinite`].
 ///
 /// # Examples
 ///
@@ -128,7 +138,9 @@ impl Response for SimulatorResponse {
         let trace = TraceGenerator::new(self.benchmark, self.seed).take(self.trace_len);
         let stats = Processor::new(config.clone()).run(trace);
         match self.metric {
-            Metric::Cpi => stats.cpi(),
+            // A degenerate CPI becomes NaN so the supervisor can
+            // quarantine the point instead of feeding it to the fit.
+            Metric::Cpi => stats.checked_cpi().unwrap_or(f64::NAN),
             Metric::Epi => estimate_energy(&stats, &config, &EnergyParams::default()).epi(),
             Metric::Edp => estimate_energy(&stats, &config, &EnergyParams::default()).edp(),
         }
@@ -144,12 +156,16 @@ pub struct FnResponse<F> {
 impl<F: Fn(&[f64]) -> f64 + Sync> FnResponse<F> {
     /// Wraps a closure as a response over a `dim`-dimensional unit cube.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dim == 0`.
-    pub fn new(dim: usize, f: F) -> Self {
-        assert!(dim > 0, "response needs at least one dimension");
-        FnResponse { dim, f }
+    /// Returns [`BuildError::InvalidConfig`] if `dim == 0`.
+    pub fn new(dim: usize, f: F) -> Result<Self, BuildError> {
+        if dim == 0 {
+            return Err(BuildError::InvalidConfig(
+                "response needs at least one dimension".to_string(),
+            ));
+        }
+        Ok(FnResponse { dim, f })
     }
 }
 
@@ -166,34 +182,24 @@ impl<F: Fn(&[f64]) -> f64 + Sync> Response for FnResponse<F> {
 /// Evaluates a response at many points, in parallel when `threads > 1`.
 ///
 /// Results are returned in input order regardless of thread count, and
-/// the computation is deterministic.
+/// the computation is deterministic. This is the strict façade over the
+/// supervised executor: any panic or non-finite value fails the whole
+/// batch as a typed error. Use
+/// [`eval_batch_supervised`](crate::supervise::eval_batch_supervised)
+/// directly for retries, quarantine, and checkpoint reuse.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `threads == 0`.
-pub fn eval_batch<R: Response>(response: &R, points: &[Vec<f64>], threads: usize) -> Vec<f64> {
-    assert!(threads > 0, "need at least one thread");
-    let _span = ppm_telemetry::span("stage.simulation");
-    ppm_telemetry::event(
-        "sim.batch",
-        &[("points", points.len().into()), ("threads", threads.into())],
-    );
-    if threads == 1 || points.len() <= 1 {
-        return points.iter().map(|p| response.eval(p)).collect();
-    }
-    let n = points.len();
-    let mut results = vec![0.0f64; n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        for (pts, out) in points.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            s.spawn(move || {
-                for (p, o) in pts.iter().zip(out.iter_mut()) {
-                    *o = response.eval(p);
-                }
-            });
-        }
-    });
-    results
+/// * [`BuildError::InvalidConfig`] if `threads == 0`.
+/// * [`BuildError::ExcessiveFaults`] if any evaluation panicked or
+///   returned a non-finite value.
+pub fn eval_batch<R: Response>(
+    response: &R,
+    points: &[Vec<f64>],
+    threads: usize,
+) -> Result<Vec<f64>, BuildError> {
+    eval_batch_supervised(response, points, threads, &SupervisorPolicy::strict(), &[])
+        .and_then(|outcome| outcome.into_values(points.len()))
 }
 
 /// The number of worker threads to use by default: the available
@@ -210,19 +216,34 @@ mod tests {
 
     #[test]
     fn fn_response_evaluates() {
-        let r = FnResponse::new(2, |x| x[0] + 2.0 * x[1]);
+        let r = FnResponse::new(2, |x| x[0] + 2.0 * x[1]).unwrap();
         assert_eq!(r.dim(), 2);
         assert_eq!(r.eval(&[0.5, 0.25]), 1.0);
     }
 
     #[test]
+    fn zero_dim_response_is_invalid_config() {
+        let Err(err) = FnResponse::new(0, |_: &[f64]| 0.0) else {
+            panic!("zero-dimension response must be rejected");
+        };
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
+    }
+
+    #[test]
     fn eval_batch_matches_serial_and_is_ordered() {
-        let r = FnResponse::new(3, |x| x[0] * 100.0 + x[1] * 10.0 + x[2]);
+        let r = FnResponse::new(3, |x| x[0] * 100.0 + x[1] * 10.0 + x[2]).unwrap();
         let points: Vec<Vec<f64>> = (0..37).map(|i| vec![i as f64 / 37.0, 0.5, 0.25]).collect();
-        let serial = eval_batch(&r, &points, 1);
-        let parallel = eval_batch(&r, &points, 8);
+        let serial = eval_batch(&r, &points, 1).unwrap();
+        let parallel = eval_batch(&r, &points, 8).unwrap();
         assert_eq!(serial, parallel);
         assert!(serial[0] < serial[36]);
+    }
+
+    #[test]
+    fn eval_batch_fails_on_faulty_point() {
+        let r = FnResponse::new(1, |x: &[f64]| if x[0] > 0.5 { f64::NAN } else { x[0] }).unwrap();
+        let err = eval_batch(&r, &[vec![0.2], vec![0.9]], 1).unwrap_err();
+        assert!(matches!(err, BuildError::ExcessiveFaults { .. }), "{err:?}");
     }
 
     #[test]
@@ -261,15 +282,15 @@ mod tests {
     fn batch_of_simulations_in_parallel() {
         let r = SimulatorResponse::new(ppm_workload::Benchmark::Ammp, 20_000);
         let points: Vec<Vec<f64>> = vec![vec![0.2; 9], vec![0.8; 9], vec![0.5; 9]];
-        let serial = eval_batch(&r, &points, 1);
-        let parallel = eval_batch(&r, &points, 3);
+        let serial = eval_batch(&r, &points, 1).unwrap();
+        let parallel = eval_batch(&r, &points, 3).unwrap();
         assert_eq!(serial, parallel);
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_panics() {
-        let r = FnResponse::new(1, |x| x[0]);
-        eval_batch(&r, &[vec![0.0]], 0);
+    fn zero_threads_is_a_typed_error() {
+        let r = FnResponse::new(1, |x: &[f64]| x[0]).unwrap();
+        let err = eval_batch(&r, &[vec![0.0]], 0).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
     }
 }

@@ -7,6 +7,7 @@ use ppm_regtree::{Dataset, DatasetError, RegressionTree};
 use ppm_rng::{derive_seed, Rng};
 use ppm_sampling::pb::PlackettBurman;
 
+use crate::builder::BuildError;
 use crate::response::{eval_batch, Response};
 use crate::space::{DesignSpace, PARAM_NAMES};
 
@@ -29,21 +30,28 @@ pub struct MainEffect {
 /// cost is `2 x runs` (the foldover doubles the design to de-alias
 /// main effects from two-factor interactions).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if no PB design exists for `runs` and the space's dimension.
+/// Returns [`BuildError::InvalidConfig`] if no PB design exists for
+/// `runs` and the space's dimension, and propagates batch failures
+/// from [`eval_batch`].
 pub fn pb_screening<R: Response>(
     space: &DesignSpace,
     response: &R,
     runs: usize,
     threads: usize,
-) -> Vec<MainEffect> {
+) -> Result<Vec<MainEffect>, BuildError> {
     let _span = ppm_telemetry::span("study.pb_screening");
     let design = PlackettBurman::new(runs, space.dim())
-        .unwrap_or_else(|| panic!("no PB design with {runs} runs for {} factors", space.dim()))
+        .ok_or_else(|| {
+            BuildError::InvalidConfig(format!(
+                "no PB design with {runs} runs for {} factors",
+                space.dim()
+            ))
+        })?
         .foldover();
     let points = design.unit_points();
-    let y = eval_batch(response, &points, threads);
+    let y = eval_batch(response, &points, threads)?;
     let signed = design.signed_points();
     let n = signed.len() as f64;
     let mut effects: Vec<MainEffect> = (0..space.dim())
@@ -62,13 +70,8 @@ pub fn pb_screening<R: Response>(
             }
         })
         .collect();
-    effects.sort_by(|a, b| {
-        b.effect
-            .abs()
-            .partial_cmp(&a.effect.abs())
-            .expect("finite effects")
-    });
-    effects
+    effects.sort_by(|a, b| b.effect.abs().total_cmp(&a.effect.abs()));
+    Ok(effects)
 }
 
 /// Fits the paper's §4.2 linear baseline (main effects + all two-factor
@@ -276,8 +279,8 @@ mod tests {
         let space = DesignSpace::paper_table1();
         // Response dominated by L2 latency (param 5), with smaller ROB
         // (param 1) and dl1_lat (param 8) effects.
-        let response = FnResponse::new(9, |x| 2.0 + 3.0 * x[5] + 1.0 * x[1] + 0.4 * x[8]);
-        let effects = pb_screening(&space, &response, 12, 1);
+        let response = FnResponse::new(9, |x| 2.0 + 3.0 * x[5] + 1.0 * x[1] + 0.4 * x[8]).unwrap();
+        let effects = pb_screening(&space, &response, 12, 1).unwrap();
         assert_eq!(effects.len(), 9);
         assert_eq!(effects[0].param, "L2_lat");
         assert_eq!(effects[1].param, "ROB_size");
@@ -297,8 +300,9 @@ mod tests {
         let response = FnResponse::new(9, |x| {
             // Centered product: zero main effects in +/- coding.
             1.0 + 4.0 * (x[0] - 0.5) * (x[1] - 0.5)
-        });
-        let effects = pb_screening(&space, &response, 12, 1);
+        })
+        .unwrap();
+        let effects = pb_screening(&space, &response, 12, 1).unwrap();
         for e in &effects {
             assert!(
                 e.effect.abs() < 0.5,
@@ -308,11 +312,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no PB design")]
-    fn unsupported_pb_runs_panic() {
+    fn unsupported_pb_runs_are_a_typed_error() {
         let space = DesignSpace::paper_table1();
-        let response = FnResponse::new(9, |x| x[0]);
-        pb_screening(&space, &response, 13, 1);
+        let response = FnResponse::new(9, |x| x[0]).unwrap();
+        let err = pb_screening(&space, &response, 13, 1).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
+        assert!(err.to_string().contains("no PB design"));
     }
 
     fn sample(n: usize, f: impl Fn(&[f64]) -> f64) -> (Vec<Vec<f64>>, Vec<f64>) {
@@ -395,7 +400,7 @@ mod tests {
     fn fn_response_consistency_with_grid() {
         // interaction_grid with a Response-backed closure.
         let space = DesignSpace::paper_table1();
-        let r = FnResponse::new(9, |x: &[f64]| x[4] + x[6]);
+        let r = FnResponse::new(9, |x: &[f64]| x[4] + x[6]).unwrap();
         let (_, _, grid) = interaction_grid(&space, |x| r.eval(x), 4, 6, &[0.0; 9], 100);
         assert_eq!(grid.len(), 6);
         assert!((grid[5][3] - 2.0).abs() < 1e-9);

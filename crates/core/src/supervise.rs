@@ -1,0 +1,466 @@
+//! Supervised batch execution: fault isolation, retries, and
+//! quarantine for design-point evaluations.
+//!
+//! Cycle-level simulation batches are the expensive, failure-prone
+//! resource of the whole pipeline (paper §1 step 3). A single panicking
+//! design point or a non-finite CPI must not destroy the batch: the
+//! supervisor isolates every evaluation with `catch_unwind`, retries
+//! panics up to a configurable budget with deterministic exponential
+//! backoff, and quarantines points that keep failing or that return a
+//! non-finite value. The caller receives a typed [`BatchOutcome`]
+//! describing exactly which points survived and why the rest did not.
+//!
+//! Telemetry: every retry emits a `robust.retry` event (counter
+//! `robust.retries`), every quarantine a `robust.quarantine` event
+//! (counter `robust.quarantined`), and every evaluated point increments
+//! `sim.batch_points` — the counter resume tests use to prove that
+//! checkpointed points are never re-simulated.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::builder::BuildError;
+use crate::response::Response;
+
+/// Why a design point was quarantined.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// The evaluation panicked; the payload message is kept.
+    Panic(String),
+    /// The evaluation returned a non-finite value (NaN or ±∞).
+    NonFinite(f64),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Panic(msg) => write!(f, "panicked: {msg}"),
+            Fault::NonFinite(v) => write!(f, "non-finite response {v}"),
+        }
+    }
+}
+
+/// A design point dropped from a batch, with the evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quarantine {
+    /// Index of the point in the input batch.
+    pub index: usize,
+    /// The unit design point itself.
+    pub point: Vec<f64>,
+    /// The last fault observed.
+    pub fault: Fault,
+    /// Total evaluation attempts made (1 + retries).
+    pub attempts: u32,
+}
+
+/// How the supervisor treats failing evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorPolicy {
+    /// Retries per point after the first attempt. Only panics are
+    /// retried: a deterministic response that returned NaN once will
+    /// return it again, so non-finite values quarantine immediately.
+    pub max_retries: u32,
+    /// Base backoff before retry `k` (sleeps `backoff * 2^(k-1)`;
+    /// deterministic, no jitter).
+    pub backoff: Duration,
+    /// Largest tolerated fraction of quarantined points in a batch.
+    /// Above this the batch fails with
+    /// [`BuildError::ExcessiveFaults`]; at or below it the survivors
+    /// are returned for graceful degradation.
+    pub max_quarantined_frac: f64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(0),
+            max_quarantined_frac: 0.1,
+        }
+    }
+}
+
+impl SupervisorPolicy {
+    /// The zero-tolerance policy: no retries, any fault fails the
+    /// batch. This is the behaviour of the plain
+    /// [`eval_batch`](crate::response::eval_batch) wrapper.
+    pub fn strict() -> Self {
+        SupervisorPolicy {
+            max_retries: 0,
+            backoff: Duration::from_millis(0),
+            max_quarantined_frac: 0.0,
+        }
+    }
+
+    /// Sets the retry budget.
+    pub fn with_max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the quarantine threshold as a fraction of the batch.
+    pub fn with_max_quarantined_frac(mut self, f: f64) -> Self {
+        self.max_quarantined_frac = f;
+        self
+    }
+}
+
+/// The outcome of a supervised batch: per-point values aligned with the
+/// input (`None` where quarantined), plus the quarantine report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One entry per input point; `None` marks a quarantined point.
+    pub values: Vec<Option<f64>>,
+    /// Quarantined points, in input order.
+    pub quarantined: Vec<Quarantine>,
+    /// Points actually evaluated by the response (excludes points
+    /// served from a checkpoint).
+    pub evaluated: usize,
+    /// Points whose value came from a checkpoint journal.
+    pub resumed: usize,
+}
+
+impl BatchOutcome {
+    /// Splits the surviving `(point, value)` pairs out of a batch.
+    pub fn survivors(&self, points: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut design = Vec::with_capacity(points.len());
+        let mut responses = Vec::with_capacity(points.len());
+        for (p, v) in points.iter().zip(&self.values) {
+            if let Some(y) = v {
+                design.push(p.clone());
+                responses.push(*y);
+            }
+        }
+        (design, responses)
+    }
+
+    /// Fails with [`BuildError::ExcessiveFaults`] if the quarantined
+    /// fraction of the batch exceeds `policy.max_quarantined_frac`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::ExcessiveFaults`] carrying the first quarantined
+    /// point's evidence.
+    pub fn check_threshold(&self, policy: &SupervisorPolicy) -> Result<(), BuildError> {
+        let n = self.values.len();
+        let frac = if n == 0 {
+            0.0
+        } else {
+            self.quarantined.len() as f64 / n as f64
+        };
+        if !self.quarantined.is_empty() && frac > policy.max_quarantined_frac {
+            let first = &self.quarantined[0];
+            return Err(BuildError::ExcessiveFaults {
+                quarantined: self.quarantined.len(),
+                total: n,
+                detail: format!("point {} {}", first.index, first.fault),
+            });
+        }
+        Ok(())
+    }
+
+    /// All values, or the first quarantine as a typed error — the
+    /// strict adapter used by [`crate::response::eval_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ExcessiveFaults`] if any point was
+    /// quarantined.
+    pub fn into_values(self, total: usize) -> Result<Vec<f64>, BuildError> {
+        if let Some(q) = self.quarantined.first() {
+            return Err(BuildError::ExcessiveFaults {
+                quarantined: self.quarantined.len(),
+                total,
+                detail: format!("point {} {}", q.index, q.fault),
+            });
+        }
+        Ok(self
+            .values
+            .into_iter()
+            .map(|v| v.unwrap_or(f64::NAN))
+            .collect())
+    }
+}
+
+/// One supervised evaluation: catch panics, retry with deterministic
+/// backoff, classify the result.
+fn supervised_eval<R: Response>(
+    response: &R,
+    index: usize,
+    point: &[f64],
+    policy: &SupervisorPolicy,
+) -> Result<f64, (Fault, u32)> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = catch_unwind(AssertUnwindSafe(|| response.eval(point)));
+        let fault = match result {
+            Ok(v) if v.is_finite() => return Ok(v),
+            Ok(v) => Fault::NonFinite(v),
+            Err(payload) => Fault::Panic(panic_message(payload.as_ref())),
+        };
+        let transient = matches!(fault, Fault::Panic(_));
+        if !transient || attempt > policy.max_retries {
+            return Err((fault, attempt));
+        }
+        ppm_telemetry::counter("robust.retries").inc();
+        ppm_telemetry::event(
+            "robust.retry",
+            &[
+                ("index", index.into()),
+                ("attempt", u64::from(attempt).into()),
+                ("fault", fault.to_string().into()),
+            ],
+        );
+        let backoff = policy.backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Evaluates a batch under supervision: faults are isolated per point,
+/// panics retried per `policy`, and persistent failures quarantined.
+/// Results are in input order and deterministic for a deterministic
+/// response, regardless of `threads`.
+///
+/// `precomputed` carries checkpoint hits: `Some(v)` entries are taken
+/// as-is (counted as `resumed`) and never re-evaluated. Pass `&[]` when
+/// no checkpoint is in play.
+///
+/// # Errors
+///
+/// * [`BuildError::InvalidConfig`] if `threads == 0` or `precomputed`
+///   is non-empty with a length different from `points`.
+/// * [`BuildError::ExcessiveFaults`] if the quarantined fraction
+///   exceeds `policy.max_quarantined_frac`.
+pub fn eval_batch_supervised<R: Response>(
+    response: &R,
+    points: &[Vec<f64>],
+    threads: usize,
+    policy: &SupervisorPolicy,
+    precomputed: &[Option<f64>],
+) -> Result<BatchOutcome, BuildError> {
+    if threads == 0 {
+        return Err(BuildError::InvalidConfig(
+            "need at least one worker thread".to_string(),
+        ));
+    }
+    if !precomputed.is_empty() && precomputed.len() != points.len() {
+        return Err(BuildError::InvalidConfig(format!(
+            "precomputed length {} does not match batch size {}",
+            precomputed.len(),
+            points.len()
+        )));
+    }
+    let _span = ppm_telemetry::span("stage.simulation");
+    let n = points.len();
+    let mut values: Vec<Option<f64>> = if precomputed.is_empty() {
+        vec![None; n]
+    } else {
+        precomputed.to_vec()
+    };
+    let resumed = values.iter().filter(|v| v.is_some()).count();
+    let todo: Vec<usize> = (0..n).filter(|&i| values[i].is_none()).collect();
+    ppm_telemetry::event(
+        "sim.batch",
+        &[
+            ("points", n.into()),
+            ("cached", resumed.into()),
+            ("threads", threads.into()),
+        ],
+    );
+    ppm_telemetry::counter("sim.batch_points").add(todo.len() as u64);
+
+    let quarantined: Mutex<Vec<Quarantine>> = Mutex::new(Vec::new());
+    let mut fresh: Vec<Option<f64>> = vec![None; todo.len()];
+    let workers = threads.min(todo.len().max(1));
+    if workers <= 1 {
+        for (slot, &i) in fresh.iter_mut().zip(&todo) {
+            run_one(response, i, &points[i], policy, slot, &quarantined);
+        }
+    } else {
+        let chunk = todo.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (idxs, out) in todo.chunks(chunk).zip(fresh.chunks_mut(chunk)) {
+                let quarantined = &quarantined;
+                s.spawn(move || {
+                    for (slot, &i) in out.iter_mut().zip(idxs) {
+                        run_one(response, i, &points[i], policy, slot, quarantined);
+                    }
+                });
+            }
+        });
+    }
+    for (&i, v) in todo.iter().zip(fresh) {
+        values[i] = v;
+    }
+    let mut quarantined = quarantined
+        .into_inner()
+        .unwrap_or_else(|poison| poison.into_inner());
+    quarantined.sort_by_key(|q| q.index);
+
+    let outcome = BatchOutcome {
+        evaluated: todo.len() - quarantined.len(),
+        resumed,
+        values,
+        quarantined,
+    };
+    outcome.check_threshold(policy)?;
+    Ok(outcome)
+}
+
+fn run_one<R: Response>(
+    response: &R,
+    index: usize,
+    point: &[f64],
+    policy: &SupervisorPolicy,
+    slot: &mut Option<f64>,
+    quarantined: &Mutex<Vec<Quarantine>>,
+) {
+    match supervised_eval(response, index, point, policy) {
+        Ok(v) => *slot = Some(v),
+        Err((fault, attempts)) => {
+            ppm_telemetry::counter("robust.quarantined").inc();
+            ppm_telemetry::event(
+                "robust.quarantine",
+                &[
+                    ("index", index.into()),
+                    ("attempts", u64::from(attempts).into()),
+                    ("fault", fault.to_string().into()),
+                ],
+            );
+            quarantined
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .push(Quarantine {
+                    index,
+                    point: point.to_vec(),
+                    fault,
+                    attempts,
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::FnResponse;
+
+    fn clean() -> FnResponse<impl Fn(&[f64]) -> f64 + Sync> {
+        FnResponse::new(2, |x| 1.0 + x[0] + 2.0 * x[1]).unwrap()
+    }
+
+    fn points(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / n as f64, 0.5]).collect()
+    }
+
+    #[test]
+    fn clean_batch_survives_fully_in_any_thread_count() {
+        let r = clean();
+        let pts = points(17);
+        let a = eval_batch_supervised(&r, &pts, 1, &SupervisorPolicy::default(), &[]).unwrap();
+        let b = eval_batch_supervised(&r, &pts, 8, &SupervisorPolicy::default(), &[]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.quarantined.is_empty());
+        assert_eq!(a.evaluated, 17);
+        assert_eq!(a.resumed, 0);
+        assert!(a.values.iter().all(|v| v.is_some()));
+    }
+
+    #[test]
+    fn nan_points_are_quarantined_without_retry() {
+        let r = FnResponse::new(1, |x: &[f64]| if x[0] > 0.5 { f64::NAN } else { x[0] }).unwrap();
+        let pts = vec![vec![0.2], vec![0.9], vec![0.4]];
+        let policy = SupervisorPolicy::default().with_max_quarantined_frac(0.5);
+        let out = eval_batch_supervised(&r, &pts, 1, &policy, &[]).unwrap();
+        assert_eq!(out.values, vec![Some(0.2), None, Some(0.4)]);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].index, 1);
+        assert_eq!(out.quarantined[0].attempts, 1, "NaN must not be retried");
+        assert!(matches!(out.quarantined[0].fault, Fault::NonFinite(_)));
+        let (d, y) = out.survivors(&pts);
+        assert_eq!(d, vec![vec![0.2], vec![0.4]]);
+        assert_eq!(y, vec![0.2, 0.4]);
+    }
+
+    #[test]
+    fn panics_are_isolated_and_reported() {
+        let r = FnResponse::new(1, |x: &[f64]| {
+            assert!(x[0] < 0.5, "injected failure");
+            x[0]
+        })
+        .unwrap();
+        let pts = vec![vec![0.1], vec![0.8]];
+        let policy = SupervisorPolicy::default().with_max_quarantined_frac(0.5);
+        let out = eval_batch_supervised(&r, &pts, 2, &policy, &[]).unwrap();
+        assert_eq!(out.values[0], Some(0.1));
+        assert_eq!(out.values[1], None);
+        assert_eq!(out.quarantined[0].attempts, 3, "2 retries + first try");
+        let msg = out.quarantined[0].fault.to_string();
+        assert!(msg.contains("injected failure"), "{msg}");
+    }
+
+    #[test]
+    fn threshold_breach_is_a_typed_error() {
+        let r = FnResponse::new(1, |_: &[f64]| f64::INFINITY).unwrap();
+        let err = eval_batch_supervised(&r, &points(4), 1, &SupervisorPolicy::default(), &[])
+            .unwrap_err();
+        match err {
+            BuildError::ExcessiveFaults {
+                quarantined, total, ..
+            } => {
+                assert_eq!(quarantined, 4);
+                assert_eq!(total, 4);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precomputed_entries_skip_evaluation() {
+        // A response that panics on everything: only the cached entries
+        // can succeed, proving nothing cached is re-evaluated.
+        let r = FnResponse::new(1, |_: &[f64]| panic!("must not be called")).unwrap();
+        let pts = vec![vec![0.1], vec![0.2]];
+        let pre = vec![Some(10.0), Some(20.0)];
+        let out = eval_batch_supervised(&r, &pts, 1, &SupervisorPolicy::strict(), &pre).unwrap();
+        assert_eq!(out.values, pre);
+        assert_eq!(out.resumed, 2);
+        assert_eq!(out.evaluated, 0);
+    }
+
+    #[test]
+    fn zero_threads_is_invalid_config() {
+        let err = eval_batch_supervised(&clean(), &points(2), 0, &SupervisorPolicy::default(), &[])
+            .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn mismatched_precomputed_is_invalid_config() {
+        let err = eval_batch_supervised(
+            &clean(),
+            &points(3),
+            1,
+            &SupervisorPolicy::default(),
+            &[None],
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig(_)));
+    }
+}

@@ -55,5 +55,5 @@ pub use energy::{estimate_energy, EnergyBreakdown, EnergyParams};
 pub use hierarchy::{AccessOutcome, Hierarchy};
 pub use memory::MemorySystem;
 pub use pipeline::Processor;
-pub use stats::SimStats;
+pub use stats::{validate_cpi, CpiError, SimStats};
 pub use trace::{BranchKind, Instr, Op, TraceSource};

@@ -16,7 +16,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
-use crate::{BranchPredictor, Hierarchy, Instr, Op, SimConfig, SimStats, TraceSource};
+use crate::{BranchPredictor, CpiError, Hierarchy, Instr, Op, SimConfig, SimStats, TraceSource};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EntryState {
@@ -119,6 +119,20 @@ impl Processor {
         stats.mispredicts = self.bpred.mispredictions;
         record_run_telemetry(&stats);
         stats
+    }
+
+    /// Like [`Processor::run`], but validates the headline metric at
+    /// the source: an empty, non-finite, or non-positive CPI is a
+    /// typed [`CpiError`] instead of a silent value a model could
+    /// train on.
+    ///
+    /// # Errors
+    ///
+    /// See [`CpiError`].
+    pub fn try_run(self, trace: impl TraceSource) -> Result<SimStats, CpiError> {
+        let stats = self.run(trace);
+        stats.checked_cpi()?;
+        Ok(stats)
     }
 }
 

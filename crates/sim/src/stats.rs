@@ -1,6 +1,50 @@
 //! Summary statistics of a simulation run.
 
+use std::error::Error;
+use std::fmt;
+
 use crate::CacheStats;
+
+/// Why a run's CPI is unusable as a modeling response.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CpiError {
+    /// No instructions were committed, so CPI is undefined.
+    NoInstructions,
+    /// The computed CPI is NaN or infinite.
+    NonFinite(f64),
+    /// The computed CPI is zero or negative — impossible for a real
+    /// run, so it signals a corrupted statistics block.
+    NonPositive(f64),
+}
+
+impl fmt::Display for CpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpiError::NoInstructions => write!(f, "no instructions committed"),
+            CpiError::NonFinite(v) => write!(f, "non-finite CPI {v}"),
+            CpiError::NonPositive(v) => write!(f, "non-positive CPI {v}"),
+        }
+    }
+}
+
+impl Error for CpiError {}
+
+/// Validates a CPI value at the source: finite and strictly positive.
+///
+/// # Errors
+///
+/// [`CpiError::NonFinite`] for NaN/±∞, [`CpiError::NonPositive`] for
+/// values ≤ 0.
+pub fn validate_cpi(cpi: f64) -> Result<f64, CpiError> {
+    if !cpi.is_finite() {
+        return Err(CpiError::NonFinite(cpi));
+    }
+    if cpi <= 0.0 {
+        return Err(CpiError::NonPositive(cpi));
+    }
+    Ok(cpi)
+}
 
 /// Statistics collected over a simulation run.
 ///
@@ -62,6 +106,20 @@ impl SimStats {
         self.cycles as f64 / self.instructions as f64
     }
 
+    /// Cycles per committed instruction, validated: errors instead of
+    /// panicking on an empty run, and rejects non-finite or
+    /// non-positive values instead of silently returning them.
+    ///
+    /// # Errors
+    ///
+    /// See [`CpiError`].
+    pub fn checked_cpi(&self) -> Result<f64, CpiError> {
+        if self.instructions == 0 {
+            return Err(CpiError::NoInstructions);
+        }
+        validate_cpi(self.cycles as f64 / self.instructions as f64)
+    }
+
     /// Instructions per cycle.
     ///
     /// # Panics
@@ -117,5 +175,60 @@ mod tests {
     #[should_panic(expected = "no instructions")]
     fn cpi_without_instructions_panics() {
         SimStats::default().cpi();
+    }
+
+    #[test]
+    fn checked_cpi_accepts_a_normal_run() {
+        let s = SimStats {
+            instructions: 100,
+            cycles: 250,
+            ..SimStats::default()
+        };
+        assert_eq!(s.checked_cpi(), Ok(2.5));
+    }
+
+    #[test]
+    fn checked_cpi_rejects_empty_run() {
+        assert_eq!(
+            SimStats::default().checked_cpi(),
+            Err(CpiError::NoInstructions)
+        );
+    }
+
+    #[test]
+    fn checked_cpi_rejects_zero_cycles() {
+        // Instructions without cycles would yield CPI 0 — corrupted.
+        let s = SimStats {
+            instructions: 100,
+            cycles: 0,
+            ..SimStats::default()
+        };
+        assert_eq!(s.checked_cpi(), Err(CpiError::NonPositive(0.0)));
+    }
+
+    #[test]
+    fn validate_cpi_rejects_nan() {
+        assert!(matches!(
+            validate_cpi(f64::NAN),
+            Err(CpiError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn validate_cpi_rejects_infinity() {
+        assert!(matches!(
+            validate_cpi(f64::INFINITY),
+            Err(CpiError::NonFinite(_))
+        ));
+    }
+
+    #[test]
+    fn validate_cpi_rejects_negative() {
+        assert_eq!(validate_cpi(-1.0), Err(CpiError::NonPositive(-1.0)));
+    }
+
+    #[test]
+    fn validate_cpi_accepts_positive_finite() {
+        assert_eq!(validate_cpi(0.75), Ok(0.75));
     }
 }

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Same test set for both.
         let test = builder.test_points(&test_space, 30);
-        let actual = eval_batch(&response, &test, 1);
+        let actual = eval_batch(&response, &test, 1)?;
         let rbf_stats = built.evaluate(&test, &actual);
         let lin_pred: Vec<f64> = test.iter().map(|p| linear.predict(p)).collect();
         let lin_stats = ErrorStats::from_predictions(&lin_pred, &actual);

@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config: SimConfig = space_for_response.to_config(unit);
         let trace = TraceGenerator::from_profile(&imdb_profile(), 1).take(80_000);
         Processor::new(config).run(trace).cpi()
-    });
+    })?;
 
     println!("building a CPI model from 60 simulations...");
     let built = RbfModelBuilder::new(space.clone(), BuildConfig::default().with_sample_size(60))

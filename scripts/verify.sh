@@ -14,8 +14,30 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== fault-injection suite =="
+cargo test -q --test fault_injection
+
 echo "== workspace tests =="
 cargo test -q --workspace
+
+echo "== panic-path grep gate (crates/core/src) =="
+# Fail if non-test code in ppm-core grows a new `.unwrap()` / `.expect(`
+# call site: library faults must surface as typed errors, not panics.
+# Test modules (everything from `#[cfg(test)]` down) are exempt, as is
+# anything matching scripts/unwrap_allowlist.txt.
+violations=$(
+  for f in crates/core/src/*.rs; do
+    awk -v file="$f" '/#\[cfg\(test\)\]/{exit} {print file":"FNR": "$0}' "$f"
+  done \
+    | grep -E '\.unwrap\(\)|\.expect\(' \
+    | grep -v -F -f <(grep -vE '^(#|$)' scripts/unwrap_allowlist.txt) \
+    || true
+)
+if [ -n "$violations" ]; then
+  echo "new unwrap/expect call sites in ppm-core (use typed errors, or allowlist):"
+  echo "$violations"
+  exit 1
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -58,7 +58,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 3] = ["--energy", "--trace", "--quiet"];
+const SWITCHES: [&str; 4] = ["--energy", "--trace", "--quiet", "--resume"];
 
 impl Parsed {
     /// Parses raw arguments (excluding the program name).

@@ -5,8 +5,9 @@ use std::fmt;
 use std::path::Path;
 use std::str::FromStr;
 
-use ppm_core::builder::{BuildConfig, RbfModelBuilder};
-use ppm_core::persist;
+use ppm_core::builder::{BuildConfig, BuildError, RbfModelBuilder};
+use ppm_core::checkpoint::{Checkpoint, CheckpointError};
+use ppm_core::persist::{self, PersistError};
 use ppm_core::response::{Metric, SimulatorResponse};
 use ppm_core::space::DesignSpace;
 use ppm_core::study::pb_screening;
@@ -16,20 +17,41 @@ use ppm_workload::{Benchmark, TraceGenerator};
 
 use crate::cli::args::{ArgError, Parsed};
 
-/// Errors surfaced to the CLI user.
+/// Errors surfaced to the CLI user, categorized so the process exit
+/// code tells scripts *what kind* of failure occurred.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum CliError {
-    /// Argument problems.
+    /// Argument problems (exit code 2).
     Args(ArgError),
-    /// Anything else, with a user-facing message.
+    /// Simulation or model-building faults (exit code 3).
+    Simulation(BuildError),
+    /// Model or checkpoint files that could not be read or written
+    /// (exit code 4).
+    Persistence(String),
+    /// Anything else, with a user-facing message (exit code 1).
     Message(String),
+}
+
+impl CliError {
+    /// The process exit code for this error category: usage errors 2,
+    /// simulation faults 3, persistence failures 4, everything else 1.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Args(_) => 2,
+            CliError::Simulation(_) => 3,
+            CliError::Persistence(_) => 4,
+            CliError::Message(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
+            CliError::Simulation(e) => write!(f, "{e}"),
+            CliError::Persistence(m) => f.write_str(m),
             CliError::Message(m) => f.write_str(m),
         }
     }
@@ -40,6 +62,29 @@ impl Error for CliError {}
 impl From<ArgError> for CliError {
     fn from(e: ArgError) -> Self {
         CliError::Args(e)
+    }
+}
+
+impl From<BuildError> for CliError {
+    fn from(e: BuildError) -> Self {
+        match e {
+            // Journal problems are persistence failures, not faults in
+            // the simulated pipeline.
+            BuildError::Checkpoint(msg) => CliError::Persistence(msg),
+            other => CliError::Simulation(other),
+        }
+    }
+}
+
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        CliError::Persistence(e.to_string())
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Persistence(e.to_string())
     }
 }
 
@@ -189,19 +234,44 @@ fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     let config = BuildConfig::default()
         .with_sample_size(sample)
         .with_seed(seed);
-    let built = RbfModelBuilder::new(space, config)
-        .build(&response)
-        .map_err(msg)?;
-    let meta = vec![
+    let builder = RbfModelBuilder::new(space, config);
+    // The run parameters the checkpoint must agree on: resuming with a
+    // different workload or sample would silently mix results.
+    let run_meta = vec![
         ("benchmark".to_string(), bench.to_string()),
         ("metric".to_string(), metric_name.to_string()),
         ("sample".to_string(), sample.to_string()),
         ("instructions".to_string(), instructions.to_string()),
         ("seed".to_string(), seed.to_string()),
-        ("p_min".to_string(), built.model.p_min.to_string()),
-        ("alpha".to_string(), built.model.alpha.to_string()),
     ];
-    persist::save(&built.model.network, &meta, Path::new(&out_path)).map_err(msg)?;
+    let built = if let Some(cp_path) = parsed.get("--checkpoint") {
+        let mut cp = if parsed.switch("--resume") && Path::new(cp_path).exists() {
+            let cp = Checkpoint::load(cp_path)?;
+            cp.verify_meta(&run_meta)?;
+            cp
+        } else {
+            Checkpoint::create(cp_path, &run_meta)
+        };
+        builder.build_checkpointed(&response, &mut cp)?
+    } else {
+        if parsed.switch("--resume") {
+            return Err(msg("--resume requires --checkpoint <path>"));
+        }
+        builder.build(&response)?
+    };
+    if !built.quarantined.is_empty() {
+        writeln!(
+            out,
+            "warning: {} of {} design points quarantined; model trained on survivors",
+            built.quarantined.len(),
+            built.quarantined.len() + built.design.len()
+        )
+        .map_err(msg)?;
+    }
+    let mut meta = run_meta;
+    meta.push(("p_min".to_string(), built.model.p_min.to_string()));
+    meta.push(("alpha".to_string(), built.model.alpha.to_string()));
+    persist::save(&built.model.network, &meta, Path::new(&out_path))?;
     writeln!(
         out,
         "model with {} centers (p_min={}, alpha={}) written to {}",
@@ -216,7 +286,7 @@ fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
 
 fn predict(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     let model_path = parsed.require("--model")?;
-    let saved = persist::load(Path::new(model_path)).map_err(msg)?;
+    let saved = persist::load(Path::new(model_path))?;
     let space = DesignSpace::paper_table1();
     let unit = unit_from(parsed, &space)?;
     let value = saved.network.predict(&unit);
@@ -240,7 +310,7 @@ fn screen(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
             ("simulations", 24u64.into()),
         ],
     );
-    let effects = pb_screening(&space, &response, 12, 1);
+    let effects = pb_screening(&space, &response, 12, 1)?;
     writeln!(out, "{:<12} {:>12}", "parameter", "effect (CPI)").map_err(msg)?;
     for e in effects {
         writeln!(out, "{:<12} {:>12.4}", e.param, e.effect).map_err(msg)?;
@@ -444,5 +514,97 @@ mod tests {
     fn invalid_config_is_reported() {
         let err = run_cli(&["simulate", "--benchmark", "mcf", "--depth", "3"]).unwrap_err();
         assert!(err.to_string().contains("pipe_depth"));
+    }
+
+    #[test]
+    fn build_with_checkpoint_then_resume() {
+        let dir = std::env::temp_dir().join("ppm_cli_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.txt");
+        let cp_path = dir.join("j.txt");
+        let model = model_path.to_str().unwrap();
+        let cp = cp_path.to_str().unwrap();
+        let base = [
+            "build",
+            "--benchmark",
+            "ammp",
+            "--out",
+            model,
+            "--sample",
+            "20",
+            "--instructions",
+            "10000",
+            "--checkpoint",
+            cp,
+        ];
+        run_cli(&base).unwrap();
+        let first = std::fs::read_to_string(&model_path).unwrap();
+        assert!(cp_path.exists(), "checkpoint journal not written");
+
+        // Resuming reuses the journal and reproduces the model exactly.
+        let mut resumed = base.to_vec();
+        resumed.push("--resume");
+        run_cli(&resumed).unwrap();
+        let second = std::fs::read_to_string(&model_path).unwrap();
+        assert_eq!(first, second, "resumed model differs");
+
+        // Resuming under different run parameters is a persistence
+        // error (exit code 4), not a silent mix of results.
+        let mut mismatched = resumed.clone();
+        mismatched[2] = "mcf";
+        let err = run_cli(&mismatched).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("different run"), "{err}");
+
+        std::fs::remove_file(&model_path).ok();
+        std::fs::remove_file(&cp_path).ok();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_an_error() {
+        let err = run_cli(&[
+            "build",
+            "--benchmark",
+            "mcf",
+            "--out",
+            "/dev/null",
+            "--resume",
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("--checkpoint"), "{err}");
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn exit_codes_follow_error_category() {
+        assert_eq!(CliError::Args(ArgError::MissingCommand).exit_code(), 2);
+        assert_eq!(
+            CliError::Simulation(BuildError::InvalidConfig("x".into())).exit_code(),
+            3
+        );
+        assert_eq!(CliError::Persistence("x".into()).exit_code(), 4);
+        assert_eq!(CliError::Message("x".into()).exit_code(), 1);
+        // The From impls route checkpoint trouble to the persistence
+        // category and everything else simulation-ward.
+        let e: CliError = BuildError::Checkpoint("bad".into()).into();
+        assert_eq!(e.exit_code(), 4);
+        let e: CliError = BuildError::ExcessiveFaults {
+            quarantined: 3,
+            total: 10,
+            detail: "x".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn predict_on_corrupt_model_is_a_persistence_error() {
+        let dir = std::env::temp_dir().join("ppm_cli_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "not a model\n").unwrap();
+        let err = run_cli(&["predict", "--model", path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -4,6 +4,7 @@
 //! ppm benchmarks                          list the workload surrogates
 //! ppm simulate  --benchmark mcf [config]  run one detailed simulation
 //! ppm build     --benchmark mcf --out m.txt [--sample 90] [--metric cpi]
+//!               [--checkpoint j.txt [--resume]]
 //! ppm predict   --model m.txt [config]    evaluate a saved model
 //! ppm screen    --benchmark mcf           Plackett-Burman screening
 //! ppm firstorder --benchmark mcf [config] analytical CPI estimate
@@ -56,6 +57,14 @@ OTHER FLAGS:
   --sample <n>        training sample size for `build` (default 90)
   --metric <cpi|epi|edp>  modeled metric for `build` (default cpi)
   --energy            also report the energy estimate (simulate)
+
+FAULT-TOLERANCE FLAGS (`build`):
+  --checkpoint <f>    journal completed simulations to <f> (crash-safe)
+  --resume            reuse results already in the checkpoint file
+
+EXIT CODES:
+  0 success    2 usage error    3 simulation fault    4 persistence failure
+  1 other errors
 
 OBSERVABILITY FLAGS (any command):
   --quiet             suppress progress output on stderr

@@ -42,7 +42,7 @@ fn main() -> ExitCode {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     if let Err(e) = init_telemetry(&parsed) {
@@ -61,7 +61,7 @@ fn main() -> ExitCode {
         Err(e) => {
             print!("{out}");
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -22,7 +22,7 @@ fn quick_build(bench: Benchmark) -> (RbfModelBuilder, SimulatorResponse, ppm::mo
 fn pipeline_builds_an_accurate_model_of_the_simulator() {
     let (builder, response, built) = quick_build(Benchmark::Crafty);
     let test = builder.test_points(&DesignSpace::paper_table2(), 12);
-    let actual = eval_batch(&response, &test, 1);
+    let actual = eval_batch(&response, &test, 1).expect("clean batch");
     let stats = built.evaluate(&test, &actual);
     // Reduced-scale accuracy band: the paper reaches ~3% at n=200; with
     // n=40 and short traces we accept anything clearly informative.
@@ -38,7 +38,7 @@ fn rbf_beats_the_linear_baseline_on_the_same_sample() {
     let (builder, response, built) = quick_build(Benchmark::Mcf);
     let linear = fit_linear_baseline(&built.design, &built.responses).expect("fits");
     let test = builder.test_points(&DesignSpace::paper_table2(), 12);
-    let actual = eval_batch(&response, &test, 1);
+    let actual = eval_batch(&response, &test, 1).expect("clean batch");
     let rbf = built.evaluate(&test, &actual);
     let lin_pred: Vec<f64> = test.iter().map(|p| linear.predict(p)).collect();
     let lin = ErrorStats::from_predictions(&lin_pred, &actual);

@@ -40,7 +40,8 @@ fn error_decreases_with_sample_size() {
     let space = DesignSpace::paper_table1();
     let response = FnResponse::new(9, |x| {
         1.0 + x[0] + 0.8 * (2.5 * x[4]).sin() + x[5] * x[5] + 0.4 * x[5] * x[6]
-    });
+    })
+    .expect("non-zero dimension");
     let probe = RbfModelBuilder::new(space.clone(), BuildConfig::quick(20));
     let test = probe.test_points(&DesignSpace::paper_table2(), 40);
     let actual: Vec<f64> = test.iter().map(|p| response.eval(p)).collect();
@@ -80,7 +81,7 @@ fn mcf_splits_on_memory_parameters() {
     let response = ppm::model::SimulatorResponse::new(Benchmark::Mcf, 40_000);
     let builder = RbfModelBuilder::new(space.clone(), BuildConfig::quick(60));
     let (design, _) = builder.select_sample();
-    let responses = eval_batch(&response, &design, 1);
+    let responses = eval_batch(&response, &design, 1).expect("clean batch");
     let splits = significant_splits(&space, &design, &responses, 1, 6).expect("valid");
     let memory = ["L2_lat", "L2_size", "dl1_lat", "dl1_size"];
     // Our mcf surrogate is more window-sensitive than the paper's (see
