@@ -19,7 +19,7 @@ fn main() {
 
     // One shared sample so only the criterion varies.
     let base_builder = RbfModelBuilder::new(space.clone(), scale.build_config(n));
-    let (design, disc) = base_builder.select_sample();
+    let (design, disc) = base_builder.select_sample().expect("valid sweep config");
     let responses = eval_batch(&response, &design, 1).expect("clean batch");
     let test = base_builder.test_points(&test_space, scale.test_points);
     let actual = eval_batch(&response, &test, 1).expect("clean batch");

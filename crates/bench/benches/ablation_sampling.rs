@@ -40,7 +40,9 @@ fn main() {
             "best-of-N LHS (paper)",
             Box::new(|seed| {
                 let mut rng = Rng::seed_from_u64(seed);
-                LatinHypercube::new(space.params(), n).best_of(scale.lhs_candidates, &mut rng)
+                LatinHypercube::new(space.params(), n)
+                    .best_of(scale.lhs_candidates, &mut rng)
+                    .expect("non-zero candidates")
             }),
         ),
         (

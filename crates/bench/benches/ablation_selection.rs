@@ -21,7 +21,7 @@ fn main() {
     let n = scale.final_sample;
 
     let builder = RbfModelBuilder::new(space.clone(), scale.build_config(n));
-    let (design, _) = builder.select_sample();
+    let (design, _) = builder.select_sample().expect("valid sweep config");
     let responses = eval_batch(&response, &design, 1).expect("clean batch");
     let test = builder.test_points(&test_space, scale.test_points);
     let actual = eval_batch(&response, &test, 1).expect("clean batch");

@@ -37,7 +37,7 @@ fn main() {
         .expect("non-zero dimension");
         let builder =
             RbfModelBuilder::new(space.clone(), scale.build_config(scale.final_sample));
-        let (design, _) = builder.select_sample();
+        let (design, _) = builder.select_sample().expect("valid sweep config");
         let responses = eval_batch(&response, &design, 1).expect("clean batch");
         let splits = significant_splits(&space, &design, &responses, 1, 6).expect("valid");
         for (rank, s) in splits.iter().enumerate() {

@@ -28,8 +28,9 @@ fn main() {
     let mut values = Vec::new();
     for &n in &sizes {
         let mut rng = Rng::seed_from_u64(42);
-        let (_, score) =
-            LatinHypercube::new(space.params(), n).best_of_with_score(scale.lhs_candidates, &mut rng);
+        let (_, score) = LatinHypercube::new(space.params(), n)
+            .best_of_with_score(scale.lhs_candidates, &mut rng)
+            .expect("non-zero candidates");
         let reduction = prev.map(|p| 100.0 * (p - score) / p).unwrap_or(0.0);
         report.row(vec![n.to_string(), fmt(score, 5), fmt(reduction, 1)]);
         prev = Some(score);

@@ -33,7 +33,7 @@ fn main() {
         // Tree ranking from a proper LHS sample for comparison.
         let builder =
             RbfModelBuilder::new(space.clone(), scale.build_config(scale.final_sample));
-        let (design, _) = builder.select_sample();
+        let (design, _) = builder.select_sample().expect("valid sweep config");
         let responses = eval_batch(&response, &design, 1).expect("clean batch");
         let splits =
             significant_splits(&space, &design, &responses, 1, usize::MAX).expect("valid");

@@ -86,8 +86,9 @@ pub fn build_adaptive<R: Response>(
     let mut rng = Rng::seed_from_u64(derive_seed(config.build.seed, 400));
 
     // Round 0: a small space-filling sample.
-    let lhs = LatinHypercube::new(space.params(), config.initial_size);
-    let mut design = lhs.best_of(config.build.lhs_candidates.max(1), &mut rng);
+    let lhs = LatinHypercube::new(space.params(), config.initial_size)
+        .with_threads(config.build.train_threads);
+    let mut design = lhs.best_of(config.build.lhs_candidates.max(1), &mut rng)?;
     let mut responses = eval_batch(response, &design, config.build.threads)?;
 
     let builder = RbfModelBuilder::new(space.clone(), config.build.clone());

@@ -3,10 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use ppm_rbf::{FittedRbf, RbfTrainer};
+use ppm_rbf::{FittedRbf, RbfTrainer, TrainError};
 use ppm_regtree::{Dataset, DatasetError};
 use ppm_rng::{derive_seed, Rng};
-use ppm_sampling::lhs::LatinHypercube;
+use ppm_sampling::lhs::{LatinHypercube, SampleError};
 use ppm_sampling::random::random_design;
 
 use crate::checkpoint::{Checkpoint, CheckpointError};
@@ -45,6 +45,10 @@ pub enum BuildError {
     /// The checkpoint journal could not be read or written; the message
     /// carries the rendered [`CheckpointError`].
     Checkpoint(String),
+    /// RBF training failed (empty parameter grid, zero threads).
+    Train(TrainError),
+    /// Sample selection failed (zero candidates, zero threads).
+    Sample(SampleError),
 }
 
 impl fmt::Display for BuildError {
@@ -68,6 +72,8 @@ impl fmt::Display for BuildError {
                 "{quarantined} of {total} design points quarantined ({detail})"
             ),
             BuildError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+            BuildError::Train(e) => write!(f, "training failed: {e}"),
+            BuildError::Sample(e) => write!(f, "sample selection failed: {e}"),
         }
     }
 }
@@ -76,8 +82,22 @@ impl Error for BuildError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             BuildError::BadData(e) => Some(e),
+            BuildError::Train(e) => Some(e),
+            BuildError::Sample(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<TrainError> for BuildError {
+    fn from(e: TrainError) -> Self {
+        BuildError::Train(e)
+    }
+}
+
+impl From<SampleError> for BuildError {
+    fn from(e: SampleError) -> Self {
+        BuildError::Sample(e)
     }
 }
 
@@ -107,6 +127,10 @@ pub struct BuildConfig {
     pub seed: u64,
     /// Worker threads for simulation.
     pub threads: usize,
+    /// Worker threads for the training-side hot paths (LHS candidate
+    /// sweep and the RBF grid search). The built model is byte-identical
+    /// for any value ≥ 1.
+    pub train_threads: usize,
     /// Fault-tolerance policy for the simulation batches: retry budget,
     /// backoff, and the quarantine threshold for graceful degradation.
     pub supervisor: SupervisorPolicy,
@@ -120,6 +144,7 @@ impl Default for BuildConfig {
             trainer: RbfTrainer::default(),
             seed: 1,
             threads: crate::response::default_threads(),
+            train_threads: ppm_exec::default_threads(),
             supervisor: SupervisorPolicy::default(),
         }
     }
@@ -152,6 +177,18 @@ impl BuildConfig {
     /// Sets the fault-tolerance policy.
     pub fn with_supervisor(mut self, policy: SupervisorPolicy) -> Self {
         self.supervisor = policy;
+        self
+    }
+
+    /// Sets the worker-thread count for the training-side hot paths.
+    pub fn with_train_threads(mut self, threads: usize) -> Self {
+        self.train_threads = threads;
+        self
+    }
+
+    /// Sets the latin-hypercube candidate pool size.
+    pub fn with_lhs_candidates(mut self, candidates: usize) -> Self {
+        self.lhs_candidates = candidates;
         self
     }
 }
@@ -227,11 +264,19 @@ impl RbfModelBuilder {
 
     /// Selects the training sample: the best of many latin hypercubes by
     /// L2-star discrepancy (paper steps 1–2). Returns the design and its
-    /// discrepancy.
-    pub fn select_sample(&self) -> (Vec<Vec<f64>>, f64) {
+    /// discrepancy. Candidates are scored over
+    /// [`BuildConfig::train_threads`] workers; the chosen design does
+    /// not depend on the thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Sample`] if `lhs_candidates` or
+    /// `train_threads` is zero.
+    pub fn select_sample(&self) -> Result<(Vec<Vec<f64>>, f64), BuildError> {
         let mut rng = Rng::seed_from_u64(derive_seed(self.config.seed, 100));
-        let lhs = LatinHypercube::new(self.space.params(), self.config.sample_size);
-        lhs.best_of_with_score(self.config.lhs_candidates, &mut rng)
+        let lhs = LatinHypercube::new(self.space.params(), self.config.sample_size)
+            .with_threads(self.config.train_threads);
+        Ok(lhs.best_of_with_score(self.config.lhs_candidates, &mut rng)?)
     }
 
     /// Runs the full procedure: sample, simulate under supervision, fit
@@ -277,7 +322,7 @@ impl RbfModelBuilder {
         response: &R,
         mut checkpoint: Option<&mut Checkpoint>,
     ) -> Result<BuiltModel, BuildError> {
-        let (design, discrepancy) = self.select_sample();
+        let (design, discrepancy) = self.select_sample()?;
         let precomputed: Vec<Option<f64>> = match checkpoint.as_deref() {
             Some(cp) if !cp.is_empty() => {
                 let cached: Vec<Option<f64>> = design.iter().map(|p| cp.lookup(p)).collect();
@@ -327,7 +372,8 @@ impl RbfModelBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`BuildError::BadData`] if the data are inconsistent.
+    /// Returns [`BuildError::BadData`] if the data are inconsistent, or
+    /// [`BuildError::Train`] if the training grid is unusable.
     pub fn fit(
         &self,
         design: Vec<Vec<f64>>,
@@ -335,7 +381,12 @@ impl RbfModelBuilder {
         discrepancy: f64,
     ) -> Result<BuiltModel, BuildError> {
         let data = Dataset::new(design.clone(), responses.clone())?;
-        let model = self.config.trainer.fit(&data);
+        let trainer = self
+            .config
+            .trainer
+            .clone()
+            .with_threads(self.config.train_threads);
+        let model = trainer.fit(&data)?;
         Ok(BuiltModel {
             model,
             design,
@@ -441,8 +492,8 @@ mod tests {
     #[test]
     fn sample_selection_is_deterministic_and_snapped() {
         let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(30));
-        let (a, da) = builder.select_sample();
-        let (b, db) = builder.select_sample();
+        let (a, da) = builder.select_sample().unwrap();
+        let (b, db) = builder.select_sample().unwrap();
         assert_eq!(a, b);
         assert_eq!(da, db);
         assert_eq!(a.len(), 30);
@@ -463,7 +514,7 @@ mod tests {
             DesignSpace::paper_table1(),
             BuildConfig::quick(30).with_seed(2),
         );
-        assert_ne!(b1.select_sample().0, b2.select_sample().0);
+        assert_ne!(b1.select_sample().unwrap().0, b2.select_sample().unwrap().0);
     }
 
     #[test]

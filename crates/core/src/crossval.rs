@@ -5,79 +5,195 @@
 //! that, cross-validation estimates the generalization error from the
 //! training sample alone: the sample is split into `k` folds, the model
 //! is refitted `k` times holding one fold out, and the held-out
-//! predictions are scored.
+//! predictions are scored. Fold refits are independent, so they fan out
+//! over [`CrossValidator::with_threads`] workers; held-out predictions
+//! are reassembled in fold order, so the statistics are byte-identical
+//! for every thread count.
 
-use ppm_rbf::RbfTrainer;
+use std::error::Error;
+use std::fmt;
+
+use ppm_exec::Executor;
+use ppm_rbf::{RbfTrainer, TrainError};
 use ppm_regtree::{Dataset, DatasetError};
 
 use crate::metrics::ErrorStats;
 
-/// Cross-validates an RBF trainer on a sample.
-///
-/// Returns error statistics over all held-out predictions (the same
-/// mean/max/std percentages as the paper's test-set metric).
-///
-/// # Errors
-///
-/// Returns a [`DatasetError`] if the sample is inconsistent.
-///
-/// # Panics
-///
-/// Panics if `k < 2` or `k` exceeds the number of points.
+/// Errors from cross-validation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrossValError {
+    /// The sample could not form a dataset.
+    Data(DatasetError),
+    /// A fold refit failed.
+    Train(TrainError),
+    /// The fold count was unusable for this sample.
+    BadFolds(String),
+}
+
+impl fmt::Display for CrossValError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossValError::Data(e) => write!(f, "invalid sample data: {e}"),
+            CrossValError::Train(e) => write!(f, "fold refit failed: {e}"),
+            CrossValError::BadFolds(msg) => write!(f, "bad fold count: {msg}"),
+        }
+    }
+}
+
+impl Error for CrossValError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CrossValError::Data(e) => Some(e),
+            CrossValError::Train(e) => Some(e),
+            CrossValError::BadFolds(_) => None,
+        }
+    }
+}
+
+impl From<DatasetError> for CrossValError {
+    fn from(e: DatasetError) -> Self {
+        CrossValError::Data(e)
+    }
+}
+
+impl From<TrainError> for CrossValError {
+    fn from(e: TrainError) -> Self {
+        CrossValError::Train(e)
+    }
+}
+
+/// K-fold cross-validation of an [`RbfTrainer`] with configurable fold
+/// parallelism.
 ///
 /// # Examples
 ///
 /// ```
-/// use ppm_core::crossval::cross_validate;
+/// use ppm_core::crossval::CrossValidator;
 /// use ppm_rbf::RbfTrainer;
 /// use ppm_rng::Rng;
 ///
 /// let mut rng = Rng::seed_from_u64(1);
 /// let points: Vec<Vec<f64>> = (0..40).map(|_| vec![rng.unit_f64(), rng.unit_f64()]).collect();
 /// let y: Vec<f64> = points.iter().map(|p| 1.0 + p[0] + p[1] * p[1]).collect();
-/// let stats = cross_validate(&RbfTrainer::quick(), &points, &y, 5)?;
+/// let stats = CrossValidator::new(RbfTrainer::quick(), 5).run(&points, &y)?;
 /// assert!(stats.mean_pct < 20.0);
-/// # Ok::<(), ppm_regtree::DatasetError>(())
+/// # Ok::<(), ppm_core::crossval::CrossValError>(())
 /// ```
+#[derive(Debug, Clone)]
+pub struct CrossValidator {
+    /// The trainer refitted on each fold's training split.
+    pub trainer: RbfTrainer,
+    /// Number of folds (k).
+    pub folds: usize,
+    /// Worker threads for the fold refits (results are identical for
+    /// any value ≥ 1).
+    pub threads: usize,
+}
+
+impl CrossValidator {
+    /// Creates a validator with the default worker-thread count
+    /// (`PPM_THREADS`-aware).
+    pub fn new(trainer: RbfTrainer, folds: usize) -> Self {
+        CrossValidator {
+            trainer,
+            folds,
+            threads: ppm_exec::default_threads(),
+        }
+    }
+
+    /// Sets the worker-thread count for the fold refits.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the cross-validation, returning error statistics over all
+    /// held-out predictions (the same mean/max/std percentages as the
+    /// paper's test-set metric).
+    ///
+    /// # Errors
+    ///
+    /// * [`CrossValError::BadFolds`] if `folds < 2`, `folds` exceeds
+    ///   the sample size, or `threads == 0`.
+    /// * [`CrossValError::Data`] if the sample is inconsistent.
+    /// * [`CrossValError::Train`] if a fold refit fails.
+    pub fn run(&self, design: &[Vec<f64>], responses: &[f64]) -> Result<ErrorStats, CrossValError> {
+        let k = self.folds;
+        if k < 2 {
+            return Err(CrossValError::BadFolds(
+                "cross-validation needs at least 2 folds".to_string(),
+            ));
+        }
+        if k > design.len() {
+            return Err(CrossValError::BadFolds(format!(
+                "more folds ({k}) than points ({})",
+                design.len()
+            )));
+        }
+        let exec = Executor::new(self.threads)
+            .map_err(|_| CrossValError::BadFolds("zero worker threads".to_string()))?;
+        // Validate the whole sample up front for consistent errors.
+        Dataset::new(design.to_vec(), responses.to_vec())?;
+        let _span = ppm_telemetry::span("stage.crossval");
+
+        // A fold's held-out indices and its predictions for them.
+        type FoldResult = Result<(Vec<usize>, Vec<f64>), TrainError>;
+
+        let n = design.len();
+        // Each fold refits independently; fold index fully determines
+        // the train/test split (deterministic striping: point i belongs
+        // to fold i mod k).
+        let fold_results: Vec<FoldResult> = exec.map("crossval", k, |fold| {
+            let mut train_x = Vec::new();
+            let mut train_y = Vec::new();
+            let mut test_idx = Vec::new();
+            for i in 0..n {
+                if i % k == fold {
+                    test_idx.push(i);
+                } else {
+                    train_x.push(design[i].clone());
+                    train_y.push(responses[i]);
+                }
+            }
+            let data = Dataset::new(train_x, train_y)
+                .unwrap_or_else(|e| unreachable!("validated above: {e}"));
+            let fitted = self.trainer.fit(&data)?;
+            ppm_telemetry::counter("crossval.folds").inc();
+            let predictions = test_idx
+                .iter()
+                .map(|&i| fitted.network.predict(&design[i]))
+                .collect();
+            Ok((test_idx, predictions))
+        });
+
+        // Reassemble in fold order — exactly the serial loop's order.
+        let mut predicted = Vec::with_capacity(n);
+        let mut actual = Vec::with_capacity(n);
+        for fold in fold_results {
+            let (test_idx, predictions) = fold?;
+            for (i, pred) in test_idx.into_iter().zip(predictions) {
+                predicted.push(pred);
+                actual.push(responses[i]);
+            }
+        }
+        Ok(ErrorStats::from_predictions(&predicted, &actual))
+    }
+}
+
+/// Cross-validates an RBF trainer on a sample with `k` folds — the
+/// functional shorthand for [`CrossValidator`] at default parallelism.
+///
+/// # Errors
+///
+/// See [`CrossValidator::run`].
 pub fn cross_validate(
     trainer: &RbfTrainer,
     design: &[Vec<f64>],
     responses: &[f64],
     k: usize,
-) -> Result<ErrorStats, DatasetError> {
-    assert!(k >= 2, "cross-validation needs at least 2 folds");
-    assert!(
-        k <= design.len(),
-        "more folds ({k}) than points ({})",
-        design.len()
-    );
-    // Validate the whole sample up front for consistent errors.
-    Dataset::new(design.to_vec(), responses.to_vec())?;
-
-    let n = design.len();
-    let mut predicted = Vec::with_capacity(n);
-    let mut actual = Vec::with_capacity(n);
-    for fold in 0..k {
-        // Deterministic striped folds: index i belongs to fold i mod k.
-        let mut train_x = Vec::new();
-        let mut train_y = Vec::new();
-        let mut test_idx = Vec::new();
-        for i in 0..n {
-            if i % k == fold {
-                test_idx.push(i);
-            } else {
-                train_x.push(design[i].clone());
-                train_y.push(responses[i]);
-            }
-        }
-        let data = Dataset::new(train_x, train_y)?;
-        let fitted = trainer.fit(&data);
-        for i in test_idx {
-            predicted.push(fitted.network.predict(&design[i]));
-            actual.push(responses[i]);
-        }
-    }
-    Ok(ErrorStats::from_predictions(&predicted, &actual))
+) -> Result<ErrorStats, CrossValError> {
+    CrossValidator::new(trainer.clone(), k).run(design, responses)
 }
 
 #[cfg(test)]
@@ -120,6 +236,22 @@ mod tests {
     }
 
     #[test]
+    fn cv_is_identical_across_thread_counts() {
+        let (pts, y) = sample(30);
+        let reference = CrossValidator::new(RbfTrainer::quick(), 5)
+            .with_threads(1)
+            .run(&pts, &y)
+            .unwrap();
+        for threads in [2, 8] {
+            let got = CrossValidator::new(RbfTrainer::quick(), 5)
+                .with_threads(threads)
+                .run(&pts, &y)
+                .unwrap();
+            assert_eq!(reference, got, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn harder_function_has_higher_cv_error() {
         let mut rng = Rng::seed_from_u64(8);
         let pts: Vec<Vec<f64>> = (0..50)
@@ -137,16 +269,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 2 folds")]
-    fn one_fold_panics() {
+    fn one_fold_is_a_typed_error() {
         let (pts, y) = sample(10);
-        let _ = cross_validate(&RbfTrainer::quick(), &pts, &y, 1);
+        let err = cross_validate(&RbfTrainer::quick(), &pts, &y, 1).unwrap_err();
+        assert!(matches!(err, CrossValError::BadFolds(_)));
+        assert!(err.to_string().contains("at least 2 folds"));
     }
 
     #[test]
-    #[should_panic(expected = "more folds")]
-    fn too_many_folds_panics() {
+    fn too_many_folds_is_a_typed_error() {
         let (pts, y) = sample(5);
-        let _ = cross_validate(&RbfTrainer::quick(), &pts, &y, 10);
+        let err = cross_validate(&RbfTrainer::quick(), &pts, &y, 10).unwrap_err();
+        assert!(matches!(err, CrossValError::BadFolds(_)));
+        assert!(err.to_string().contains("more folds"));
+    }
+
+    #[test]
+    fn broken_trainer_surfaces_a_train_error() {
+        let (pts, y) = sample(10);
+        let trainer = RbfTrainer {
+            p_min_candidates: vec![],
+            ..RbfTrainer::default()
+        };
+        let err = cross_validate(&trainer, &pts, &y, 2).unwrap_err();
+        assert_eq!(err, CrossValError::Train(TrainError::EmptyGrid("p_min")));
     }
 }

@@ -1,0 +1,240 @@
+//! The deterministic index-sharded executor.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Errors from constructing an [`Executor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A zero-worker pool cannot make progress.
+    ZeroThreads,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ZeroThreads => write!(f, "need at least one worker thread"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// A deterministic parallel executor: scoped worker threads over an
+/// index-sharded work queue with ordered result collection.
+///
+/// [`Executor::map`] evaluates a pure-per-index function at every index
+/// in `0..n` and returns the results in index order. Workers claim
+/// chunks of indices from a shared atomic cursor (so load balances
+/// dynamically), but because each task depends only on its index and
+/// results land in index-ordered slots, the output is byte-identical
+/// for every thread count — including 1.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_exec::Executor;
+///
+/// let serial = Executor::new(1)?.map("doc", 100, |i| (i as f64).sqrt());
+/// let parallel = Executor::new(8)?.map("doc", 100, |i| (i as f64).sqrt());
+/// assert_eq!(serial, parallel);
+/// # Ok::<(), ppm_exec::ExecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// Creates an executor with `threads` workers (capped at
+    /// [`crate::MAX_THREADS`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::ZeroThreads`] if `threads == 0`.
+    pub fn new(threads: usize) -> Result<Self, ExecError> {
+        if threads == 0 {
+            return Err(ExecError::ZeroThreads);
+        }
+        Ok(Executor {
+            threads: threads.min(crate::MAX_THREADS),
+        })
+    }
+
+    /// The single-threaded executor (always valid).
+    pub fn single() -> Self {
+        Executor { threads: 1 }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates `f(i)` for every `i` in `0..n`, in parallel when the
+    /// executor has more than one worker, returning results in index
+    /// order.
+    ///
+    /// `f` must be a pure function of its index (derive any randomness
+    /// from the index, never from shared mutable state); under that
+    /// contract the result is identical for every thread count. A
+    /// panicking task propagates after all workers join, matching the
+    /// serial behaviour of a panicking loop body.
+    ///
+    /// `label` names the stage in telemetry: wall-clock lands in the
+    /// gauge `exec.<label>.ms`.
+    pub fn map<T, F>(&self, label: &str, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let start = Instant::now();
+        let workers = self.threads.min(n.max(1));
+        ppm_telemetry::counter("exec.tasks").add(n as u64);
+        ppm_telemetry::gauge("exec.workers").set(workers as f64);
+        let out = if workers <= 1 {
+            (0..n).map(f).collect()
+        } else {
+            map_parallel(workers, n, &f)
+        };
+        ppm_telemetry::gauge(&format!("exec.{label}.ms")).set(start.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+}
+
+/// The parallel path: workers claim chunks of indices from a shared
+/// cursor, collect `(index, value)` pairs, and the results are placed
+/// into index-ordered slots after the scope joins.
+fn map_parallel<T, F>(workers: usize, n: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    // Chunks small enough to balance load, large enough to amortize the
+    // cursor contention; `fair` is each worker's proportional share,
+    // used only for the steal counter.
+    let chunk = (n / (workers * 4)).max(1);
+    let fair = n.div_ceil(workers);
+    let cursor = AtomicUsize::new(0);
+
+    let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut got: Vec<(usize, T)> = Vec::new();
+                    let mut claimed = 0usize;
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= n {
+                            if claimed == 0 {
+                                ppm_telemetry::counter("exec.idle").inc();
+                            }
+                            break;
+                        }
+                        if claimed >= fair {
+                            ppm_telemetry::counter("exec.steals").inc();
+                        }
+                        let hi = (lo + chunk).min(n);
+                        got.reserve(hi - lo);
+                        for i in lo..hi {
+                            got.push((i, f(i)));
+                        }
+                        claimed += hi - lo;
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise a worker panic on the caller, as a serial
+                // loop body's panic would surface.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    let out: Vec<T> = slots.into_iter().flatten().collect();
+    // Every index is claimed by exactly one worker; a hole here is an
+    // executor bug, not a caller error.
+    assert_eq!(out.len(), n, "executor lost results");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_threads_is_a_typed_error() {
+        assert_eq!(Executor::new(0), Err(ExecError::ZeroThreads));
+        assert!(ExecError::ZeroThreads.to_string().contains("worker"));
+    }
+
+    #[test]
+    fn caps_thread_count() {
+        let e = Executor::new(1_000_000).unwrap();
+        assert_eq!(e.threads(), crate::MAX_THREADS);
+    }
+
+    #[test]
+    fn map_returns_results_in_index_order() {
+        let e = Executor::new(4).unwrap();
+        let out = e.map("test", 97, |i| i * 3);
+        assert_eq!(out, (0..97).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_equals_parallel_for_every_thread_count() {
+        let reference = Executor::single().map("test", 203, |i| (i as f64 * 0.37).sin());
+        for threads in [2, 3, 5, 8, 16] {
+            let par = Executor::new(threads)
+                .unwrap()
+                .map("test", 203, |i| (i as f64 * 0.37).sin());
+            assert_eq!(reference, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let e = Executor::new(8).unwrap();
+        let out: Vec<u64> = e.map("test", 0, |i| i as u64);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_task_runs_inline() {
+        let e = Executor::new(8).unwrap();
+        assert_eq!(e.map("test", 1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_every_index() {
+        // n chosen to not divide evenly by any worker count.
+        let e = Executor::new(7).unwrap();
+        let out = e.map("test", 61, |i| i);
+        assert_eq!(out, (0..61).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let e = Executor::new(4).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.map("test", 32, |i| {
+                assert!(i != 17, "injected task failure");
+                i
+            })
+        }));
+        assert!(caught.is_err(), "panic in a task must propagate");
+    }
+}

@@ -30,11 +30,14 @@
 //! let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
 //! let y: Vec<f64> = pts.iter().map(|p| (3.0 * p[0]).sin() + 2.0).collect();
 //! let data = Dataset::new(pts, y)?;
-//! let fitted = RbfTrainer::default().fit(&data);
+//! let fitted = RbfTrainer::default().fit(&data)?;
 //! let err = (fitted.network.predict(&[0.5]) - ((1.5f64).sin() + 2.0)).abs();
 //! assert!(err < 0.2, "prediction error {err}");
-//! # Ok::<(), ppm_regtree::DatasetError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The grid search fans out over worker threads ([`ppm_exec`]); the
+//! fitted model is byte-identical for every thread count.
 
 #![warn(missing_docs)]
 
@@ -50,4 +53,4 @@ pub use network::RbfNetwork;
 pub use selection::{
     select_all_leaves, select_centers, select_centers_forward, SelectionConfig, SelectionResult,
 };
-pub use trainer::{FittedRbf, RbfTrainer};
+pub use trainer::{FittedRbf, RbfTrainer, TrainError};

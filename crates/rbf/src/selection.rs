@@ -9,7 +9,7 @@
 //! minimizes the model-selection criterion is committed, and the search
 //! descends to the children.
 
-use ppm_linalg::{lstsq, lstsq_ridge, Matrix};
+use ppm_linalg::{Cholesky, Matrix};
 use ppm_regtree::{Dataset, RegressionTree};
 
 use crate::{Criterion, Rbf, RbfNetwork};
@@ -83,9 +83,10 @@ pub fn select_centers(
         })
         .collect();
     let h_full = RbfNetwork::design_matrix(&candidates, data.points());
+    let sys = GramSystem::new(&h_full, data.y());
 
     let mut selected = vec![false; candidates.len()];
-    let mut current = evaluate(&h_full, data.y(), &selected, config);
+    let mut current = evaluate(&sys, &selected, config);
 
     // Breadth-first descent through the tree, toggling each internal
     // node together with its two children (8 combinations).
@@ -104,7 +105,7 @@ pub fn select_centers(
                 continue;
             }
             apply_mask(&mut selected, &trio, mask);
-            let eval = evaluate(&h_full, data.y(), &selected, config);
+            let eval = evaluate(&sys, &selected, config);
             if eval.score < best_eval.score {
                 best_eval = eval;
                 best_mask = mask;
@@ -120,7 +121,7 @@ pub fn select_centers(
     // whose wide RBF acts as a quasi-constant term.
     if !selected.iter().any(|&s| s) {
         selected[0] = true;
-        current = evaluate(&h_full, data.y(), &selected, config);
+        current = evaluate(&sys, &selected, config);
     }
 
     let selected_nodes: Vec<usize> = selected
@@ -171,8 +172,9 @@ pub fn select_centers_forward(
         })
         .collect();
     let h_full = RbfNetwork::design_matrix(&candidates, data.points());
+    let sys = GramSystem::new(&h_full, data.y());
     let mut selected = vec![false; candidates.len()];
-    let mut current = evaluate(&h_full, data.y(), &selected, config);
+    let mut current = evaluate(&sys, &selected, config);
     loop {
         let mut best: Option<(usize, Evaluation)> = None;
         for i in 0..candidates.len() {
@@ -180,7 +182,7 @@ pub fn select_centers_forward(
                 continue;
             }
             selected[i] = true;
-            let eval = evaluate(&h_full, data.y(), &selected, config);
+            let eval = evaluate(&sys, &selected, config);
             selected[i] = false;
             if eval.score < current.score && best.as_ref().is_none_or(|(_, b)| eval.score < b.score)
             {
@@ -195,7 +197,7 @@ pub fn select_centers_forward(
             None => break,
         }
     }
-    finish(tree, data, config, &candidates, &h_full, selected, current)
+    finish(config, &candidates, &sys, selected, current)
 }
 
 /// Uses *every leaf* of the regression tree as a center (no selection),
@@ -225,6 +227,7 @@ pub fn select_all_leaves(
         })
         .collect();
     let h_full = RbfNetwork::design_matrix(&candidates, data.points());
+    let sys = GramSystem::new(&h_full, data.y());
     let mut selected: Vec<bool> = tree.nodes().iter().map(|n| n.is_leaf()).collect();
     // Never exceed the data count; drop the deepest leaves if needed.
     let mut count = selected.iter().filter(|&&s| s).count();
@@ -239,22 +242,20 @@ pub fn select_all_leaves(
             count -= 1;
         }
     }
-    let current = evaluate(&h_full, data.y(), &selected, config);
-    finish(tree, data, config, &candidates, &h_full, selected, current)
+    let current = evaluate(&sys, &selected, config);
+    finish(config, &candidates, &sys, selected, current)
 }
 
 fn finish(
-    _tree: &RegressionTree,
-    data: &Dataset,
     config: &SelectionConfig,
     candidates: &[Rbf],
-    h_full: &Matrix,
+    sys: &GramSystem<'_>,
     mut selected: Vec<bool>,
     mut current: Evaluation,
 ) -> SelectionResult {
     if !selected.iter().any(|&s| s) {
         selected[0] = true;
-        current = evaluate(h_full, data.y(), &selected, config);
+        current = evaluate(sys, &selected, config);
     }
     let selected_nodes: Vec<usize> = selected
         .iter()
@@ -297,14 +298,45 @@ fn apply_mask(selected: &mut [bool], trio: &[usize; 3], mask: u8) {
     }
 }
 
+/// The normal-equations view of the full candidate design matrix,
+/// precomputed once per selection run.
+///
+/// The subset search scores hundreds of selections against the same
+/// candidate set; factoring the tall `p × m` submatrix anew each time
+/// made every evaluation O(p·m²). The Gram matrix `HᵀH` and right-hand
+/// side `Hᵀy` over *all* candidates are computed once instead, and each
+/// evaluation gathers the selected sub-block and solves the m×m normal
+/// equations by Cholesky — O(m³) with m far below p.
+struct GramSystem<'a> {
+    /// The full candidate design matrix (rows = sample points).
+    h_full: &'a Matrix,
+    /// Gram matrix `HᵀH` over all candidates.
+    gram: Matrix,
+    /// Right-hand side `Hᵀy` over all candidates.
+    hty: Vec<f64>,
+    /// Training responses.
+    y: &'a [f64],
+}
+
+impl<'a> GramSystem<'a> {
+    fn new(h_full: &'a Matrix, y: &'a [f64]) -> Self {
+        GramSystem {
+            gram: h_full.gram(),
+            hty: h_full.t_matvec(y),
+            h_full,
+            y,
+        }
+    }
+}
+
 /// Fits weights for the current selection and scores it.
-fn evaluate(h_full: &Matrix, y: &[f64], selected: &[bool], config: &SelectionConfig) -> Evaluation {
+fn evaluate(sys: &GramSystem<'_>, selected: &[bool], config: &SelectionConfig) -> Evaluation {
     let cols: Vec<usize> = selected
         .iter()
         .enumerate()
         .filter_map(|(i, &s)| s.then_some(i))
         .collect();
-    let p = y.len();
+    let p = sys.y.len();
     let m = cols.len();
     if let Some(cap) = config.max_centers {
         if m > cap {
@@ -316,7 +348,7 @@ fn evaluate(h_full: &Matrix, y: &[f64], selected: &[bool], config: &SelectionCon
         }
     }
     if m == 0 {
-        let sse: f64 = y.iter().map(|v| v * v).sum();
+        let sse: f64 = sys.y.iter().map(|v| v * v).sum();
         return Evaluation {
             score: config.criterion.score(p, 0, sse),
             sse,
@@ -332,32 +364,45 @@ fn evaluate(h_full: &Matrix, y: &[f64], selected: &[bool], config: &SelectionCon
             weights: None,
         };
     }
-    let h = h_full.select_cols(&cols);
+    // Gather the selected sub-block of the normal equations.
+    let g = Matrix::from_fn(m, m, |a, b| sys.gram[(cols[a], cols[b])]);
+    let rhs: Vec<f64> = cols.iter().map(|&c| sys.hty[c]).collect();
     // Greedy selection explores degenerate candidate sets (e.g. a parent
     // and child with nearly identical wide RBFs); fall back to a tiny
-    // ridge rather than failing.
-    let w = match lstsq(&h, y) {
-        Ok(w) => w,
-        Err(_) => match lstsq_ridge(&h, y, 1e-9) {
-            Ok(w) => w,
-            Err(_) => {
-                return Evaluation {
-                    score: f64::INFINITY,
-                    sse: f64::INFINITY,
-                    weights: None,
+    // scaled ridge rather than failing.
+    let w = match Cholesky::new(&g).map(|c| c.solve(&rhs)) {
+        Some(w) => w,
+        None => {
+            let scale = (0..m).map(|a| g[(a, a)]).fold(0.0_f64, f64::max).max(1.0);
+            let mut ridged = g;
+            for a in 0..m {
+                ridged[(a, a)] += 1e-9 * scale;
+            }
+            match Cholesky::new(&ridged).map(|c| c.solve(&rhs)) {
+                Some(w) => w,
+                None => {
+                    return Evaluation {
+                        score: f64::INFINITY,
+                        sse: f64::INFINITY,
+                        weights: None,
+                    }
                 }
             }
-        },
+        }
     };
-    let fitted = h.matvec(&w);
-    let sse: f64 = fitted
-        .iter()
-        .zip(y)
-        .map(|(f, t)| {
-            let d = f - t;
-            d * d
-        })
-        .sum();
+    ppm_telemetry::counter("rbf.subset_evals").inc();
+    // Residual on the training sample, read off the full design matrix
+    // (no catastrophic cancellation, unlike the yᵀy − wᵀHᵀy shortcut).
+    let mut sse = 0.0;
+    for k in 0..p {
+        let row = sys.h_full.row(k);
+        let mut fit = 0.0;
+        for (wi, &c) in w.iter().zip(&cols) {
+            fit += wi * row[c];
+        }
+        let d = fit - sys.y[k];
+        sse += d * d;
+    }
     Evaluation {
         score: config.criterion.score(p, m, sse),
         sse,

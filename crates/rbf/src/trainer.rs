@@ -1,12 +1,46 @@
 //! Grid search over the method parameters `p_min` and α (paper §2.6).
 
+use std::error::Error;
+use std::fmt;
+
+use ppm_exec::Executor;
 use ppm_regtree::{Dataset, RegressionTree};
 
 use crate::{select_centers, Criterion, RbfNetwork, SelectionConfig};
 
+/// Errors from training an RBF network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// A candidate grid was empty; the field names which one
+    /// (`"p_min"` or `"alpha"`).
+    EmptyGrid(&'static str),
+    /// The trainer was configured with zero worker threads.
+    NoThreads,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::EmptyGrid(which) => {
+                write!(f, "no {which} candidates: the training grid is empty")
+            }
+            TrainError::NoThreads => write!(f, "trainer needs at least one worker thread"),
+        }
+    }
+}
+
+impl Error for TrainError {}
+
 /// Trains an RBF network by grid-searching the regression-tree leaf size
 /// `p_min` and the radius scale α, keeping the combination with the
 /// lowest model-selection criterion — exactly the procedure of §2.6.
+///
+/// The grid cells are independent, so the search fans out over
+/// [`RbfTrainer::threads`] workers: one regression tree is fitted per
+/// `p_min`, the α cells share it, and the winner is reduced by an
+/// order-independent argmin (ties break toward the lower grid index).
+/// The fitted model is byte-identical for every thread count.
 ///
 /// # Examples
 ///
@@ -18,9 +52,9 @@ use crate::{select_centers, Criterion, RbfNetwork, SelectionConfig};
 /// let y: Vec<f64> = pts.iter().map(|p| p[0] * p[0]).collect();
 /// let data = Dataset::new(pts, y)?;
 /// let trainer = RbfTrainer::default();
-/// let fitted = trainer.fit(&data);
+/// let fitted = trainer.fit(&data)?;
 /// assert!(fitted.alpha > 0.0);
-/// # Ok::<(), ppm_regtree::DatasetError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct RbfTrainer {
@@ -32,6 +66,9 @@ pub struct RbfTrainer {
     pub criterion: Criterion,
     /// Optional cap on the number of centers.
     pub max_centers: Option<usize>,
+    /// Worker threads for the grid search (results are identical for
+    /// any value ≥ 1).
+    pub threads: usize,
 }
 
 impl Default for RbfTrainer {
@@ -41,13 +78,14 @@ impl Default for RbfTrainer {
             alpha_candidates: vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 10.0, 12.0],
             criterion: Criterion::Aicc,
             max_centers: None,
+            threads: ppm_exec::default_threads(),
         }
     }
 }
 
 /// A trained model with the method parameters that produced it
 /// (the diagnostics of the paper's Table 4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedRbf {
     /// The winning network.
     pub network: RbfNetwork,
@@ -75,51 +113,81 @@ impl RbfTrainer {
         }
     }
 
+    /// Sets the worker-thread count for the grid search.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Fits the model, returning the best (p_min, α) combination by the
-    /// selection criterion.
+    /// selection criterion. Cells are searched in parallel over
+    /// [`RbfTrainer::threads`] workers; the result is byte-identical
+    /// for every thread count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either candidate list is empty.
-    pub fn fit(&self, data: &Dataset) -> FittedRbf {
-        assert!(!self.p_min_candidates.is_empty(), "no p_min candidates");
-        assert!(!self.alpha_candidates.is_empty(), "no alpha candidates");
-        let _span = ppm_telemetry::span("stage.rbf_train");
-        let mut best: Option<FittedRbf> = None;
-        for &p_min in &self.p_min_candidates {
-            let tree = RegressionTree::fit(data, p_min);
-            for &alpha in &self.alpha_candidates {
-                let config = SelectionConfig {
-                    criterion: self.criterion,
-                    alpha,
-                    max_centers: self.max_centers,
-                };
-                let result = select_centers(&tree, data, &config);
-                ppm_telemetry::counter("rbf.grid_cells").inc();
-                ppm_telemetry::event(
-                    "rbf.cell",
-                    &[
-                        ("p_min", p_min.into()),
-                        ("alpha", alpha.into()),
-                        ("score", result.score.into()),
-                        ("centers", result.network.num_centers().into()),
-                    ],
-                );
-                let candidate = FittedRbf {
-                    network: result.network,
-                    p_min,
-                    alpha,
-                    score: result.score,
-                    sse: result.sse,
-                    tree_nodes: tree.nodes().len(),
-                    tree_leaves: tree.num_leaves(),
-                };
-                if best.as_ref().is_none_or(|b| candidate.score < b.score) {
-                    best = Some(candidate);
-                }
-            }
+    /// * [`TrainError::EmptyGrid`] if either candidate list is empty.
+    /// * [`TrainError::NoThreads`] if `threads == 0`.
+    pub fn fit(&self, data: &Dataset) -> Result<FittedRbf, TrainError> {
+        if self.p_min_candidates.is_empty() {
+            return Err(TrainError::EmptyGrid("p_min"));
         }
-        let best = best.expect("non-empty candidate grids");
+        if self.alpha_candidates.is_empty() {
+            return Err(TrainError::EmptyGrid("alpha"));
+        }
+        let exec = Executor::new(self.threads).map_err(|_| TrainError::NoThreads)?;
+        let _span = ppm_telemetry::span("stage.rbf_train");
+
+        // One regression tree per p_min, shared by that row's α cells.
+        let trees: Vec<RegressionTree> = self
+            .p_min_candidates
+            .iter()
+            .map(|&p_min| RegressionTree::fit(data, p_min))
+            .collect();
+
+        // Fan the (p_min, α) cells out: cell index = row-major grid
+        // position, so the argmin tie-break reproduces the serial
+        // loop's first-wins order.
+        let n_alpha = self.alpha_candidates.len();
+        let cells = self.p_min_candidates.len() * n_alpha;
+        let results = exec.map("rbf_grid", cells, |idx| {
+            let (pi, ai) = (idx / n_alpha, idx % n_alpha);
+            let p_min = self.p_min_candidates[pi];
+            let alpha = self.alpha_candidates[ai];
+            let config = SelectionConfig {
+                criterion: self.criterion,
+                alpha,
+                max_centers: self.max_centers,
+            };
+            let result = select_centers(&trees[pi], data, &config);
+            ppm_telemetry::counter("rbf.grid_cells").inc();
+            ppm_telemetry::event(
+                "rbf.cell",
+                &[
+                    ("p_min", p_min.into()),
+                    ("alpha", alpha.into()),
+                    ("score", result.score.into()),
+                    ("centers", result.network.num_centers().into()),
+                ],
+            );
+            result
+        });
+
+        let Some(win) = ppm_exec::argmin(results.iter().map(|r| r.score)) else {
+            unreachable!("both grids checked non-empty, so cells >= 1");
+        };
+        let (pi, ai) = (win / n_alpha, win % n_alpha);
+        let mut results = results;
+        let result = results.swap_remove(win);
+        let best = FittedRbf {
+            network: result.network,
+            p_min: self.p_min_candidates[pi],
+            alpha: self.alpha_candidates[ai],
+            score: result.score,
+            sse: result.sse,
+            tree_nodes: trees[pi].nodes().len(),
+            tree_leaves: trees[pi].num_leaves(),
+        };
         ppm_telemetry::gauge("rbf.selected_aicc").set(best.score);
         ppm_telemetry::gauge("rbf.selected_centers").set(best.network.num_centers() as f64);
         ppm_telemetry::event(
@@ -132,7 +200,7 @@ impl RbfTrainer {
                 ("sse", best.sse.into()),
             ],
         );
-        best
+        Ok(best)
     }
 
     /// Fits with a single fixed `(p_min, α)` pair, bypassing the grid
@@ -178,7 +246,7 @@ mod tests {
     fn grid_search_beats_or_matches_any_single_combo() {
         let data = dataset(50);
         let trainer = RbfTrainer::quick();
-        let best = trainer.fit(&data);
+        let best = trainer.fit(&data).unwrap();
         for &p_min in &trainer.p_min_candidates {
             for &alpha in &trainer.alpha_candidates {
                 let single = trainer.fit_fixed(&data, p_min, alpha);
@@ -194,7 +262,7 @@ mod tests {
     fn winning_parameters_come_from_grid() {
         let data = dataset(40);
         let trainer = RbfTrainer::quick();
-        let best = trainer.fit(&data);
+        let best = trainer.fit(&data).unwrap();
         assert!(trainer.p_min_candidates.contains(&best.p_min));
         assert!(trainer.alpha_candidates.contains(&best.alpha));
         assert!(best.tree_nodes >= best.tree_leaves);
@@ -203,19 +271,52 @@ mod tests {
     #[test]
     fn fitted_model_predicts_training_points_well() {
         let data = dataset(60);
-        let fitted = RbfTrainer::quick().fit(&data);
+        let fitted = RbfTrainer::quick().fit(&data).unwrap();
         let mean = data.mean_response();
         let var: f64 = data.y().iter().map(|v| (v - mean) * (v - mean)).sum();
         assert!(fitted.sse < 0.1 * var, "sse {} vs var {var}", fitted.sse);
     }
 
     #[test]
-    #[should_panic(expected = "no p_min candidates")]
-    fn empty_grid_panics() {
+    fn empty_p_min_grid_is_a_typed_error() {
         let trainer = RbfTrainer {
             p_min_candidates: vec![],
             ..RbfTrainer::default()
         };
-        trainer.fit(&dataset(10));
+        let err = trainer.fit(&dataset(10)).unwrap_err();
+        assert_eq!(err, TrainError::EmptyGrid("p_min"));
+        assert!(err.to_string().contains("p_min"));
+    }
+
+    #[test]
+    fn empty_alpha_grid_is_a_typed_error() {
+        let trainer = RbfTrainer {
+            alpha_candidates: vec![],
+            ..RbfTrainer::default()
+        };
+        let err = trainer.fit(&dataset(10)).unwrap_err();
+        assert_eq!(err, TrainError::EmptyGrid("alpha"));
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_error() {
+        let trainer = RbfTrainer::quick().with_threads(0);
+        assert_eq!(
+            trainer.fit(&dataset(10)).unwrap_err(),
+            TrainError::NoThreads
+        );
+    }
+
+    #[test]
+    fn fit_is_identical_across_thread_counts() {
+        let data = dataset(50);
+        let reference = RbfTrainer::quick().with_threads(1).fit(&data).unwrap();
+        for threads in [2, 8] {
+            let fitted = RbfTrainer::quick()
+                .with_threads(threads)
+                .fit(&data)
+                .unwrap();
+            assert_eq!(reference, fitted, "threads={threads}");
+        }
     }
 }

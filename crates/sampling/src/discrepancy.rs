@@ -31,36 +31,89 @@ pub fn l2_star(points: &[Vec<f64>]) -> f64 {
     ppm_telemetry::counter("sampling.discrepancy_evals").inc();
     let term1 = (1.0f64 / 3.0).powi(n as i32);
 
-    let mut term2 = 0.0;
-    for x in points {
+    // Flatten once into a contiguous *column-major* buffer of the
+    // complements (1 - x): `cols[k * p + j]` is dimension k of point j.
+    // `1 - max(a, b)` becomes `min(1-a, 1-b)` over the precomputed
+    // complements (bit-identical: max picks one of a, b, and its
+    // complement is computed the same way either route), and the
+    // column-major layout makes the j-values of one dimension
+    // contiguous, so the pair loop below can process a block of j's
+    // with independent (vectorizable) product accumulators.
+    let mut cols = vec![0.0f64; p * n];
+    let mut row_term2 = Vec::with_capacity(p);
+    for (j, x) in points.iter().enumerate() {
         let mut prod = 1.0;
-        for &xi in x {
+        for (k, &xi) in x.iter().enumerate() {
+            cols[k * p + j] = 1.0 - xi;
             prod *= (1.0 - xi * xi) / 2.0;
         }
-        term2 += prod;
+        row_term2.push(prod);
     }
+    let term2 = pairwise_sum(&row_term2);
 
-    let mut term3 = 0.0;
-    for (i, xi) in points.iter().enumerate() {
-        // Diagonal term.
-        let mut prod = 1.0;
-        for &v in xi {
-            prod *= 1.0 - v;
+    // term3 row i: the diagonal product Πₖ(1-xᵢₖ) plus twice the
+    // symmetric i<j products. Row totals feed a pairwise sum, which is
+    // both more accurate than a running fold and keeps a fixed
+    // association order regardless of the row loop's internals.
+    const LANES: usize = 8;
+    let mut ri = vec![0.0f64; n];
+    let mut row_term3 = Vec::with_capacity(p);
+    for i in 0..p {
+        for (k, r) in ri.iter_mut().enumerate() {
+            *r = cols[k * p + i];
         }
-        term3 += prod;
-        // Off-diagonal terms (symmetric, count twice).
-        for xj in points.iter().skip(i + 1) {
-            let mut prod = 1.0;
-            for (&a, &b) in xi.iter().zip(xj) {
-                prod *= 1.0 - a.max(b);
+        let mut diag = 1.0;
+        for &v in &ri {
+            diag *= v;
+        }
+        let mut off = 0.0;
+        let mut j = i + 1;
+        // Blocked: LANES independent running products over contiguous
+        // j's — no cross-lane dependency, so the chain of n multiplies
+        // overlaps across the block (and vectorizes).
+        while j + LANES <= p {
+            let mut prod = [1.0f64; LANES];
+            for (k, &m) in ri.iter().enumerate() {
+                let c = &cols[k * p + j..k * p + j + LANES];
+                for (pr, &v) in prod.iter_mut().zip(c) {
+                    *pr *= m.min(v);
+                }
             }
-            term3 += 2.0 * prod;
+            off += ((prod[0] + prod[1]) + (prod[2] + prod[3]))
+                + ((prod[4] + prod[5]) + (prod[6] + prod[7]));
+            j += LANES;
         }
+        while j < p {
+            let mut prod = 1.0;
+            for (k, &m) in ri.iter().enumerate() {
+                prod *= m.min(cols[k * p + j]);
+            }
+            off += prod;
+            j += 1;
+        }
+        row_term3.push(diag + 2.0 * off);
     }
+    let term3 = pairwise_sum(&row_term3);
 
     let pf = p as f64;
     let d2 = term1 - 2.0 / pf * term2 + term3 / (pf * pf);
     d2.max(0.0).sqrt()
+}
+
+/// Deterministic chunked pairwise summation: O(log) rounding error
+/// growth instead of O(n), and a fixed association order (midpoint
+/// splits down to 32-element base chunks) regardless of caller context.
+fn pairwise_sum(xs: &[f64]) -> f64 {
+    const BASE: usize = 32;
+    if xs.len() <= BASE {
+        let mut s = 0.0;
+        for &v in xs {
+            s += v;
+        }
+        return s;
+    }
+    let mid = xs.len() / 2;
+    pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
 }
 
 /// Computes Hickernell's centered L2 discrepancy.
@@ -258,6 +311,51 @@ mod tests {
             let cent = centered_l2(&pts);
             assert!(star.is_finite() && star >= 0.0, "seed {seed}");
             assert!(cent.is_finite() && cent >= 0.0, "seed {seed}");
+        }
+    }
+
+    /// The flat-buffer fast path must agree with a naive transcription
+    /// of Warnock's formula to rounding error.
+    #[test]
+    fn random_l2_star_matches_naive_formula() {
+        fn naive(points: &[Vec<f64>]) -> f64 {
+            let p = points.len() as f64;
+            let n = points[0].len() as i32;
+            let term1 = (1.0f64 / 3.0).powi(n);
+            let term2: f64 = points
+                .iter()
+                .map(|x| x.iter().map(|&v| (1.0 - v * v) / 2.0).product::<f64>())
+                .sum();
+            let mut term3 = 0.0;
+            for xi in points {
+                for xj in points {
+                    let mut prod = 1.0;
+                    for (&a, &b) in xi.iter().zip(xj) {
+                        prod *= 1.0 - a.max(b);
+                    }
+                    term3 += prod;
+                }
+            }
+            (term1 - 2.0 / p * term2 + term3 / (p * p)).max(0.0).sqrt()
+        }
+        for seed in 0..32u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let p = 1 + rng.below(40) as usize;
+            let n = 1 + rng.below(6) as usize;
+            let pts: Vec<Vec<f64>> = (0..p)
+                .map(|_| (0..n).map(|_| rng.unit_f64()).collect())
+                .collect();
+            let (fast, slow) = (l2_star(&pts), naive(&pts));
+            assert!((fast - slow).abs() < 1e-12, "seed {seed}: {fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn pairwise_sum_matches_sequential_sum() {
+        for len in [0usize, 1, 31, 32, 33, 100, 257] {
+            let xs: Vec<f64> = (0..len).map(|i| (i as f64).sin()).collect();
+            let seq: f64 = xs.iter().sum();
+            assert!((pairwise_sum(&xs) - seq).abs() < 1e-9, "len {len}");
         }
     }
 

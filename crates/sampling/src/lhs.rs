@@ -1,10 +1,37 @@
 //! Latin hypercube sampling with discrepancy-optimized selection.
 
-use ppm_rng::Rng;
+use std::error::Error;
+use std::fmt;
+
+use ppm_exec::Executor;
+use ppm_rng::{derive_seed, Rng};
 
 use crate::discrepancy::l2_star;
 use crate::space::ParamSpace;
 use crate::Design;
+
+/// Errors from the candidate-selection sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SampleError {
+    /// `best_of` was asked to pick from zero candidates.
+    NoCandidates,
+    /// The sampler was configured with zero worker threads.
+    NoThreads,
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::NoCandidates => {
+                write!(f, "need at least one latin-hypercube candidate")
+            }
+            SampleError::NoThreads => write!(f, "sampler needs at least one worker thread"),
+        }
+    }
+}
+
+impl Error for SampleError {}
 
 /// A latin hypercube sampler over a [`ParamSpace`].
 ///
@@ -17,7 +44,10 @@ use crate::Design;
 ///
 /// [`LatinHypercube::best_of`] implements the paper's variant: generate
 /// many candidate hypercubes and keep the one with the lowest L2-star
-/// discrepancy.
+/// discrepancy. Candidates are generated and scored in parallel over
+/// [`LatinHypercube::with_threads`] workers; each candidate derives its
+/// own RNG stream from the caller's seed, so the chosen design is
+/// byte-identical for every thread count.
 ///
 /// # Examples
 ///
@@ -38,17 +68,47 @@ use crate::Design;
 pub struct LatinHypercube<'a> {
     space: &'a ParamSpace,
     size: usize,
+    threads: usize,
+    /// Per-parameter unshuffled level assignments, precomputed once so
+    /// the candidate sweep does not redo the grid/transform math for
+    /// every candidate: `assignments[k][i]` is the unit coordinate
+    /// point `i` gets in dimension `k` before the permutation.
+    assignments: Vec<Vec<f64>>,
 }
 
 impl<'a> LatinHypercube<'a> {
-    /// Creates a sampler producing designs of `size` points.
+    /// Creates a sampler producing designs of `size` points, with the
+    /// default worker-thread count (`PPM_THREADS`-aware).
     ///
     /// # Panics
     ///
     /// Panics if `size < 2`.
     pub fn new(space: &'a ParamSpace, size: usize) -> Self {
         assert!(size >= 2, "a latin hypercube needs at least 2 points");
-        LatinHypercube { space, size }
+        // Assign each of the S points a level, covering every level as
+        // evenly as possible; generate() shuffles a copy per dimension.
+        let assignments = space
+            .params()
+            .iter()
+            .map(|p| {
+                let levels = p.level_count(size);
+                let grid = p.unit_grid(size);
+                (0..size).map(|i| grid[i * levels / size]).collect()
+            })
+            .collect();
+        LatinHypercube {
+            space,
+            size,
+            threads: ppm_exec::default_threads(),
+            assignments,
+        }
+    }
+
+    /// Sets the worker-thread count for the candidate sweep (the chosen
+    /// design does not depend on it).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The sample size.
@@ -63,54 +123,78 @@ impl<'a> LatinHypercube<'a> {
     pub fn generate(&self, rng: &mut Rng) -> Design {
         let s = self.size;
         let n = self.space.dim();
-        let mut columns: Vec<Vec<f64>> = Vec::with_capacity(n);
-        for p in self.space.params() {
-            let levels = p.level_count(s);
-            let grid = p.unit_grid(s);
-            // Assign each of the S points a level, covering every level as
-            // evenly as possible, then shuffle the assignment.
-            let mut assignment: Vec<f64> = (0..s).map(|i| grid[i * levels / s]).collect();
+        let mut points: Vec<Vec<f64>> = (0..s).map(|_| Vec::with_capacity(n)).collect();
+        let mut assignment: Vec<f64> = Vec::with_capacity(s);
+        for base in &self.assignments {
+            // Shuffle a copy of the precomputed level assignment.
+            assignment.clear();
+            assignment.extend_from_slice(base);
             rng.shuffle(&mut assignment);
-            columns.push(assignment);
+            for (point, &v) in points.iter_mut().zip(&assignment) {
+                point.push(v);
+            }
         }
-        (0..s)
-            .map(|i| columns.iter().map(|c| c[i]).collect())
-            .collect()
+        points
     }
 
     /// Generates `candidates` designs and returns the one with the lowest
     /// L2-star discrepancy (the paper's §2.2 selection rule).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `candidates == 0`.
-    pub fn best_of(&self, candidates: usize, rng: &mut Rng) -> Design {
-        self.best_of_with_score(candidates, rng).0
+    /// See [`LatinHypercube::best_of_with_score`].
+    pub fn best_of(&self, candidates: usize, rng: &mut Rng) -> Result<Design, SampleError> {
+        self.best_of_with_score(candidates, rng).map(|(d, _)| d)
     }
 
     /// Like [`LatinHypercube::best_of`] but also returns the winning
     /// discrepancy, for plotting Figure 2.
     ///
-    /// # Panics
+    /// One master seed is drawn from `rng`, and candidate `i` generates
+    /// from its own stream `derive_seed(master, i)` — which is what
+    /// lets candidates run on any number of worker threads while the
+    /// winner (ties broken toward the lower candidate index) stays
+    /// byte-identical to the single-threaded sweep.
     ///
-    /// Panics if `candidates == 0`.
-    pub fn best_of_with_score(&self, candidates: usize, rng: &mut Rng) -> (Design, f64) {
-        assert!(candidates > 0, "need at least one candidate");
+    /// # Errors
+    ///
+    /// * [`SampleError::NoCandidates`] if `candidates == 0`.
+    /// * [`SampleError::NoThreads`] if configured with zero threads.
+    pub fn best_of_with_score(
+        &self,
+        candidates: usize,
+        rng: &mut Rng,
+    ) -> Result<(Design, f64), SampleError> {
+        if candidates == 0 {
+            return Err(SampleError::NoCandidates);
+        }
+        let exec = Executor::new(self.threads).map_err(|_| SampleError::NoThreads)?;
         let _span = ppm_telemetry::span("stage.sampling");
         ppm_telemetry::counter("sampling.candidates").add(candidates as u64);
-        let mut best: Option<(Design, f64)> = None;
-        for i in 0..candidates {
-            let d = self.generate(rng);
+
+        let master = rng.next_u64();
+        let mut scored: Vec<(Design, f64)> = exec.map("sampling.lhs", candidates, |i| {
+            let mut stream = Rng::seed_from_u64(derive_seed(master, i as u64));
+            let d = self.generate(&mut stream);
             let score = l2_star(&d);
-            if best.as_ref().is_none_or(|(_, s)| score < *s) {
+            (d, score)
+        });
+
+        let Some(win) = ppm_exec::argmin(scored.iter().map(|(_, s)| *s)) else {
+            unreachable!("candidates >= 1 was checked above");
+        };
+        // Replay the serial scan for the improvement events.
+        let mut running_best = f64::INFINITY;
+        for (i, (_, score)) in scored.iter().enumerate() {
+            if *score < running_best {
+                running_best = *score;
                 ppm_telemetry::event(
                     "sampling.best_improved",
-                    &[("candidate", i.into()), ("discrepancy", score.into())],
+                    &[("candidate", i.into()), ("discrepancy", (*score).into())],
                 );
-                best = Some((d, score));
             }
         }
-        let (design, score) = best.expect("candidates > 0");
+        let (design, score) = scored.swap_remove(win);
         ppm_telemetry::event(
             "sampling.selected",
             &[
@@ -119,7 +203,7 @@ impl<'a> LatinHypercube<'a> {
                 ("discrepancy", score.into()),
             ],
         );
-        (design, score)
+        Ok((design, score))
     }
 }
 
@@ -171,7 +255,7 @@ mod tests {
         let space = space2();
         let mut rng = Rng::seed_from_u64(7);
         let lhs = LatinHypercube::new(&space, 20);
-        let (_, best_score) = lhs.best_of_with_score(32, &mut rng);
+        let (_, best_score) = lhs.best_of_with_score(32, &mut rng).unwrap();
         let mut worse = 0;
         for _ in 0..16 {
             if l2_star(&lhs.generate(&mut rng)) < best_score {
@@ -188,6 +272,47 @@ mod tests {
         let d1 = LatinHypercube::new(&space, 10).generate(&mut Rng::seed_from_u64(9));
         let d2 = LatinHypercube::new(&space, 10).generate(&mut Rng::seed_from_u64(9));
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn best_of_identical_across_thread_counts() {
+        let space = space2();
+        let lhs = LatinHypercube::new(&space, 20);
+        let reference = lhs
+            .clone()
+            .with_threads(1)
+            .best_of_with_score(33, &mut Rng::seed_from_u64(11))
+            .unwrap();
+        for threads in [2, 8] {
+            let got = lhs
+                .clone()
+                .with_threads(threads)
+                .best_of_with_score(33, &mut Rng::seed_from_u64(11))
+                .unwrap();
+            assert_eq!(reference, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn best_of_zero_candidates_is_a_typed_error() {
+        let space = space2();
+        let mut rng = Rng::seed_from_u64(3);
+        let err = LatinHypercube::new(&space, 10)
+            .best_of(0, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SampleError::NoCandidates);
+        assert!(err.to_string().contains("candidate"));
+    }
+
+    #[test]
+    fn zero_threads_is_a_typed_error() {
+        let space = space2();
+        let mut rng = Rng::seed_from_u64(3);
+        let err = LatinHypercube::new(&space, 10)
+            .with_threads(0)
+            .best_of(4, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SampleError::NoThreads);
     }
 
     #[test]

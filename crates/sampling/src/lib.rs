@@ -34,11 +34,17 @@
 //!     ParamDef::leveled("l2_size", 256.0, 8192.0, 6, Transform::Log),
 //! ]);
 //! let mut rng = Rng::seed_from_u64(1);
-//! let design = LatinHypercube::new(&space, 30).best_of(64, &mut rng);
+//! let design = LatinHypercube::new(&space, 30).best_of(64, &mut rng)?;
 //! assert_eq!(design.len(), 30);
 //! let d = l2_star(&design);
 //! assert!(d > 0.0 && d < 1.0);
+//! # Ok::<(), ppm_sampling::lhs::SampleError>(())
 //! ```
+//!
+//! The best-of-many sweep scores candidates in parallel
+//! ([`ppm_exec`]); each candidate derives its own RNG stream from the
+//! caller's seed, so the chosen design is byte-identical for every
+//! thread count.
 
 #![warn(missing_docs)]
 
@@ -48,6 +54,8 @@ pub mod lhs;
 pub mod pb;
 pub mod random;
 pub mod space;
+
+pub use lhs::SampleError;
 
 /// A design: a list of points in unit coordinates `[0, 1]^n`.
 pub type Design = Vec<Vec<f64>>;

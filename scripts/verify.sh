@@ -17,16 +17,20 @@ cargo test -q
 echo "== fault-injection suite =="
 cargo test -q --test fault_injection
 
+echo "== determinism suite (serial == parallel) =="
+cargo test -q --test determinism
+
 echo "== workspace tests =="
 cargo test -q --workspace
 
-echo "== panic-path grep gate (crates/core/src) =="
-# Fail if non-test code in ppm-core grows a new `.unwrap()` / `.expect(`
-# call site: library faults must surface as typed errors, not panics.
-# Test modules (everything from `#[cfg(test)]` down) are exempt, as is
-# anything matching scripts/unwrap_allowlist.txt.
+echo "== panic-path grep gate (core, rbf, sampling, exec) =="
+# Fail if non-test code in the modeling crates grows a new `.unwrap()` /
+# `.expect(` call site: library faults must surface as typed errors, not
+# panics. Test modules (everything from `#[cfg(test)]` down) are exempt,
+# as is anything matching scripts/unwrap_allowlist.txt.
 violations=$(
-  for f in crates/core/src/*.rs; do
+  for f in crates/core/src/*.rs crates/rbf/src/*.rs \
+           crates/sampling/src/*.rs crates/exec/src/*.rs; do
     awk -v file="$f" '/#\[cfg\(test\)\]/{exit} {print file":"FNR": "$0}' "$f"
   done \
     | grep -E '\.unwrap\(\)|\.expect\(' \
@@ -34,7 +38,7 @@ violations=$(
     || true
 )
 if [ -n "$violations" ]; then
-  echo "new unwrap/expect call sites in ppm-core (use typed errors, or allowlist):"
+  echo "new unwrap/expect call sites (use typed errors, or allowlist):"
   echo "$violations"
   exit 1
 fi

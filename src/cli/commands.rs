@@ -24,6 +24,9 @@ use crate::cli::args::{ArgError, Parsed};
 pub enum CliError {
     /// Argument problems (exit code 2).
     Args(ArgError),
+    /// Other usage problems — flag or environment values that make the
+    /// requested run impossible (exit code 2).
+    Usage(String),
     /// Simulation or model-building faults (exit code 3).
     Simulation(BuildError),
     /// Model or checkpoint files that could not be read or written
@@ -38,7 +41,7 @@ impl CliError {
     /// simulation faults 3, persistence failures 4, everything else 1.
     pub fn exit_code(&self) -> u8 {
         match self {
-            CliError::Args(_) => 2,
+            CliError::Args(_) | CliError::Usage(_) => 2,
             CliError::Simulation(_) => 3,
             CliError::Persistence(_) => 4,
             CliError::Message(_) => 1,
@@ -50,6 +53,7 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Args(e) => write!(f, "{e}"),
+            CliError::Usage(m) => f.write_str(m),
             CliError::Simulation(e) => write!(f, "{e}"),
             CliError::Persistence(m) => f.write_str(m),
             CliError::Message(m) => f.write_str(m),
@@ -71,6 +75,9 @@ impl From<BuildError> for CliError {
             // Journal problems are persistence failures, not faults in
             // the simulated pipeline.
             BuildError::Checkpoint(msg) => CliError::Persistence(msg),
+            // A sample-selection failure means the caller asked for an
+            // impossible sweep (zero candidates / zero threads).
+            BuildError::Sample(e) => CliError::Usage(e.to_string()),
             other => CliError::Simulation(other),
         }
     }
@@ -210,12 +217,30 @@ fn metric_arg(parsed: &Parsed) -> Result<(Metric, &'static str), CliError> {
     }
 }
 
+/// The training-side worker-thread count: `--train-threads` when given,
+/// else a valid `PPM_THREADS`, else the machine default. Bad values in
+/// either place are usage errors (exit code 2), not guesses.
+fn train_threads_arg(parsed: &Parsed) -> Result<usize, CliError> {
+    if let Err(e) = ppm_exec::threads_from_env() {
+        return Err(CliError::Usage(e.to_string()));
+    }
+    let threads: usize = parsed.num("--train-threads", ppm_exec::default_threads())?;
+    if threads == 0 {
+        return Err(CliError::Usage(
+            "--train-threads must be at least 1".to_string(),
+        ));
+    }
+    Ok(threads.min(ppm_exec::MAX_THREADS))
+}
+
 fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     let bench = benchmark_arg(parsed)?;
     let out_path = parsed.require("--out")?.to_string();
     let sample: usize = parsed.num("--sample", 90)?;
     let instructions: usize = parsed.num("--instructions", 100_000)?;
     let seed: u64 = parsed.num("--seed", 1u64)?;
+    let train_threads = train_threads_arg(parsed)?;
+    let lhs_candidates: usize = parsed.num("--lhs-candidates", 200)?;
     let (metric, metric_name) = metric_arg(parsed)?;
 
     let space = DesignSpace::paper_table1();
@@ -233,7 +258,9 @@ fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     );
     let config = BuildConfig::default()
         .with_sample_size(sample)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_train_threads(train_threads)
+        .with_lhs_candidates(lhs_candidates);
     let builder = RbfModelBuilder::new(space, config);
     // The run parameters the checkpoint must agree on: resuming with a
     // different workload or sample would silently mix results.
@@ -576,8 +603,72 @@ mod tests {
     }
 
     #[test]
+    fn zero_train_threads_is_a_usage_error() {
+        let err = run_cli(&[
+            "build",
+            "--benchmark",
+            "mcf",
+            "--out",
+            "/dev/null",
+            "--train-threads",
+            "0",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("--train-threads"), "{err}");
+    }
+
+    #[test]
+    fn zero_lhs_candidates_is_a_usage_error() {
+        let err = run_cli(&[
+            "build",
+            "--benchmark",
+            "mcf",
+            "--out",
+            "/dev/null",
+            "--sample",
+            "10",
+            "--instructions",
+            "5000",
+            "--lhs-candidates",
+            "0",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("candidate"), "{err}");
+    }
+
+    #[test]
+    fn build_accepts_explicit_training_flags() {
+        let dir = std::env::temp_dir().join("ppm_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("m.txt");
+        let out = run_cli(&[
+            "build",
+            "--benchmark",
+            "mcf",
+            "--out",
+            model_path.to_str().unwrap(),
+            "--sample",
+            "20",
+            "--instructions",
+            "10000",
+            "--train-threads",
+            "2",
+            "--lhs-candidates",
+            "16",
+        ])
+        .unwrap();
+        assert!(out.contains("centers"));
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
     fn exit_codes_follow_error_category() {
         assert_eq!(CliError::Args(ArgError::MissingCommand).exit_code(), 2);
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        let e: CliError = BuildError::Sample(ppm_sampling::SampleError::NoCandidates).into();
+        assert_eq!(e.exit_code(), 2);
         assert_eq!(
             CliError::Simulation(BuildError::InvalidConfig("x".into())).exit_code(),
             3

@@ -4,6 +4,7 @@
 //! ppm benchmarks                          list the workload surrogates
 //! ppm simulate  --benchmark mcf [config]  run one detailed simulation
 //! ppm build     --benchmark mcf --out m.txt [--sample 90] [--metric cpi]
+//!               [--train-threads N] [--lhs-candidates N]
 //!               [--checkpoint j.txt [--resume]]
 //! ppm predict   --model m.txt [config]    evaluate a saved model
 //! ppm screen    --benchmark mcf           Plackett-Burman screening
@@ -56,6 +57,10 @@ OTHER FLAGS:
   --seed <n>          workload seed (default 1)
   --sample <n>        training sample size for `build` (default 90)
   --metric <cpi|epi|edp>  modeled metric for `build` (default cpi)
+  --lhs-candidates <n>  candidate hypercubes scored for `build` (default 200)
+  --train-threads <n>  worker threads for sampling + training in `build`
+                      (default: PPM_THREADS or machine parallelism; the
+                      built model is identical for any value)
   --energy            also report the energy estimate (simulate)
 
 FAULT-TOLERANCE FLAGS (`build`):

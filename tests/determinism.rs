@@ -1,0 +1,125 @@
+//! The executor's central contract, proven end to end: every
+//! parallelized training hot path — the LHS candidate sweep, the
+//! (p_min, α) grid search, cross-validated fold refits, and the full
+//! `BuildRBFmodel` procedure — produces output byte-identical to its
+//! serial run, for any thread count and any seed.
+
+use ppm::model::{BuildConfig, FnResponse, RbfModelBuilder};
+use ppm_core::crossval::CrossValidator;
+use ppm_core::space::DesignSpace;
+use ppm_rbf::RbfTrainer;
+use ppm_regtree::Dataset;
+use ppm_rng::Rng;
+use ppm_sampling::lhs::LatinHypercube;
+use ppm_sampling::space::{ParamDef, ParamSpace, Transform};
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn noisy_sample(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let pts: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..3).map(|_| rng.unit_f64()).collect())
+        .collect();
+    let y = pts
+        .iter()
+        .map(|p| 2.0 + p[0] + (3.0 * p[1]).sin() * 0.5 + 0.05 * rng.normal())
+        .collect();
+    (pts, y)
+}
+
+/// Property: the trainer's parallel grid search returns the same fitted
+/// model as the serial one, across seeds.
+#[test]
+fn trainer_fit_is_thread_count_invariant_across_seeds() {
+    for seed in [3u64, 17, 90] {
+        let (pts, y) = noisy_sample(seed, 40);
+        let data = Dataset::new(pts, y).expect("consistent sample");
+        let reference = RbfTrainer::quick().with_threads(1).fit(&data).unwrap();
+        for threads in THREAD_COUNTS {
+            let fitted = RbfTrainer::quick()
+                .with_threads(threads)
+                .fit(&data)
+                .unwrap();
+            assert_eq!(reference, fitted, "seed {seed}, threads {threads}");
+        }
+    }
+}
+
+/// Property: the parallel candidate sweep picks the same design with
+/// the same discrepancy as the serial one, across seeds.
+#[test]
+fn lhs_best_of_is_thread_count_invariant_across_seeds() {
+    let space = ParamSpace::new(vec![
+        ParamDef::continuous("a", 0.0, 1.0),
+        ParamDef::leveled("b", 8.0, 64.0, 4, Transform::Log),
+        ParamDef::continuous("c", 0.5, 2.0),
+    ]);
+    for seed in [1u64, 29, 4096] {
+        let lhs = LatinHypercube::new(&space, 24);
+        let reference = lhs
+            .clone()
+            .with_threads(1)
+            .best_of_with_score(40, &mut Rng::seed_from_u64(seed))
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let got = lhs
+                .clone()
+                .with_threads(threads)
+                .best_of_with_score(40, &mut Rng::seed_from_u64(seed))
+                .unwrap();
+            assert_eq!(reference, got, "seed {seed}, threads {threads}");
+        }
+    }
+}
+
+/// Property: parallel fold refits yield the same cross-validation
+/// statistics as serial ones, across seeds.
+#[test]
+fn crossval_is_thread_count_invariant_across_seeds() {
+    for seed in [5u64, 111] {
+        let (pts, y) = noisy_sample(seed, 30);
+        let reference = CrossValidator::new(RbfTrainer::quick(), 5)
+            .with_threads(1)
+            .run(&pts, &y)
+            .unwrap();
+        for threads in THREAD_COUNTS {
+            let got = CrossValidator::new(RbfTrainer::quick(), 5)
+                .with_threads(threads)
+                .run(&pts, &y)
+                .unwrap();
+            assert_eq!(reference, got, "seed {seed}, threads {threads}");
+        }
+    }
+}
+
+/// The full `BuildRBFmodel` run — sampling, simulation, training — is
+/// byte-identical between a single-threaded and an 8-thread build.
+#[test]
+fn full_build_is_byte_identical_across_thread_counts() {
+    let response = || {
+        FnResponse::new(9, |x: &[f64]| {
+            2.0 + 1.5 * x[0] + (2.0 * x[4]).exp() * 0.2 + x[5] * x[5] - 0.5 * x[5] * x[6]
+        })
+        .expect("non-zero dimension")
+    };
+    let build = |threads: usize| {
+        let config = BuildConfig::quick(40)
+            .with_seed(12)
+            .with_train_threads(threads);
+        RbfModelBuilder::new(DesignSpace::paper_table1(), config)
+            .build(&response())
+            .expect("clean build")
+    };
+    let serial = build(1);
+    for threads in THREAD_COUNTS {
+        let parallel = build(threads);
+        assert_eq!(serial.model, parallel.model, "threads {threads}");
+        assert_eq!(serial.design, parallel.design, "threads {threads}");
+        assert_eq!(serial.responses, parallel.responses, "threads {threads}");
+        assert_eq!(
+            serial.discrepancy.to_bits(),
+            parallel.discrepancy.to_bits(),
+            "threads {threads}"
+        );
+    }
+}

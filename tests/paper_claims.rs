@@ -18,7 +18,9 @@ fn discrepancy_curve_decreases_and_tapers() {
     let mut scores = Vec::new();
     for &n in &sizes {
         let mut rng = Rng::seed_from_u64(9);
-        let (_, s) = LatinHypercube::new(space.params(), n).best_of_with_score(24, &mut rng);
+        let (_, s) = LatinHypercube::new(space.params(), n)
+            .best_of_with_score(24, &mut rng)
+            .expect("non-zero candidates");
         scores.push(s);
     }
     for w in scores.windows(2) {
@@ -80,7 +82,7 @@ fn mcf_splits_on_memory_parameters() {
     let space = DesignSpace::paper_table1();
     let response = ppm::model::SimulatorResponse::new(Benchmark::Mcf, 40_000);
     let builder = RbfModelBuilder::new(space.clone(), BuildConfig::quick(60));
-    let (design, _) = builder.select_sample();
+    let (design, _) = builder.select_sample().expect("valid sweep config");
     let responses = eval_batch(&response, &design, 1).expect("clean batch");
     let splits = significant_splits(&space, &design, &responses, 1, 6).expect("valid");
     let memory = ["L2_lat", "L2_size", "dl1_lat", "dl1_size"];
