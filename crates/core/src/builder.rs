@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use ppm_rbf::{FittedRbf, RbfTrainer, TrainError};
-use ppm_regtree::{Dataset, DatasetError};
+use ppm_regtree::{Dataset, DatasetError, RegressionTree};
 use ppm_rng::{derive_seed, Rng};
 use ppm_sampling::lhs::{LatinHypercube, SampleError};
 use ppm_sampling::random::random_design;
@@ -210,6 +210,50 @@ pub struct BuiltModel {
     pub quarantined: Vec<Quarantine>,
 }
 
+/// Training-residual summary for one leaf region of the regression-tree
+/// partition behind the fitted model (the paper's §2.4 cells). Regions
+/// with systematically large residuals localize where the surrogate is
+/// weakest in design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionResidual {
+    /// Arena index of the leaf in the refitted tree (stable for a fixed
+    /// sample and `p_min`).
+    pub leaf: usize,
+    /// Number of training points in the region.
+    pub count: usize,
+    /// Mean |prediction − actual| / |actual| over the region, percent.
+    pub mean_abs_pct: f64,
+    /// Largest single relative residual in the region, percent.
+    pub max_abs_pct: f64,
+}
+
+/// Model-quality diagnostics for one build, as recorded in the run
+/// ledger: held-out accuracy, per-region training residuals, and the
+/// winning model-selection parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelDiagnostics {
+    /// CPI error statistics on a held-out test set, when one was
+    /// evaluated.
+    pub holdout: Option<ErrorStats>,
+    /// Training residuals grouped by regression-tree region, ordered by
+    /// leaf index.
+    pub regions: Vec<RegionResidual>,
+    /// Number of selected RBF centers.
+    pub centers: usize,
+    /// The winning leaf-size parameter.
+    pub p_min: usize,
+    /// The winning width scale.
+    pub alpha: f64,
+    /// The winning model-selection score (AICc by default).
+    pub aicc: f64,
+    /// Training sum of squared errors of the winning model.
+    pub train_sse: f64,
+    /// L2-star discrepancy of the training sample.
+    pub discrepancy: f64,
+    /// Number of design points quarantined by the supervisor.
+    pub quarantined: usize,
+}
+
 impl BuiltModel {
     /// Predicts the response at a unit design point.
     pub fn predict(&self, unit: &[f64]) -> f64 {
@@ -220,6 +264,64 @@ impl BuiltModel {
     pub fn evaluate(&self, test_points: &[Vec<f64>], test_actual: &[f64]) -> ErrorStats {
         let predicted: Vec<f64> = test_points.iter().map(|p| self.predict(p)).collect();
         ErrorStats::from_predictions(&predicted, test_actual)
+    }
+
+    /// Training residuals grouped by the leaf regions of the tree
+    /// partition that produced the model's centers: the tree is refitted
+    /// with the winning `p_min` (deterministic for a fixed sample), and
+    /// each training point's relative residual is attributed to its
+    /// containing leaf. Ordered by leaf index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::BadData`] if the stored sample cannot form
+    /// a dataset (cannot happen for a model built by this crate).
+    pub fn region_residuals(&self) -> Result<Vec<RegionResidual>, BuildError> {
+        let data = Dataset::new(self.design.clone(), self.responses.clone())?;
+        let tree = RegressionTree::fit(&data, self.model.p_min);
+        // leaf arena index -> (count, sum of |rel|, max |rel|)
+        let mut by_leaf: std::collections::BTreeMap<usize, (usize, f64, f64)> =
+            std::collections::BTreeMap::new();
+        for (x, &y) in self.design.iter().zip(&self.responses) {
+            let rel_pct = if y.abs() > 1e-12 {
+                (self.predict(x) - y).abs() / y.abs() * 100.0
+            } else {
+                0.0
+            };
+            let entry = by_leaf.entry(tree.leaf_index(x)).or_insert((0, 0.0, 0.0));
+            entry.0 += 1;
+            entry.1 += rel_pct;
+            entry.2 = entry.2.max(rel_pct);
+        }
+        Ok(by_leaf
+            .into_iter()
+            .map(|(leaf, (count, sum, max))| RegionResidual {
+                leaf,
+                count,
+                mean_abs_pct: sum / count as f64,
+                max_abs_pct: max,
+            })
+            .collect())
+    }
+
+    /// Assembles the full diagnostics record for this build, attaching
+    /// `holdout` statistics when a held-out evaluation was run.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuiltModel::region_residuals`].
+    pub fn diagnostics(&self, holdout: Option<ErrorStats>) -> Result<ModelDiagnostics, BuildError> {
+        Ok(ModelDiagnostics {
+            holdout,
+            regions: self.region_residuals()?,
+            centers: self.model.network.num_centers(),
+            p_min: self.model.p_min,
+            alpha: self.model.alpha,
+            aicc: self.model.score,
+            train_sse: self.model.sse,
+            discrepancy: self.discrepancy,
+            quarantined: self.quarantined.len(),
+        })
     }
 }
 
@@ -532,6 +634,38 @@ mod tests {
                 assert!((0.0..=1.0).contains(&v));
             }
         }
+    }
+
+    #[test]
+    fn region_residuals_cover_every_training_point() {
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(50));
+        let built = builder.build(&smooth_response()).unwrap();
+        let regions = built.region_residuals().unwrap();
+        assert!(!regions.is_empty());
+        let covered: usize = regions.iter().map(|r| r.count).sum();
+        assert_eq!(covered, built.design.len());
+        for r in &regions {
+            assert!(r.mean_abs_pct.is_finite() && r.mean_abs_pct >= 0.0);
+            assert!(r.max_abs_pct >= r.mean_abs_pct - 1e-12);
+        }
+        // Leaf order and values are deterministic.
+        assert_eq!(regions, built.region_residuals().unwrap());
+    }
+
+    #[test]
+    fn diagnostics_reflect_the_winning_model() {
+        let builder = RbfModelBuilder::new(DesignSpace::paper_table1(), BuildConfig::quick(50));
+        let built = builder.build(&smooth_response()).unwrap();
+        let test = builder.test_points(&DesignSpace::paper_table2(), 20);
+        let actual: Vec<f64> = test.iter().map(|p| smooth_response().eval(p)).collect();
+        let holdout = built.evaluate(&test, &actual);
+        let diag = built.diagnostics(Some(holdout)).unwrap();
+        assert_eq!(diag.holdout, Some(holdout));
+        assert_eq!(diag.centers, built.model.network.num_centers());
+        assert_eq!(diag.p_min, built.model.p_min);
+        assert_eq!(diag.aicc, built.model.score);
+        assert_eq!(diag.quarantined, 0);
+        assert!(diag.discrepancy > 0.0);
     }
 
     #[test]

@@ -119,6 +119,21 @@ impl CrossValidator {
     /// * [`CrossValError::Data`] if the sample is inconsistent.
     /// * [`CrossValError::Train`] if a fold refit fails.
     pub fn run(&self, design: &[Vec<f64>], responses: &[f64]) -> Result<ErrorStats, CrossValError> {
+        self.run_detailed(design, responses).map(|d| d.overall)
+    }
+
+    /// Like [`CrossValidator::run`], but also returns per-fold error
+    /// statistics (fold `i` holds out points `i mod k`) — the spread
+    /// across folds indicates how sensitive the fit is to the sample.
+    ///
+    /// # Errors
+    ///
+    /// As [`CrossValidator::run`].
+    pub fn run_detailed(
+        &self,
+        design: &[Vec<f64>],
+        responses: &[f64],
+    ) -> Result<DetailedCrossVal, CrossValError> {
         let k = self.folds;
         if k < 2 {
             return Err(CrossValError::BadFolds(
@@ -170,15 +185,32 @@ impl CrossValidator {
         // Reassemble in fold order — exactly the serial loop's order.
         let mut predicted = Vec::with_capacity(n);
         let mut actual = Vec::with_capacity(n);
+        let mut folds = Vec::with_capacity(k);
         for fold in fold_results {
             let (test_idx, predictions) = fold?;
+            let fold_actual: Vec<f64> = test_idx.iter().map(|&i| responses[i]).collect();
+            folds.push(ErrorStats::from_predictions(&predictions, &fold_actual));
             for (i, pred) in test_idx.into_iter().zip(predictions) {
                 predicted.push(pred);
                 actual.push(responses[i]);
             }
         }
-        Ok(ErrorStats::from_predictions(&predicted, &actual))
+        Ok(DetailedCrossVal {
+            overall: ErrorStats::from_predictions(&predicted, &actual),
+            folds,
+        })
     }
+}
+
+/// The result of [`CrossValidator::run_detailed`]: pooled error
+/// statistics plus the per-fold breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetailedCrossVal {
+    /// Statistics over all held-out predictions pooled together (what
+    /// [`CrossValidator::run`] returns).
+    pub overall: ErrorStats,
+    /// Statistics of each fold's held-out predictions, in fold order.
+    pub folds: Vec<ErrorStats>,
 }
 
 /// Cross-validates an RBF trainer on a sample with `k` folds — the
@@ -249,6 +281,23 @@ mod tests {
                 .unwrap();
             assert_eq!(reference, got, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn detailed_run_matches_pooled_run_and_counts_folds() {
+        let (pts, y) = sample(40);
+        let cv = CrossValidator::new(RbfTrainer::quick(), 5);
+        let pooled = cv.run(&pts, &y).unwrap();
+        let detailed = cv.run_detailed(&pts, &y).unwrap();
+        assert_eq!(detailed.overall, pooled);
+        assert_eq!(detailed.folds.len(), 5);
+        for f in &detailed.folds {
+            assert!(f.mean_pct.is_finite() && f.mean_pct >= 0.0);
+        }
+        // Deterministic across thread counts, like run().
+        let d1 = cv.clone().with_threads(1).run_detailed(&pts, &y).unwrap();
+        let d8 = cv.clone().with_threads(8).run_detailed(&pts, &y).unwrap();
+        assert_eq!(d1, d8);
     }
 
     #[test]

@@ -294,10 +294,18 @@ pub fn eval_batch_supervised<R: Response>(
         }
     } else {
         let chunk = todo.len().div_ceil(workers);
+        // Workers inherit this thread's telemetry context so their
+        // shard spans nest under stage.simulation (and any scoped
+        // registry follows them); shards render as timeline lanes in
+        // the trace export.
+        let ctx = ppm_telemetry::current_context();
         std::thread::scope(|s| {
-            for (idxs, out) in todo.chunks(chunk).zip(fresh.chunks_mut(chunk)) {
+            for (w, (idxs, out)) in todo.chunks(chunk).zip(fresh.chunks_mut(chunk)).enumerate() {
                 let quarantined = &quarantined;
+                let ctx = &ctx;
                 s.spawn(move || {
+                    let _ctx_guard = ctx.attach();
+                    let _shard = ppm_telemetry::span(&format!("sim.batch.w{w}"));
                     for (slot, &i) in out.iter_mut().zip(idxs) {
                         run_one(response, i, &points[i], policy, slot, quarantined);
                     }

@@ -98,7 +98,7 @@ impl Executor {
         let out = if workers <= 1 {
             (0..n).map(f).collect()
         } else {
-            map_parallel(workers, n, &f)
+            map_parallel(label, workers, n, &f)
         };
         ppm_telemetry::gauge(&format!("exec.{label}.ms")).set(start.elapsed().as_secs_f64() * 1e3);
         out
@@ -108,7 +108,12 @@ impl Executor {
 /// The parallel path: workers claim chunks of indices from a shared
 /// cursor, collect `(index, value)` pairs, and the results are placed
 /// into index-ordered slots after the scope joins.
-fn map_parallel<T, F>(workers: usize, n: usize, f: &F) -> Vec<T>
+///
+/// Each worker attaches the spawning thread's [`TelemetryContext`], so
+/// its shard span (`exec.<label>.w<k>`) nests under the enclosing stage
+/// span and its metrics land in the caller's (possibly scoped)
+/// registry — trace exports render the shards as per-thread lanes.
+fn map_parallel<T, F>(label: &str, workers: usize, n: usize, f: &F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -119,12 +124,16 @@ where
     let chunk = (n / (workers * 4)).max(1);
     let fair = n.div_ceil(workers);
     let cursor = AtomicUsize::new(0);
+    let ctx = ppm_telemetry::current_context();
 
     let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let cursor = &cursor;
+                let ctx = &ctx;
                 scope.spawn(move || {
+                    let _ctx_guard = ctx.attach();
+                    let _shard = ppm_telemetry::span(&format!("exec.{label}.w{w}"));
                     let mut got: Vec<(usize, T)> = Vec::new();
                     let mut claimed = 0usize;
                     loop {
@@ -224,6 +233,32 @@ mod tests {
         let e = Executor::new(7).unwrap();
         let out = e.map("test", 61, |i| i);
         assert_eq!(out, (0..61).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_inherit_telemetry_context() {
+        // With a scoped registry installed on the calling thread, both
+        // the caller-side counters and the worker shard spans must land
+        // in the scoped registry, not the global one.
+        let scoped = ppm_telemetry::Registry::scoped();
+        let e = Executor::new(4).unwrap();
+        let out = e.map("ctx_test", 64, |i| i);
+        assert_eq!(out.len(), 64);
+        // Exactly this call's tasks: other tests can't touch a scoped
+        // registry, so the count is precise.
+        assert_eq!(scoped.counter("exec.tasks").get(), 64);
+        assert!(
+            scoped.histogram("span.exec.ctx_test.w0.us").count() >= 1,
+            "worker shard span must be recorded in the scoped registry"
+        );
+        // The shard-span histogram for this unique label must not leak
+        // into the global registry.
+        assert_eq!(
+            ppm_telemetry::registry()
+                .histogram("span.exec.ctx_test.w0.us")
+                .count(),
+            0
+        );
     }
 
     #[test]

@@ -294,6 +294,17 @@ impl RegressionTree {
     ///
     /// Panics if `x.len() != self.dim()`.
     pub fn predict(&self, x: &[f64]) -> f64 {
+        self.nodes[self.leaf_index(x)].mean
+    }
+
+    /// The arena index of the leaf whose region contains `x` — the
+    /// partition cell the tree assigns the point to. Useful for
+    /// attributing residuals to tree regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn leaf_index(&self, x: &[f64]) -> usize {
         assert_eq!(x.len(), self.dim, "dimension mismatch");
         let mut idx = 0;
         loop {
@@ -302,7 +313,7 @@ impl RegressionTree {
                 (Some(split), Some((l, r))) => {
                     idx = if x[split.param] <= split.value { l } else { r };
                 }
-                _ => return node.mean,
+                _ => return idx,
             }
         }
     }
@@ -553,6 +564,26 @@ mod tests {
                 .sum();
             assert_eq!(leaf_total, n, "seed {seed}");
             assert_eq!(tree.node(0).count, n, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn leaf_index_always_names_a_containing_leaf() {
+        for seed in 0..16u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let pts: Vec<Vec<f64>> = (0..40)
+                .map(|_| vec![rng.unit_f64(), rng.unit_f64()])
+                .collect();
+            let y: Vec<f64> = pts.iter().map(|p| p[0] * 3.0 - p[1]).collect();
+            let tree = RegressionTree::fit(&Dataset::new(pts, y).unwrap(), 2);
+            for _ in 0..20 {
+                let x = [rng.unit_f64(), rng.unit_f64()];
+                let idx = tree.leaf_index(&x);
+                let node = tree.node(idx);
+                assert!(node.is_leaf(), "seed {seed}: index {idx} is internal");
+                assert!(node.rect.contains(&x), "seed {seed}: leaf rect misses x");
+                assert_eq!(tree.predict(&x), node.mean);
+            }
         }
     }
 

@@ -1,0 +1,54 @@
+//! Process CPU-time readings for span records.
+//!
+//! On Linux the user+system jiffies come from `/proc/self/stat`; the
+//! kernel's clock-tick rate is fixed at 100 Hz on every mainstream
+//! distribution, so one tick is 10 ms. Elsewhere (or when the proc
+//! file is unreadable) readings are `None` and spans simply omit their
+//! CPU column — wall-clock timing is never affected.
+
+/// Total process CPU time (user + system, all threads) in
+/// microseconds, or `None` when the platform offers no reading.
+///
+/// Granularity is one scheduler tick (10 ms on Linux), so short spans
+/// legitimately report a zero delta.
+pub fn process_cpu_us() -> Option<u64> {
+    read_proc_self_stat()
+}
+
+#[cfg(target_os = "linux")]
+fn read_proc_self_stat() -> Option<u64> {
+    const TICK_US: u64 = 10_000; // 100 Hz kernel tick
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // Field 2 (comm) may contain spaces; everything after the closing
+    // paren is space-separated, with utime/stime at fields 14 and 15
+    // (1-based), i.e. indices 11 and 12 after the paren.
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_ascii_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) * TICK_US)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn read_proc_self_stat() -> Option<u64> {
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn cpu_time_is_monotone() {
+        let a = process_cpu_us().expect("/proc/self/stat readable");
+        // Burn a little CPU so the reading can only move forward.
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i).rotate_left(7);
+        }
+        assert!(x != 1); // keep the loop alive
+        let b = process_cpu_us().expect("/proc/self/stat readable");
+        assert!(b >= a, "cpu time went backwards: {a} -> {b}");
+    }
+}

@@ -31,18 +31,24 @@
 //! span closings return after one relaxed atomic load. Call sites never
 //! need to be conditionally compiled out.
 
+mod cputime;
 mod json;
 mod registry;
 mod sink;
 mod span;
 
+pub use cputime::process_cpu_us;
 pub use json::{json_string, Value};
 pub use registry::{Counter, Gauge, Histogram, MetricKind, MetricRecord, Registry};
 pub use sink::{BufferSink, JsonlSink, Record, Sink, StderrSink, Verbosity};
-pub use span::{current_depth, current_span, Span};
+pub use span::{
+    current_depth, current_span, monotonic_us, thread_ordinal, ContextGuard, Span, TelemetryContext,
+};
 
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 static REGISTRY: Registry = Registry::new();
 static ENABLED: AtomicBool = AtomicBool::new(true);
@@ -50,24 +56,131 @@ static SINKS: Mutex<Vec<Box<dyn Sink>>> = Mutex::new(Vec::new());
 /// Mirrors `SINKS.len()` so the no-sink fast path skips the lock.
 static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
 
-/// The global instrument registry.
+thread_local! {
+    /// Per-thread registry override installed by [`Registry::scoped`] or
+    /// an attached [`TelemetryContext`]. `None` means the global
+    /// registry is active.
+    static REGISTRY_OVERRIDE: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
+/// Swaps this thread's registry override, returning the previous one.
+pub(crate) fn set_registry_override(r: Option<Arc<Registry>>) -> Option<Arc<Registry>> {
+    REGISTRY_OVERRIDE.with(|o| std::mem::replace(&mut *o.borrow_mut(), r))
+}
+
+/// This thread's registry override, if any.
+pub(crate) fn registry_override() -> Option<Arc<Registry>> {
+    REGISTRY_OVERRIDE.with(|o| o.borrow().clone())
+}
+
+/// Runs `f` against the registry active on this thread: the scoped
+/// override when one is installed, else the global registry.
+pub(crate) fn with_active_registry<T>(f: impl FnOnce(&Registry) -> T) -> T {
+    match registry_override() {
+        Some(r) => f(&r),
+        None => f(&REGISTRY),
+    }
+}
+
+/// The global instrument registry (ignores scoped overrides).
 pub fn registry() -> &'static Registry {
     &REGISTRY
 }
 
-/// The global counter named `name`. Hot paths should cache the handle.
+/// The counter named `name` in the active registry. Hot paths should
+/// cache the handle.
 pub fn counter(name: &str) -> std::sync::Arc<Counter> {
-    REGISTRY.counter(name)
+    with_active_registry(|r| r.counter(name))
 }
 
-/// The global gauge named `name`.
+/// The gauge named `name` in the active registry.
 pub fn gauge(name: &str) -> std::sync::Arc<Gauge> {
-    REGISTRY.gauge(name)
+    with_active_registry(|r| r.gauge(name))
 }
 
-/// The global histogram named `name`.
+/// The histogram named `name` in the active registry.
 pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {
-    REGISTRY.histogram(name)
+    with_active_registry(|r| r.histogram(name))
+}
+
+/// Snapshots every instrument in the active registry, sorted by kind
+/// then name (same order [`export_metrics`] emits).
+pub fn snapshot() -> Vec<MetricRecord> {
+    with_active_registry(|r| r.snapshot())
+}
+
+/// Captures this thread's telemetry context (open span stack plus any
+/// scoped-registry override) for propagation into worker threads; see
+/// [`TelemetryContext::attach`].
+pub fn current_context() -> TelemetryContext {
+    span::snapshot_context()
+}
+
+/// An RAII guard that redirects this thread's instrument lookups to a
+/// private [`Registry`]. Created by [`Registry::scoped`].
+///
+/// While the guard lives, `counter`/`gauge`/`histogram`/`snapshot` (and
+/// span-duration histograms) on this thread hit the private registry
+/// instead of the global one, so concurrent tests can't bleed counters
+/// into each other. Worker threads spawned while the guard is active
+/// inherit it through [`current_context`] / [`TelemetryContext::attach`].
+///
+/// The guard is deliberately `!Send`: it manages thread-local state and
+/// must drop on the thread that created it.
+#[derive(Debug)]
+pub struct ScopedRegistry {
+    registry: Arc<Registry>,
+    prev: Option<Arc<Registry>>,
+    /// Keeps the guard on its creating thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ScopedRegistry {
+    /// A shared handle to the scoped registry (e.g. to move into a
+    /// worker context manually).
+    pub fn handle(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Snapshots the scoped registry's instruments.
+    pub fn snapshot(&self) -> Vec<MetricRecord> {
+        self.registry.snapshot()
+    }
+}
+
+impl std::ops::Deref for ScopedRegistry {
+    type Target = Registry;
+
+    fn deref(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl Drop for ScopedRegistry {
+    fn drop(&mut self) {
+        set_registry_override(self.prev.take());
+    }
+}
+
+impl Registry {
+    /// Installs a fresh, private registry as this thread's instrument
+    /// target and returns the guard controlling its lifetime.
+    ///
+    /// ```
+    /// let scoped = ppm_telemetry::Registry::scoped();
+    /// ppm_telemetry::counter("isolated.count").inc();
+    /// assert_eq!(scoped.counter("isolated.count").get(), 1);
+    /// drop(scoped); // global registry active again
+    /// ```
+    pub fn scoped() -> ScopedRegistry {
+        let registry = Arc::new(Registry::new());
+        let prev = set_registry_override(Some(Arc::clone(&registry)));
+        ScopedRegistry {
+            registry,
+            prev,
+            _not_send: PhantomData,
+        }
+    }
 }
 
 /// Opens a global span named `name` (see [`Span::enter`]).
@@ -138,10 +251,10 @@ pub fn event(name: &str, fields: &[(&str, Value)]) {
     });
 }
 
-/// Snapshots every instrument in the global registry and sends the
+/// Snapshots every instrument in the active registry and sends the
 /// resulting metric records to all sinks, then flushes.
 pub fn export_metrics() {
-    for m in REGISTRY.snapshot() {
+    for m in snapshot() {
         dispatch(&Record::Metric(m));
     }
     flush_sinks();
@@ -256,5 +369,60 @@ mod tests {
             r,
             Record::Metric(m) if m.name == "t.export_counter" && m.value == Some(7)
         )));
+    }
+
+    #[test]
+    fn scoped_registry_isolates_instruments() {
+        let global_before = registry().counter("t.scoped_iso").get();
+        {
+            let scoped = Registry::scoped();
+            counter("t.scoped_iso").add(5);
+            gauge("t.scoped_gauge").set(1.5);
+            histogram("t.scoped_hist").record(10);
+            assert_eq!(scoped.counter("t.scoped_iso").get(), 5);
+            let snap = snapshot();
+            assert!(snap.iter().any(|m| m.name == "t.scoped_iso"));
+            // The global registry never saw the increments.
+            assert_eq!(registry().counter("t.scoped_iso").get(), global_before);
+        }
+        // Guard dropped: lookups hit the global registry again.
+        counter("t.scoped_iso").inc();
+        assert_eq!(registry().counter("t.scoped_iso").get(), global_before + 1);
+    }
+
+    #[test]
+    fn scoped_registries_nest_and_restore() {
+        let outer = Registry::scoped();
+        counter("t.nest").add(1);
+        {
+            let inner = Registry::scoped();
+            counter("t.nest").add(10);
+            assert_eq!(inner.counter("t.nest").get(), 10);
+        }
+        counter("t.nest").add(1);
+        assert_eq!(outer.counter("t.nest").get(), 2);
+    }
+
+    #[test]
+    fn scoped_registry_propagates_to_workers_via_context() {
+        let scoped = Registry::scoped();
+        let ctx = current_context();
+        std::thread::spawn(move || {
+            let _g = ctx.attach();
+            counter("t.scoped_worker").add(3);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(scoped.counter("t.scoped_worker").get(), 3);
+    }
+
+    #[test]
+    fn span_durations_respect_scoped_registry() {
+        let scoped = Registry::scoped();
+        {
+            let _s = span("scoped_span_check");
+        }
+        assert_eq!(scoped.histogram("span.scoped_span_check.us").count(), 1);
+        assert_eq!(registry().histogram("span.scoped_span_check.us").count(), 0);
     }
 }

@@ -1,0 +1,157 @@
+//! Golden accuracy tests for the log-bucketed histogram's quantile
+//! estimator.
+//!
+//! The histogram promises quarter-octave buckets above 16, which bounds
+//! the relative quantile error: a value `x` shares its bucket with
+//! values at most `x/4` away, so the reported bucket midpoint is within
+//! 25% of the exact order statistic in the worst case (and ~12.5%
+//! typically). These tests pin that contract against exact quantiles
+//! computed by sorting, on known deterministic distributions — if a
+//! bucketing change degrades the estimator, they fail loudly.
+
+use ppm_telemetry::Histogram;
+
+/// xorshift64* — deterministic local generator so this test needs no
+/// RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// The exact order statistic matching the histogram's definition:
+/// the `ceil(q·n)`-th smallest observation (1-indexed).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Asserts the estimator is within `tol` relative error of the exact
+/// quantile at p50/p90/p99 (absolute slack 1 for tiny values).
+fn assert_quantiles_close(values: &[u64], tol: f64, label: &str) {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    for q in [0.50, 0.90, 0.99] {
+        let exact = exact_quantile(&sorted, q);
+        let est = h.quantile(q).expect("non-empty histogram");
+        let err = (est as f64 - exact as f64).abs();
+        let bound = (exact as f64 * tol).max(1.0);
+        assert!(
+            err <= bound,
+            "{label}: p{} estimate {est} vs exact {exact} (err {err:.1} > {bound:.1})",
+            (q * 100.0) as u32
+        );
+    }
+}
+
+#[test]
+fn uniform_distribution_quantiles_within_bucket_error() {
+    let mut rng = XorShift(0x9E37_79B9_7F4A_7C15);
+    let values: Vec<u64> = (0..10_000).map(|_| rng.below(100_000)).collect();
+    assert_quantiles_close(&values, 0.25, "uniform[0,100k)");
+}
+
+#[test]
+fn log_uniform_distribution_quantiles_within_bucket_error() {
+    // Spread across five orders of magnitude — the regime log bucketing
+    // exists for (span durations from microseconds to seconds).
+    let mut rng = XorShift(42);
+    let values: Vec<u64> = (0..10_000)
+        .map(|_| {
+            let exponent = rng.below(17); // 2^0 .. 2^16
+            (1u64 << exponent) + rng.below((1u64 << exponent).max(1))
+        })
+        .collect();
+    assert_quantiles_close(&values, 0.25, "log-uniform");
+}
+
+#[test]
+fn heavy_tail_distribution_quantiles_within_bucket_error() {
+    // Mostly-small with a long tail, like per-point simulation times
+    // with occasional stragglers.
+    let mut rng = XorShift(7);
+    let values: Vec<u64> = (0..10_000)
+        .map(|_| {
+            let base = rng.below(200) + 20;
+            if rng.below(100) < 5 {
+                base * 50 // 5% stragglers
+            } else {
+                base
+            }
+        })
+        .collect();
+    assert_quantiles_close(&values, 0.25, "heavy-tail");
+}
+
+#[test]
+fn small_values_are_exact() {
+    // Values below 16 get dedicated linear buckets: quantiles must be
+    // exact, not approximate.
+    let mut rng = XorShift(1234);
+    let values: Vec<u64> = (0..5_000).map(|_| rng.below(16)).collect();
+    let h = Histogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    for q in [0.01, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0] {
+        assert_eq!(
+            h.quantile(q).unwrap(),
+            exact_quantile(&sorted, q),
+            "linear-bucket quantile p{} must be exact",
+            (q * 100.0) as u32
+        );
+    }
+}
+
+#[test]
+fn constant_distribution_is_exact_via_clamping() {
+    // Every observation identical: min/max clamping must pin the
+    // estimate to the true value regardless of bucket width.
+    let h = Histogram::new();
+    for _ in 0..1_000 {
+        h.record(123_456);
+    }
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), Some(123_456));
+    }
+}
+
+#[test]
+fn typical_error_is_half_bucket_not_worst_case() {
+    // On a dense uniform distribution the p50 estimate should usually
+    // land well inside the documented ~12.5% typical error, not at the
+    // 25% worst case.
+    let mut rng = XorShift(99);
+    let values: Vec<u64> = (0..50_000).map(|_| 10_000 + rng.below(90_000)).collect();
+    let h = Histogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    let exact = exact_quantile(&sorted, 0.5) as f64;
+    let est = h.quantile(0.5).unwrap() as f64;
+    assert!(
+        (est - exact).abs() / exact <= 0.125,
+        "p50 {est} strayed more than 12.5% from exact {exact}"
+    );
+}

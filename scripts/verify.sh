@@ -23,14 +23,31 @@ cargo test -q --test determinism
 echo "== workspace tests =="
 cargo test -q --workspace
 
-echo "== panic-path grep gate (core, rbf, sampling, exec) =="
+echo "== flight recorder: smoke build + regression sentry + trace check =="
+# A fixed-seed smoke build must (a) reproduce the committed baseline
+# ledger — every deterministic counter and error statistic exactly, and
+# stage wall times within a generous cross-machine budget — and
+# (b) emit a structurally valid Chrome-trace file. `ppm report` exits 5
+# on regression, which fails this gate via `set -e`.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+target/release/ppm build --benchmark ammp --sample 20 --instructions 10000 \
+  --seed 7 --train-threads 2 --holdout 6 --quiet \
+  --out "$smoke_dir/m.txt" --ledger-out "$smoke_dir/ledger.json" \
+  --trace-out "$smoke_dir/trace.json"
+target/release/ppm report --candidate "$smoke_dir/ledger.json" \
+  --against results/baselines/smoke.json --max-stage-ratio 25
+target/release/ppm check-trace --file "$smoke_dir/trace.json"
+
+echo "== panic-path grep gate (core, rbf, sampling, exec, obs) =="
 # Fail if non-test code in the modeling crates grows a new `.unwrap()` /
 # `.expect(` call site: library faults must surface as typed errors, not
 # panics. Test modules (everything from `#[cfg(test)]` down) are exempt,
 # as is anything matching scripts/unwrap_allowlist.txt.
 violations=$(
   for f in crates/core/src/*.rs crates/rbf/src/*.rs \
-           crates/sampling/src/*.rs crates/exec/src/*.rs; do
+           crates/sampling/src/*.rs crates/exec/src/*.rs \
+           crates/obs/src/*.rs; do
     awk -v file="$f" '/#\[cfg\(test\)\]/{exit} {print file":"FNR": "$0}' "$f"
   done \
     | grep -E '\.unwrap\(\)|\.expect\(' \

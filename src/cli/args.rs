@@ -58,7 +58,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 4] = ["--energy", "--trace", "--quiet", "--resume"];
+const SWITCHES: [&str; 5] = ["--energy", "--trace", "--quiet", "--resume", "--no-ledger"];
 
 impl Parsed {
     /// Parses raw arguments (excluding the program name).
@@ -131,6 +131,23 @@ impl Parsed {
         self.switches.iter().any(|s| s == flag)
     }
 
+    /// Every provided flag as a `(name, value)` pair, sorted by name,
+    /// with switches valued `"true"` — the run ledger's `args` block.
+    pub fn flag_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = self
+            .values
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        pairs.extend(
+            self.switches
+                .iter()
+                .map(|s| (s.clone(), "true".to_string())),
+        );
+        pairs.sort();
+        pairs
+    }
+
     /// All flag names that were provided (for validation).
     pub fn provided_flags(&self) -> impl Iterator<Item = &str> {
         self.values
@@ -189,6 +206,20 @@ mod tests {
             p.require("--out"),
             Err(ArgError::Required("--out"))
         ));
+    }
+
+    #[test]
+    fn flag_pairs_are_sorted_and_include_switches() {
+        let p = parse(&["build", "--seed", "7", "--no-ledger", "--benchmark", "mcf"]).unwrap();
+        assert_eq!(
+            p.flag_pairs(),
+            vec![
+                ("--benchmark".to_string(), "mcf".to_string()),
+                ("--no-ledger".to_string(), "true".to_string()),
+                ("--seed".to_string(), "7".to_string()),
+            ]
+        );
+        assert!(p.switch("--no-ledger"));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::str::FromStr;
 use ppm_core::builder::{BuildConfig, BuildError, RbfModelBuilder};
 use ppm_core::checkpoint::{Checkpoint, CheckpointError};
 use ppm_core::persist::{self, PersistError};
-use ppm_core::response::{Metric, SimulatorResponse};
+use ppm_core::response::{Metric, Response, SimulatorResponse};
 use ppm_core::space::DesignSpace;
 use ppm_core::study::pb_screening;
 use ppm_firstorder::{FirstOrderModel, ProgramStats};
@@ -16,6 +16,7 @@ use ppm_sim::{estimate_energy, EnergyParams, Processor, SimConfig};
 use ppm_workload::{Benchmark, TraceGenerator};
 
 use crate::cli::args::{ArgError, Parsed};
+use crate::cli::flight::{self, RunArtifacts};
 
 /// Errors surfaced to the CLI user, categorized so the process exit
 /// code tells scripts *what kind* of failure occurred.
@@ -32,18 +33,23 @@ pub enum CliError {
     /// Model or checkpoint files that could not be read or written
     /// (exit code 4).
     Persistence(String),
+    /// The regression sentry found the candidate worse than the
+    /// baseline (exit code 5) — the comparison itself succeeded.
+    Regression(String),
     /// Anything else, with a user-facing message (exit code 1).
     Message(String),
 }
 
 impl CliError {
     /// The process exit code for this error category: usage errors 2,
-    /// simulation faults 3, persistence failures 4, everything else 1.
+    /// simulation faults 3, persistence failures 4, regressions 5,
+    /// everything else 1.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Args(_) | CliError::Usage(_) => 2,
             CliError::Simulation(_) => 3,
             CliError::Persistence(_) => 4,
+            CliError::Regression(_) => 5,
             CliError::Message(_) => 1,
         }
     }
@@ -56,6 +62,7 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => f.write_str(m),
             CliError::Simulation(e) => write!(f, "{e}"),
             CliError::Persistence(m) => f.write_str(m),
+            CliError::Regression(m) => f.write_str(m),
             CliError::Message(m) => f.write_str(m),
         }
     }
@@ -105,6 +112,20 @@ fn msg(m: impl fmt::Display) -> CliError {
 ///
 /// Returns [`CliError`] with a user-facing message on any failure.
 pub fn run(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    run_with_artifacts(parsed, out, &mut RunArtifacts::default())
+}
+
+/// Like [`run`], but also fills `artifacts` with side results (model
+/// diagnostics) for the flight recorder's ledger writer.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a user-facing message on any failure.
+pub fn run_with_artifacts(
+    parsed: &Parsed,
+    out: &mut dyn fmt::Write,
+    artifacts: &mut RunArtifacts,
+) -> Result<(), CliError> {
     match parsed.command.as_str() {
         "help" | "--help" | "-h" => {
             out.write_str(crate::cli::USAGE).map_err(msg)?;
@@ -112,11 +133,13 @@ pub fn run(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         }
         "benchmarks" => benchmarks(out),
         "simulate" => simulate(parsed, out),
-        "build" => build(parsed, out),
+        "build" => build(parsed, out, artifacts),
         "predict" => predict(parsed, out),
         "screen" => screen(parsed, out),
         "firstorder" => firstorder(parsed, out),
         "workload-info" => workload_info(parsed, out),
+        "report" => flight::report(parsed, out),
+        "check-trace" => flight::check_trace(parsed, out),
         other => Err(msg(format!("unknown command {other:?} (try `ppm help`)"))),
     }
 }
@@ -187,8 +210,11 @@ fn simulate(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     let config = config_from(parsed)?;
     let instructions: usize = parsed.num("--instructions", 100_000)?;
     let seed: u64 = parsed.num("--seed", 1u64)?;
-    let trace = TraceGenerator::new(bench, seed).take(instructions);
-    let stats = Processor::new(config.clone()).run(trace);
+    let stats = {
+        let _span = ppm_telemetry::span("stage.simulate");
+        let trace = TraceGenerator::new(bench, seed).take(instructions);
+        Processor::new(config.clone()).run(trace)
+    };
     writeln!(out, "benchmark      {bench}").map_err(msg)?;
     writeln!(out, "instructions   {}", stats.instructions).map_err(msg)?;
     writeln!(out, "cycles         {}", stats.cycles).map_err(msg)?;
@@ -233,12 +259,17 @@ fn train_threads_arg(parsed: &Parsed) -> Result<usize, CliError> {
     Ok(threads.min(ppm_exec::MAX_THREADS))
 }
 
-fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+fn build(
+    parsed: &Parsed,
+    out: &mut dyn fmt::Write,
+    artifacts: &mut RunArtifacts,
+) -> Result<(), CliError> {
     let bench = benchmark_arg(parsed)?;
     let out_path = parsed.require("--out")?.to_string();
     let sample: usize = parsed.num("--sample", 90)?;
     let instructions: usize = parsed.num("--instructions", 100_000)?;
     let seed: u64 = parsed.num("--seed", 1u64)?;
+    let holdout: usize = parsed.num("--holdout", 12)?;
     let train_threads = train_threads_arg(parsed)?;
     let lhs_candidates: usize = parsed.num("--lhs-candidates", 200)?;
     let (metric, metric_name) = metric_arg(parsed)?;
@@ -295,6 +326,23 @@ fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         )
         .map_err(msg)?;
     }
+    // Held-out accuracy on the paper's §3 test region: simulate
+    // `--holdout` fresh points the training sample never saw and score
+    // the model against them. Deterministic for a fixed seed, so the
+    // statistics land in the ledger's hashed body.
+    let holdout_stats = if holdout > 0 {
+        let _span = ppm_telemetry::span("stage.holdout");
+        let test = builder.test_points(&DesignSpace::paper_table2(), holdout);
+        let actual: Vec<f64> = test.iter().map(|p| response.eval(p)).collect();
+        Some(built.evaluate(&test, &actual))
+    } else {
+        None
+    };
+    artifacts.diagnostics = built
+        .diagnostics(holdout_stats)
+        .ok()
+        .as_ref()
+        .map(flight::diagnostics_json);
     let mut meta = run_meta;
     meta.push(("p_min".to_string(), built.model.p_min.to_string()));
     meta.push(("alpha".to_string(), built.model.alpha.to_string()));
@@ -308,6 +356,14 @@ fn build(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         out_path
     )
     .map_err(msg)?;
+    if let Some(stats) = &holdout_stats {
+        writeln!(
+            out,
+            "held-out CPI error over {holdout} points: mean {:.2}% max {:.2}% std {:.2}%",
+            stats.mean_pct, stats.max_pct, stats.std_pct
+        )
+        .map_err(msg)?;
+    }
     Ok(())
 }
 
@@ -349,10 +405,13 @@ fn workload_info(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliErr
     let bench = benchmark_arg(parsed)?;
     let instructions: usize = parsed.num("--instructions", 100_000)?;
     let seed: u64 = parsed.num("--seed", 1u64)?;
-    let stats = ProgramStats::collect(
-        TraceGenerator::new(bench, seed).take(instructions),
-        &SimConfig::default(),
-    );
+    let stats = {
+        let _span = ppm_telemetry::span("stage.workload_stats");
+        ProgramStats::collect(
+            TraceGenerator::new(bench, seed).take(instructions),
+            &SimConfig::default(),
+        )
+    };
     writeln!(out, "benchmark           {bench}").map_err(msg)?;
     writeln!(out, "instructions        {}", stats.instructions).map_err(msg)?;
     writeln!(out, "load fraction       {:.3}", stats.load_frac).map_err(msg)?;
@@ -390,10 +449,13 @@ fn firstorder(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError>
     let instructions: usize = parsed.num("--instructions", 100_000)?;
     let seed: u64 = parsed.num("--seed", 1u64)?;
     let config = config_from(parsed)?;
-    let stats = ProgramStats::collect(
-        TraceGenerator::new(bench, seed).take(instructions),
-        &SimConfig::default(),
-    );
+    let stats = {
+        let _span = ppm_telemetry::span("stage.workload_stats");
+        ProgramStats::collect(
+            TraceGenerator::new(bench, seed).take(instructions),
+            &SimConfig::default(),
+        )
+    };
     let model = FirstOrderModel::new(stats);
     let predicted = model.predict(&config);
     writeln!(out, "benchmark            {bench}").map_err(msg)?;

@@ -20,12 +20,21 @@
 //! stderr progress), `--trace` (nested span tracing on stderr; the
 //! `PPM_TRACE` environment variable does the same), and
 //! `--metrics-out <file>` (JSON-lines telemetry export).
+//!
+//! The flight recorder rides along on every substantive command: a
+//! `ppm-ledger v1` run manifest lands in `results/runs/` (`--ledger-out`
+//! / `--ledger-dir` / `--no-ledger` to steer it), `--trace-out <file>`
+//! exports the span tree as Chrome-trace/Perfetto JSON, and
+//! `ppm report` diffs two ledgers as a regression sentry (exit code 5
+//! on regression). See [`flight`].
 
 mod args;
 mod commands;
+pub mod flight;
 
 pub use args::{ArgError, Parsed};
-pub use commands::{run, CliError};
+pub use commands::{run, run_with_artifacts, CliError};
+pub use flight::RunArtifacts;
 
 /// Usage text printed by `ppm help`.
 pub const USAGE: &str = "\
@@ -43,6 +52,9 @@ COMMANDS:
   screen      --benchmark <b>    Plackett-Burman main-effect screening
   firstorder  --benchmark <b>    first-order analytical CPI estimate
   workload-info --benchmark <b>  one-pass program statistics
+  report      --candidate <ledger> --against <ledger>
+                                 regression sentry: diff two run ledgers
+  check-trace --file <trace>     validate a --trace-out Chrome-trace file
   help                           print this text
 
 CONFIGURATION FLAGS (defaults: the mid-range machine):
@@ -69,10 +81,26 @@ FAULT-TOLERANCE FLAGS (`build`):
 
 EXIT CODES:
   0 success    2 usage error    3 simulation fault    4 persistence failure
-  1 other errors
+  5 regression (`report`)    1 other errors
 
 OBSERVABILITY FLAGS (any command):
   --quiet             suppress progress output on stderr
   --trace             nested span tracing on stderr (or set PPM_TRACE=1)
   --metrics-out <f>   write spans, events, and metrics to <f> as JSON lines
+  --trace-out <f>     write the span tree as Chrome-trace/Perfetto JSON
+  --ledger-out <f>    run-ledger path (default results/runs/<run-id>.json)
+  --ledger-dir <d>    run-ledger directory (default results/runs)
+  --no-ledger         skip the run ledger entirely
+  --holdout <n>       held-out test points scored after `build` (default 12;
+                      0 disables; statistics recorded in the run ledger)
+
+REGRESSION SENTRY (`report`) FLAGS:
+  --candidate <f>     the run ledger under test
+  --against <f>       the baseline run ledger
+  --json-out <f>      also write the findings as JSON
+  --max-stage-ratio <r>   stage wall-time budget (default 2.0)
+  --min-stage-us <n>      ignore stages faster than this (default 1000)
+  --max-error-ratio <r>   model-error growth budget (default 1.10)
+  --error-slack-pp <p>    absolute error slack, percentage points (0.1)
+  --counter-tol <r>       allowed counter drift (default 0: exact)
 ";

@@ -2,9 +2,12 @@
 
 use std::fs::File;
 use std::io::BufWriter;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use ppm::cli::{self, Parsed};
+use ppm::cli::{self, flight, Parsed, RunArtifacts};
+use ppm_obs::FlightRecorder;
 use ppm_telemetry as tel;
 
 /// Installs telemetry sinks from `--quiet` / `--trace` / `--metrics-out`
@@ -36,6 +39,45 @@ fn init_telemetry(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes the flight-recorder artifacts after a run: the Chrome-trace
+/// file when `--trace-out` was given (failure is fatal — the user asked
+/// for that file) and the run ledger (failure is a warning — a full
+/// disk must not fail a successful build).
+fn write_flight_artifacts(
+    parsed: &Parsed,
+    artifacts: &RunArtifacts,
+    recorder: &FlightRecorder,
+    created_unix_ms: u64,
+    started: Instant,
+    cpu_start: Option<u64>,
+) -> Result<(), String> {
+    if let Some(path) = parsed.get("--trace-out") {
+        recorder
+            .write_chrome_trace(Path::new(path))
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    }
+    if flight::wants_ledger(parsed) {
+        let total_wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let total_cpu_us = match (cpu_start, tel::process_cpu_us()) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        };
+        let ledger = flight::assemble_ledger(
+            parsed,
+            artifacts,
+            recorder,
+            created_unix_ms,
+            total_wall_us,
+            total_cpu_us,
+        );
+        let path = flight::ledger_path(parsed, &ledger.run_id);
+        if let Err(e) = ledger.write_atomic(&path) {
+            eprintln!("warning: run ledger not written to {}: {e}", path.display());
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match Parsed::parse(args) {
@@ -49,14 +91,37 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    let recorder = FlightRecorder::new();
+    if flight::wants_recorder(&parsed) {
+        tel::add_sink(recorder.sink());
+    }
+    let created_unix_ms = flight::now_unix_ms();
+    let started = Instant::now();
+    let cpu_start = tel::process_cpu_us();
     let mut out = String::new();
-    let result = cli::run(&parsed, &mut out);
+    let mut artifacts = RunArtifacts::default();
+    let result = cli::run_with_artifacts(&parsed, &mut out, &mut artifacts);
+    let flight_result = write_flight_artifacts(
+        &parsed,
+        &artifacts,
+        &recorder,
+        created_unix_ms,
+        started,
+        cpu_start,
+    );
     tel::export_metrics();
     tel::clear_sinks();
+    if let Err(e) = &flight_result {
+        eprintln!("error: {e}");
+    }
     match result {
         Ok(()) => {
             print!("{out}");
-            ExitCode::SUCCESS
+            if flight_result.is_err() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             print!("{out}");

@@ -1,0 +1,385 @@
+//! End-to-end tests for the flight recorder: run ledgers, trace
+//! export, the regression sentry, and the JSONL metrics schema.
+//!
+//! Everything here drives the real `ppm` binary as a subprocess
+//! (`CARGO_BIN_EXE_ppm`), so global telemetry state is per-run and the
+//! assertions cover the exact artifacts users and `scripts/verify.sh`
+//! see.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use ppm_obs::{validate_chrome_trace, verify_content_hash, Json};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppm-flight-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ppm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ppm"))
+        .args(args)
+        .output()
+        .expect("ppm binary runs")
+}
+
+fn ppm_in(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ppm"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("ppm binary runs")
+}
+
+fn assert_code(out: &Output, want: i32) {
+    assert_eq!(
+        out.status.code(),
+        Some(want),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A cheap fixed-seed smoke build run *inside* `dir` with relative
+/// paths, so two runs in different directories share a byte-identical
+/// command line (the ledger body records every argument verbatim).
+fn smoke_build(dir: &Path) -> Output {
+    ppm_in(
+        dir,
+        &[
+            "build",
+            "--benchmark",
+            "ammp",
+            "--sample",
+            "20",
+            "--instructions",
+            "10000",
+            "--seed",
+            "7",
+            "--train-threads",
+            "2",
+            "--holdout",
+            "6",
+            "--quiet",
+            "--out",
+            "m.txt",
+            "--ledger-out",
+            "ledger.json",
+        ],
+    )
+}
+
+fn load(path: &Path) -> Json {
+    let text = std::fs::read_to_string(path).unwrap();
+    Json::parse(&text).unwrap()
+}
+
+#[test]
+fn identical_runs_write_byte_identical_ledger_bodies() {
+    let dir = scratch("determinism");
+    let (run1, run2) = (dir.join("run1"), dir.join("run2"));
+    std::fs::create_dir_all(&run1).unwrap();
+    std::fs::create_dir_all(&run2).unwrap();
+    assert_code(&smoke_build(&run1), 0);
+    assert_code(&smoke_build(&run2), 0);
+    let l1 = load(&run1.join("ledger.json"));
+    let l2 = load(&run2.join("ledger.json"));
+
+    // The deterministic body must match to the byte; the headers carry
+    // the run-specific identity and must not.
+    assert_eq!(
+        l1.get("body").unwrap().dump(),
+        l2.get("body").unwrap().dump()
+    );
+    assert_ne!(
+        l1.get("header").unwrap().get("run_id"),
+        l2.get("header").unwrap().get("run_id")
+    );
+    verify_content_hash(&l1).unwrap();
+    verify_content_hash(&l2).unwrap();
+
+    // The body records what matters: command, args, env, deterministic
+    // metrics, and the model diagnostics with held-out statistics.
+    let body = l1.get("body").unwrap();
+    assert_eq!(body.get("command").and_then(Json::as_str), Some("build"));
+    assert_eq!(
+        body.get("args")
+            .and_then(|a| a.get("--seed"))
+            .and_then(Json::as_str),
+        Some("7")
+    );
+    assert!(body.get("env").and_then(|e| e.get("PPM_THREADS")).is_some());
+    let diag = body.get("diagnostics").unwrap();
+    assert!(
+        diag.get("holdout")
+            .unwrap()
+            .get("mean_pct")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            >= 0.0
+    );
+    assert!(!diag.get("regions").unwrap().as_arr().unwrap().is_empty());
+    assert!(diag.get("centers").unwrap().as_i64().unwrap() > 0);
+    let metrics = body.get("metrics").and_then(Json::as_arr).unwrap();
+    assert!(!metrics.is_empty());
+    for m in metrics {
+        let name = m.get("name").and_then(Json::as_str).unwrap();
+        assert!(
+            !name.starts_with("span.") && !name.ends_with(".us") && !name.ends_with(".ms"),
+            "timing-dependent metric {name} leaked into the hashed body"
+        );
+    }
+
+    // The header carries per-stage timings for the pipeline stages.
+    let stages = l1
+        .get("header")
+        .and_then(|h| h.get("timings"))
+        .and_then(|t| t.get("stages"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    let names: Vec<&str> = stages
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"stage.simulation"), "{names:?}");
+    assert!(names.contains(&"stage.rbf_train"), "{names:?}");
+    assert!(names.contains(&"stage.holdout"), "{names:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sentry_passes_self_compare_and_fails_doctored_ledger() {
+    let dir = scratch("sentry");
+    assert_code(&smoke_build(&dir), 0);
+    let base = dir.join("ledger.json");
+    let base_str = base.to_str().unwrap();
+
+    // A ledger compared against itself is clean (exit 0).
+    let out = ppm(&["report", "--candidate", base_str, "--against", base_str]);
+    assert_code(&out, 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verdict: OK"), "{stdout}");
+
+    // Doctoring the candidate — a 10x slower training stage and a
+    // drifted counter — must trip the sentry with exit code 5.
+    let doc = load(&base);
+    let mut text = doc.dump();
+    let stages = doc
+        .get("header")
+        .and_then(|h| h.get("timings"))
+        .and_then(|t| t.get("stages"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    let rbf_wall = stages
+        .iter()
+        .find(|s| s.get("name").and_then(Json::as_str) == Some("stage.rbf_train"))
+        .and_then(|s| s.get("wall_us"))
+        .and_then(Json::as_i64)
+        .unwrap();
+    text = text.replace(
+        &format!("\"wall_us\":{rbf_wall}"),
+        &format!("\"wall_us\":{}", rbf_wall * 10),
+    );
+    let doctored = dir.join("doctored.json");
+    std::fs::write(&doctored, &text).unwrap();
+    let out = ppm(&[
+        "report",
+        "--candidate",
+        doctored.to_str().unwrap(),
+        "--against",
+        base_str,
+        "--json-out",
+        dir.join("report.json").to_str().unwrap(),
+    ]);
+    assert_code(&out, 5);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    let report = load(&dir.join("report.json"));
+    assert_eq!(report.get("regressed"), Some(&Json::Bool(true)));
+
+    // Unreadable inputs are persistence failures (4), not regressions.
+    let out = ppm(&[
+        "report",
+        "--candidate",
+        "missing.json",
+        "--against",
+        base_str,
+    ]);
+    assert_code(&out, 4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_writes_a_valid_chrome_trace_with_worker_lanes() {
+    let dir = scratch("trace");
+    let trace = dir.join("t.json");
+    let out = ppm(&[
+        "build",
+        "--benchmark",
+        "ammp",
+        "--sample",
+        "20",
+        "--instructions",
+        "10000",
+        "--seed",
+        "7",
+        "--train-threads",
+        "2",
+        "--holdout",
+        "0",
+        "--quiet",
+        "--no-ledger",
+        "--out",
+        dir.join("m.txt").to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    assert_code(&out, 0);
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let summary = validate_chrome_trace(&text).unwrap();
+    assert!(summary.spans > 0);
+    assert!(
+        summary.threads >= 2,
+        "parallel training should populate worker lanes: {summary:?}"
+    );
+    // Worker shards from the deterministic executor appear as slices.
+    assert!(text.contains("exec."), "no worker shard spans in trace");
+
+    // The CLI validator agrees.
+    let out = ppm(&["check-trace", "--file", trace.to_str().unwrap()]);
+    assert_code(&out, 0);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("trace ok"));
+
+    // And rejects a structurally broken file with a persistence error.
+    let broken = dir.join("broken.json");
+    std::fs::write(&broken, "{\"traceEvents\":[{\"ph\":\"X\"}]}").unwrap();
+    let out = ppm(&["check-trace", "--file", broken.to_str().unwrap()]);
+    assert_code(&out, 4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_out_jsonl_matches_the_documented_schema() {
+    let dir = scratch("jsonl");
+    let jsonl = dir.join("m.jsonl");
+    let out = ppm(&[
+        "simulate",
+        "--benchmark",
+        "mcf",
+        "--instructions",
+        "20000",
+        "--quiet",
+        "--no-ledger",
+        "--metrics-out",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert_code(&out, 0);
+
+    let text = std::fs::read_to_string(&jsonl).unwrap();
+    let mut kinds = (0, 0, 0); // spans, events, metrics
+    for line in text.lines() {
+        let rec = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        let t = rec.get("t").and_then(Json::as_str).unwrap();
+        let name = rec.get("name").and_then(Json::as_str).unwrap();
+        assert!(!name.is_empty());
+        match t {
+            "span" => {
+                kinds.0 += 1;
+                for key in ["us", "start_us", "tid", "depth"] {
+                    assert!(
+                        rec.get(key).and_then(Json::as_i64).is_some(),
+                        "span line missing {key}: {line}"
+                    );
+                }
+                // cpu_us and parent are present but may be null.
+                assert!(rec.get("cpu_us").is_some(), "{line}");
+                assert!(rec.get("parent").is_some(), "{line}");
+            }
+            "event" => {
+                kinds.1 += 1;
+                assert!(rec.get("fields").and_then(Json::as_obj).is_some(), "{line}");
+                assert!(rec.get("depth").and_then(Json::as_i64).is_some(), "{line}");
+            }
+            "metric" => {
+                kinds.2 += 1;
+                match rec.get("kind").and_then(Json::as_str).unwrap() {
+                    "counter" => {
+                        assert!(rec.get("value").and_then(Json::as_i64).is_some(), "{line}");
+                    }
+                    "gauge" => {
+                        assert!(rec.get("value").is_some(), "{line}");
+                    }
+                    "histogram" => {
+                        for key in ["count", "sum", "min", "max", "p50", "p95", "p99"] {
+                            assert!(
+                                rec.get(key).and_then(Json::as_i64).is_some(),
+                                "histogram line missing {key}: {line}"
+                            );
+                        }
+                    }
+                    other => panic!("unknown metric kind {other:?}: {line}"),
+                }
+            }
+            other => panic!("unknown record type {other:?}: {line}"),
+        }
+    }
+    assert!(kinds.0 > 0, "no span records in {text}");
+    assert!(kinds.2 > 0, "no metric records in {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ledger_defaults_land_in_the_ledger_dir_and_no_ledger_disables() {
+    let dir = scratch("default-dir");
+    let runs = dir.join("runs");
+    let out = ppm(&[
+        "simulate",
+        "--benchmark",
+        "mcf",
+        "--instructions",
+        "20000",
+        "--seed",
+        "3",
+        "--quiet",
+        "--ledger-dir",
+        runs.to_str().unwrap(),
+    ]);
+    assert_code(&out, 0);
+    let entries: Vec<_> = std::fs::read_dir(&runs)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries.len(), 1, "{entries:?}");
+    assert!(
+        entries[0].starts_with("simulate-3-") && entries[0].ends_with(".json"),
+        "{entries:?}"
+    );
+    ppm_obs::load_ledger(&runs.join(&entries[0])).unwrap();
+
+    // --no-ledger writes nothing.
+    std::fs::remove_dir_all(&runs).ok();
+    let out = ppm(&[
+        "simulate",
+        "--benchmark",
+        "mcf",
+        "--instructions",
+        "20000",
+        "--quiet",
+        "--no-ledger",
+        "--ledger-dir",
+        runs.to_str().unwrap(),
+    ]);
+    assert_code(&out, 0);
+    assert!(!runs.exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
