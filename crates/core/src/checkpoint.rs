@@ -21,7 +21,7 @@
 //! whole-file FNV-1a checksums are verified on load; corrupted or
 //! truncated journals are rejected with a typed [`CheckpointError`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -87,7 +87,7 @@ pub struct Checkpoint {
     path: PathBuf,
     meta: Vec<(String, String)>,
     entries: Vec<(Vec<f64>, f64)>,
-    index: HashMap<String, f64>,
+    index: BTreeMap<String, f64>,
 }
 
 fn point_key(point: &[f64]) -> String {
@@ -118,7 +118,7 @@ impl Checkpoint {
             path: path.into(),
             meta: meta.to_vec(),
             entries: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
         }
     }
 
@@ -164,7 +164,7 @@ impl Checkpoint {
             path,
             meta: Vec::new(),
             entries: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
         };
         for line in lines {
             let mut parts = line.splitn(2, ' ');

@@ -14,7 +14,7 @@
 //! intentionally *not* deterministic across attempts (that is the
 //! point), so it must never back a production model build.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -144,7 +144,7 @@ pub struct FaultyResponse<R> {
     inner: R,
     plan: FaultPlan,
     /// Failed-attempt counts per point hash (for transient faults).
-    attempts: Mutex<HashMap<u64, u32>>,
+    attempts: Mutex<BTreeMap<u64, u32>>,
 }
 
 impl<R: Response> FaultyResponse<R> {
@@ -153,7 +153,7 @@ impl<R: Response> FaultyResponse<R> {
         FaultyResponse {
             inner,
             plan,
-            attempts: Mutex::new(HashMap::new()),
+            attempts: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -212,6 +212,8 @@ impl<R: Response> Response for FaultyResponse<R> {
                 .or_insert(0) += 1;
         }
         match fault {
+            // Panicking is this harness's entire purpose: it exercises
+            // the supervisor's catch_unwind path. lint:allow(panic-path)
             InjectedFault::Panic => panic!("injected fault at {unit:?}"),
             InjectedFault::Nan => f64::NAN,
             InjectedFault::Inf => f64::INFINITY,

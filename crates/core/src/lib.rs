@@ -49,8 +49,6 @@
 //! and resumed without re-simulation. [`fault::FaultyResponse`] injects
 //! deterministic faults for testing these paths.
 
-#![warn(missing_docs)]
-
 pub mod adaptive;
 pub mod builder;
 pub mod checkpoint;

@@ -91,6 +91,7 @@ pub fn fit_linear_baseline(
     responses: &[f64],
 ) -> Result<LinearModel, LinregError> {
     let data = Dataset::new(design.to_vec(), responses.to_vec())
+        // Documented `# Panics` contract above. lint:allow(panic-path)
         .unwrap_or_else(|e: DatasetError| panic!("invalid sample: {e}"));
     LinearTrainer::default().fit(&data)
 }

@@ -40,8 +40,6 @@
 //! # Ok::<(), ppm_exec::ExecError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod pool;
 
 pub use pool::{ExecError, Executor};
@@ -106,6 +104,8 @@ pub fn parse_thread_spec(value: &str) -> Result<usize, ThreadEnvError> {
 /// with a user interface (the CLI) should reject the run as a usage
 /// error instead of guessing.
 pub fn threads_from_env() -> Result<Option<usize>, ThreadEnvError> {
+    // PPM_THREADS is this function's documented public surface; the CLI
+    // calls it explicitly rather than hiding it. lint:allow(env-read)
     match std::env::var("PPM_THREADS") {
         Ok(v) => parse_thread_spec(&v).map(Some),
         Err(_) => Ok(None),

@@ -91,6 +91,9 @@ impl Executor {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        // Feeds the exec.<label>.ms gauge; a span per shard batch would
+        // recurse into the recorder from worker threads and perturb the
+        // sentry baselines. lint:allow(wall-clock)
         let start = Instant::now();
         let workers = self.threads.min(n.max(1));
         ppm_telemetry::counter("exec.tasks").add(n as u64);

@@ -39,8 +39,6 @@
 //! assert!(cpi >= 0.2 && cpi < 4.0);
 //! ```
 
-#![warn(missing_docs)]
-
 mod model;
 mod profile;
 

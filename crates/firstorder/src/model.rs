@@ -47,6 +47,7 @@ impl FirstOrderModel {
     ///
     /// Panics if the configuration is invalid.
     pub fn predict(&self, config: &SimConfig) -> f64 {
+        // Documented `# Panics` contract above. lint:allow(panic-path)
         config.validate().expect("valid configuration");
         ppm_telemetry::counter("firstorder.predictions").inc();
         let s = &self.stats;

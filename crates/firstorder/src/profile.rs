@@ -1,6 +1,6 @@
 //! One-pass program statistics for the analytical model.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ppm_sim::{BranchPredictor, Cache, Instr, Op, SimConfig};
 
@@ -37,13 +37,13 @@ pub struct ProgramStats {
     /// `(window size, dataflow IPC)` pairs, increasing in window size.
     pub ilp_curve: Vec<(usize, f64)>,
     /// il1 size (KiB) → instruction-side line misses per instruction.
-    pub il1_mpi: HashMap<u32, f64>,
+    pub il1_mpi: BTreeMap<u32, f64>,
     /// dl1 size (KiB) → load misses per instruction.
-    pub dl1_mpi: HashMap<u32, f64>,
+    pub dl1_mpi: BTreeMap<u32, f64>,
     /// L2 size (KiB) → load misses per instruction escaping to DRAM
     /// (measured with the matching dl1 filter removed — the L2 sees the
     /// union of L1 misses; we approximate with the 32 KiB L1 filter).
-    pub l2_mpi: HashMap<u32, f64>,
+    pub l2_mpi: BTreeMap<u32, f64>,
     /// Fraction of loads that are register-chained to an earlier load.
     pub chained_load_frac: f64,
 }
@@ -213,7 +213,7 @@ impl ProgramStats {
     }
 
     /// Looks up (or nearest-matches) a per-instruction miss rate table.
-    pub(crate) fn nearest(table: &HashMap<u32, f64>, kb: u32) -> f64 {
+    pub(crate) fn nearest(table: &BTreeMap<u32, f64>, kb: u32) -> f64 {
         if let Some(&v) = table.get(&kb) {
             return v;
         }
@@ -288,7 +288,7 @@ mod tests {
 
     #[test]
     fn nearest_lookup_handles_missing_geometry() {
-        let mut table = HashMap::new();
+        let mut table = BTreeMap::new();
         table.insert(8u32, 0.1);
         table.insert(64u32, 0.01);
         assert_eq!(ProgramStats::nearest(&table, 8), 0.1);

@@ -22,8 +22,6 @@
 //! assert!((beta[1] - 3.0).abs() < 1e-10);
 //! ```
 
-#![warn(missing_docs)]
-
 mod cholesky;
 mod matrix;
 mod qr;

@@ -152,6 +152,8 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // Exact-zero sparsity skip, not a tolerance check: only
+                // a true 0.0 contributes nothing. lint:allow(float-eq)
                 if a == 0.0 {
                     continue;
                 }
@@ -170,6 +172,7 @@ impl Matrix {
             let r = self.row(i);
             for a in 0..self.cols {
                 let ra = r[a];
+                // Exact-zero sparsity skip as above. lint:allow(float-eq)
                 if ra == 0.0 {
                     continue;
                 }

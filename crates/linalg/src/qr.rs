@@ -44,6 +44,8 @@ impl Qr {
                 norm += r[(i, j)] * r[(i, j)];
             }
             let norm = norm.sqrt();
+            // A Householder column is skipped only when identically
+            // zero; near-zero must still reflect. lint:allow(float-eq)
             if norm == 0.0 {
                 tau[j] = 0.0;
                 continue;
@@ -55,6 +57,7 @@ impl Qr {
             for i in (j + 1)..m {
                 vnorm2 += r[(i, j)] * r[(i, j)];
             }
+            // Identically-zero tail as above. lint:allow(float-eq)
             if vnorm2 == 0.0 {
                 tau[j] = 0.0;
                 continue;
@@ -92,6 +95,8 @@ impl Qr {
         assert_eq!(b.len(), m, "rhs length mismatch");
         let mut y = b.to_vec();
         for j in 0..self.tau.len() {
+            // tau is set to exactly 0.0 as the "no reflector" sentinel
+            // during factorization. lint:allow(float-eq)
             if self.tau[j] == 0.0 {
                 continue;
             }
@@ -127,6 +132,8 @@ impl Qr {
             lo = lo.min(d);
             hi = hi.max(d);
         }
+        // hi is a max of absolute values; only exact zero (an all-zero
+        // R) must avoid the division. lint:allow(float-eq)
         if hi == 0.0 {
             0.0
         } else {

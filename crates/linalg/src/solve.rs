@@ -59,6 +59,9 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
             rhs: b.len(),
         });
     }
+    // Feeds the linalg.lstsq_us histogram directly: a telemetry span
+    // here would flood the flight recorder's span tree on this hot path
+    // and perturb the sentry baselines. lint:allow(wall-clock)
     let t0 = std::time::Instant::now();
     let result = Qr::new(a).solve(b).ok_or(LinalgError::RankDeficient);
     ppm_telemetry::counter("linalg.lstsq_solves").inc();
@@ -107,6 +110,7 @@ pub fn lstsq_ridge(a: &Matrix, b: &[f64], lambda: f64) -> Result<Vec<f64>, Linal
         g[(i, i)] += lambda * scale;
     }
     let rhs = a.t_matvec(b);
+    // Same hot-path histogram timing as lstsq. lint:allow(wall-clock)
     let t0 = std::time::Instant::now();
     let result = Cholesky::new(&g)
         .map(|c| c.solve(&rhs))

@@ -28,8 +28,6 @@
 //! # Ok::<(), ppm_regtree::DatasetError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 mod model;
 mod terms;
 

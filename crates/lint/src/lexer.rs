@@ -1,0 +1,735 @@
+//! A hand-written Rust lexer, just deep enough for linting.
+//!
+//! The grep gate this crate replaces could not tell a `panic!` in code
+//! from one in a doc comment or a string literal. This lexer can: it
+//! produces a flat token stream in which comments, string/char
+//! literals, numbers, identifiers, and punctuation are distinct token
+//! kinds, so rules match *code* and nothing else. It understands the
+//! Rust constructs that defeat line-oriented tools:
+//!
+//! * line comments (`//`, `///`, `//!`) and block comments with
+//!   arbitrary nesting (`/* /* */ */`),
+//! * cooked strings with escapes, raw strings `r"…"` / `r#"…"#` with
+//!   any number of hashes, byte and C variants (`b"…"`, `br#"…"#`,
+//!   `c"…"`, `cr#"…"#`), and raw identifiers `r#type`,
+//! * char literals vs lifetimes (`'a'` vs `'a`),
+//! * numeric literals with a float/integer distinction (`1.5`, `1e3`,
+//!   and `1.` are floats; `0xff`, `7usize`, and `0..n` are not).
+//!
+//! It is *not* a parser: malformed input never panics, the lexer just
+//! degrades to best-effort tokens (an unterminated literal runs to end
+//! of file). Positions are 1-based lines and 1-based byte columns.
+
+/// What a token is, for rule matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers).
+    Ident,
+    /// A numeric literal; `is_float` distinguishes `1.5`/`1e3` from
+    /// `17`/`0xff`.
+    Number {
+        /// True when the literal has a fractional part or exponent.
+        is_float: bool,
+    },
+    /// A cooked string or byte/C string literal (`"…"`, `b"…"`, `c"…"`).
+    Str,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br"…"`, `cr"…"`).
+    RawStr,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+    /// A `//` comment, including doc comments.
+    LineComment,
+    /// A `/* … */` comment (nesting handled).
+    BlockComment,
+    /// A single punctuation character (`==` is two `Punct('=')` tokens
+    /// at adjacent columns).
+    Punct(char),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's source text, comment/quote delimiters included.
+    pub text: &'a str,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl Token<'_> {
+    /// True for comment tokens (which rules skip when matching code).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.as_bytes().get(self.pos + ahead).copied()
+    }
+
+    /// Advances by `n` bytes, keeping line/column bookkeeping.
+    fn bump(&mut self, n: usize) {
+        let end = (self.pos + n).min(self.src.len());
+        for &b in &self.src.as_bytes()[self.pos..end] {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.pos = end;
+    }
+
+    /// Advances past one full UTF-8 code point (for non-ASCII bytes
+    /// outside literals, so slices stay on char boundaries).
+    fn bump_char(&mut self) {
+        let n = self.src[self.pos..]
+            .chars()
+            .next()
+            .map_or(1, char::len_utf8);
+        self.bump(n);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenizes Rust source. Never fails: unterminated constructs extend
+/// to end of input.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    let mut cur = Cursor {
+        src: source,
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        if b.is_ascii_whitespace() {
+            cur.bump(1);
+            continue;
+        }
+        let (start, line, col) = (cur.pos, cur.line, cur.col);
+        let kind = lex_one(&mut cur, b);
+        tokens.push(Token {
+            kind,
+            text: &source[start..cur.pos],
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Lexes the token starting at the cursor (first byte already peeked).
+fn lex_one(cur: &mut Cursor<'_>, b: u8) -> TokenKind {
+    match b {
+        b'/' if cur.peek(1) == Some(b'/') => {
+            while cur.peek(0).is_some_and(|c| c != b'\n') {
+                cur.bump(1);
+            }
+            TokenKind::LineComment
+        }
+        b'/' if cur.peek(1) == Some(b'*') => {
+            cur.bump(2);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some(b'/'), Some(b'*')) => {
+                        depth += 1;
+                        cur.bump(2);
+                    }
+                    (Some(b'*'), Some(b'/')) => {
+                        depth -= 1;
+                        cur.bump(2);
+                    }
+                    (Some(_), _) => cur.bump(1),
+                    (None, _) => break,
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'"' => lex_cooked_string(cur),
+        b'\'' => lex_char_or_lifetime(cur),
+        b'r' | b'b' | b'c' => lex_prefixed(cur),
+        _ if b.is_ascii_digit() => lex_number(cur),
+        _ if is_ident_start(b) => {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump(1);
+            }
+            TokenKind::Ident
+        }
+        _ if b.is_ascii() => {
+            cur.bump(1);
+            TokenKind::Punct(b as char)
+        }
+        _ => {
+            let c = cur.src[cur.pos..].chars().next().unwrap_or('\u{fffd}');
+            cur.bump_char();
+            TokenKind::Punct(c)
+        }
+    }
+}
+
+/// Lexes a literal-prefix identifier start (`r`, `b`, `c`): raw
+/// strings, byte strings, C strings, raw identifiers, byte chars — or
+/// a plain identifier when no quote follows.
+fn lex_prefixed(cur: &mut Cursor<'_>) -> TokenKind {
+    // Longest literal prefixes first: br / cr, then r / b / c.
+    for (prefix, raw) in [
+        ("br", true),
+        ("cr", true),
+        ("r", true),
+        ("b", false),
+        ("c", false),
+    ] {
+        if !cur.src[cur.pos..].starts_with(prefix) {
+            continue;
+        }
+        let after = cur.pos + prefix.len();
+        let next = cur.src.as_bytes().get(after).copied();
+        if raw {
+            // r"…" / r#"…"# (any hash count). `r#ident` with an
+            // ident-start after a single hash is a raw identifier.
+            let mut hashes = 0usize;
+            while cur.src.as_bytes().get(after + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            match cur.src.as_bytes().get(after + hashes) {
+                Some(b'"') => {
+                    cur.bump(prefix.len() + hashes + 1);
+                    return lex_raw_string_body(cur, hashes);
+                }
+                Some(&c) if prefix == "r" && hashes == 1 && is_ident_start(c) => {
+                    cur.bump(2); // r#
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump(1);
+                    }
+                    return TokenKind::Ident;
+                }
+                _ => {}
+            }
+        } else if next == Some(b'"') {
+            cur.bump(prefix.len());
+            return lex_cooked_string(cur);
+        } else if prefix == "b" && next == Some(b'\'') {
+            cur.bump(1); // b
+            return lex_char_or_lifetime(cur);
+        }
+    }
+    // No literal followed: an ordinary identifier beginning r/b/c.
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump(1);
+    }
+    TokenKind::Ident
+}
+
+/// Lexes a cooked string starting at its opening quote (already
+/// peeked; any `b`/`c` prefix is already past).
+fn lex_cooked_string(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(1); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => break,
+            Some(b'"') => {
+                cur.bump(1);
+                break;
+            }
+            Some(b'\\') => cur.bump(2.min(cur.src.len() - cur.pos)),
+            Some(_) => cur.bump(1),
+        }
+    }
+    TokenKind::Str
+}
+
+/// Lexes a raw-string body after `r#…#"`; ends at `"` followed by
+/// `hashes` hash marks.
+fn lex_raw_string_body(cur: &mut Cursor<'_>, hashes: usize) -> TokenKind {
+    while let Some(b) = cur.peek(0) {
+        if b == b'"' {
+            let closes = (1..=hashes).all(|i| cur.peek(i) == Some(b'#'));
+            if closes {
+                cur.bump(1 + hashes);
+                return TokenKind::RawStr;
+            }
+        }
+        cur.bump(1);
+    }
+    TokenKind::RawStr
+}
+
+/// Disambiguates `'a'` (char), `'\n'` (char), and `'a` (lifetime),
+/// starting at the quote.
+fn lex_char_or_lifetime(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(1); // '
+    match cur.peek(0) {
+        Some(b'\\') => {
+            cur.bump(1);
+            if cur.peek(0) == Some(b'u') && cur.peek(1) == Some(b'{') {
+                while cur.peek(0).is_some_and(|c| c != b'}' && c != b'\'') {
+                    cur.bump(1);
+                }
+                cur.bump(1); // }
+            } else if cur.peek(0).is_some() {
+                cur.bump(1);
+            }
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump(1);
+            }
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'a'` is a char; `'a` (not followed by another quote) is a
+            // lifetime or loop label.
+            let mut len = 1;
+            while cur.peek(len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if cur.peek(len) == Some(b'\'') {
+                cur.bump(len + 1);
+                TokenKind::Char
+            } else {
+                cur.bump(len);
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // A non-identifier char literal like '+' or a multibyte 'é'.
+            cur.bump_char();
+            if cur.peek(0) == Some(b'\'') {
+                cur.bump(1);
+            }
+            TokenKind::Char
+        }
+        None => TokenKind::Char,
+    }
+}
+
+/// Lexes a numeric literal, classifying floats (`1.5`, `1e3`, `1.`)
+/// against integers (`42`, `0xff`, `7usize`, the `0` in `0..n`).
+fn lex_number(cur: &mut Cursor<'_>) -> TokenKind {
+    let radix_prefixed = cur.peek(0) == Some(b'0')
+        && matches!(cur.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'));
+    if radix_prefixed {
+        cur.bump(2);
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump(1);
+        }
+        return TokenKind::Number { is_float: false };
+    }
+    let mut is_float = false;
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+        cur.bump(1);
+    }
+    if cur.peek(0) == Some(b'.') {
+        match cur.peek(1) {
+            // `1.5`: fractional part.
+            Some(c) if c.is_ascii_digit() => {
+                is_float = true;
+                cur.bump(1);
+                while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    cur.bump(1);
+                }
+            }
+            // `1..n` is a range, `1.max(2)` a method call — not floats.
+            Some(b'.') => {}
+            Some(c) if is_ident_start(c) => {}
+            // Trailing-dot float `1.`.
+            _ => {
+                is_float = true;
+                cur.bump(1);
+            }
+        }
+    }
+    // Exponent: only when followed by a digit or signed digit.
+    if matches!(cur.peek(0), Some(b'e' | b'E')) {
+        let (skip, digit) = match cur.peek(1) {
+            Some(b'+' | b'-') => (2, cur.peek(2)),
+            other => (1, other),
+        };
+        if digit.is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            cur.bump(skip);
+            while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                cur.bump(1);
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`): a float suffix keeps is_float; an
+    // integer literal with an `f64` suffix counts as float too.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let suffix_start = cur.pos;
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump(1);
+        }
+        if matches!(&cur.src[suffix_start..cur.pos], "f32" | "f64") {
+            is_float = true;
+        }
+    }
+    TokenKind::Number { is_float }
+}
+
+/// Marks which tokens sit inside `#[cfg(test)]` / `#[test]` items.
+///
+/// Returns one flag per token: true when the token is inside the brace
+/// body (or on the header line) of an item carrying a test attribute.
+/// Tracking is by brace depth: once the attributed item's `{` opens,
+/// everything until the matching `}` is test code. An attribute that
+/// reaches a `;` before any `{` (e.g. `#[cfg(test)] mod tests;`)
+/// guards no inline body and marks nothing.
+pub fn test_regions(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut depth: usize = 0;
+    // Brace depth below which we leave the current test region.
+    let mut test_exit_depth: Option<usize> = None;
+    // Set when a test attribute was seen and its item body is pending.
+    let mut pending_attr: Option<usize> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        if tok.is_comment() {
+            i += 1;
+            continue;
+        }
+        if let Some(exit) = test_exit_depth {
+            flags[i] = true;
+            match tok.kind {
+                TokenKind::Punct('{') => depth += 1,
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth <= exit {
+                        test_exit_depth = None;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Punct('#') => {
+                if let Some((end, is_test)) = scan_attribute(tokens, i) {
+                    if is_test {
+                        // Mark the attribute tokens themselves as test.
+                        for flag in flags.iter_mut().take(end + 1).skip(i) {
+                            *flag = true;
+                        }
+                        pending_attr = Some(depth);
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            TokenKind::Punct('{') => {
+                if let Some(d) = pending_attr.take() {
+                    test_exit_depth = Some(d);
+                    flags[i] = true;
+                }
+                depth += 1;
+            }
+            TokenKind::Punct('}') => depth = depth.saturating_sub(1),
+            TokenKind::Punct(';') => {
+                if pending_attr == Some(depth) {
+                    // `#[cfg(test)] mod tests;` — body is elsewhere.
+                    pending_attr = None;
+                }
+            }
+            _ => {
+                if pending_attr.is_some() {
+                    flags[i] = true; // the item header, e.g. `mod tests`
+                }
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Scans an attribute starting at `#`. Returns the index of its closing
+/// `]` and whether it is a test attribute (`#[test]`, or any `#[cfg(…)]`
+/// whose argument list mentions `test`). Returns `None` when the `#` is
+/// not followed by `[` (or the group never closes).
+fn scan_attribute(tokens: &[Token<'_>], hash: usize) -> Option<(usize, bool)> {
+    let mut i = hash + 1;
+    // Skip comments; reject inner attributes (`#![…]` applies to the
+    // enclosing module, which is never a narrower test scope).
+    while tokens.get(i).is_some_and(Token::is_comment) {
+        i += 1;
+    }
+    if tokens.get(i).map(|t| t.kind) != Some(TokenKind::Punct('[')) {
+        return None;
+    }
+    let mut bracket_depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test_ident = false;
+    let mut saw_not = false;
+    let mut first_ident: Option<&str> = None;
+    for (j, tok) in tokens.iter().enumerate().skip(i) {
+        match tok.kind {
+            TokenKind::Punct('[') => bracket_depth += 1,
+            TokenKind::Punct(']') => {
+                bracket_depth -= 1;
+                if bracket_depth == 0 {
+                    // `#[cfg(not(test))]` guards NON-test code; treating
+                    // it as a test region would hide real violations, so
+                    // any `not` disqualifies (a false positive inside
+                    // `cfg(all(not(...), test))` can be allowlisted).
+                    let is_test =
+                        first_ident == Some("test") || (saw_cfg && saw_test_ident && !saw_not);
+                    return Some((j, is_test));
+                }
+            }
+            TokenKind::Ident => {
+                if first_ident.is_none() {
+                    first_ident = Some(tok.text);
+                }
+                match tok.text {
+                    "cfg" => saw_cfg = true,
+                    "test" => saw_test_ident = true,
+                    "not" => saw_not = true,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("let x = a.unwrap();\n  y");
+        assert_eq!(
+            toks[0],
+            Token {
+                kind: TokenKind::Ident,
+                text: "let",
+                line: 1,
+                col: 1
+            }
+        );
+        assert_eq!(toks[4].text, ".");
+        assert_eq!(toks[5].text, "unwrap");
+        assert_eq!(toks[5].col, 11);
+        let y = toks.last().expect("tokens");
+        assert_eq!((y.line, y.col, y.text), (2, 3, "y"));
+    }
+
+    #[test]
+    fn line_and_block_comments_are_single_tokens() {
+        let toks = kinds("a // panic!()\nb /* .unwrap() */ c");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::LineComment, "// panic!()"),
+                (TokenKind::Ident, "b"),
+                (TokenKind::BlockComment, "/* .unwrap() */"),
+                (TokenKind::Ident, "c"),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("x /* outer /* inner */ still comment */ y");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still comment */");
+    }
+
+    #[test]
+    fn strings_swallow_escapes_and_fake_code() {
+        let toks = kinds(r#"let s = "call .unwrap() \" or panic!";"#);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert!(toks.iter().all(|(_, t)| *t != "panic"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside, even .expect("x")"# ;"###;
+        let toks = kinds(src);
+        assert_eq!(toks[3].0, TokenKind::RawStr);
+        assert!(toks[3].1.ends_with("\"#"));
+        assert_eq!(toks[4].1, ";");
+        // Zero hashes and two hashes.
+        assert_eq!(kinds(r#"r"ab""#)[0].0, TokenKind::RawStr);
+        let two = kinds(r####"r##"has "# inside"## x"####);
+        assert_eq!(two[0].0, TokenKind::RawStr);
+        assert_eq!(two[1].1, "x");
+    }
+
+    #[test]
+    fn byte_and_c_string_variants() {
+        assert_eq!(kinds(r#"b"bytes""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r##"br#"raw bytes"#"##)[0].0, TokenKind::RawStr);
+        assert_eq!(kinds(r#"c"cstr""#)[0].0, TokenKind::Str);
+        assert_eq!(kinds(r##"cr#"raw c"#"##)[0].0, TokenKind::RawStr);
+        assert_eq!(kinds("b'x'")[0].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#type r#match rest");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type"));
+        assert_eq!(toks[1], (TokenKind::Ident, "r#match"));
+        assert_eq!(toks[2], (TokenKind::Ident, "rest"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("'a' 'x 'static '\\n' '\\'' '\\u{1F600}'");
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+            ]
+        );
+        assert_eq!(toks[1].1, "'x");
+        assert_eq!(toks[5].1, "'\\u{1F600}'");
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let float = |s: &str| kinds(s)[0].0 == TokenKind::Number { is_float: true };
+        assert!(float("1.5"));
+        assert!(float("1e3"));
+        assert!(float("2.5e-7"));
+        assert!(float("1."));
+        assert!(float("3f64"));
+        assert!(!float("42"));
+        assert!(!float("0xff"));
+        assert!(!float("0b1010"));
+        assert!(!float("7usize"));
+        assert!(!float("1_000"));
+    }
+
+    #[test]
+    fn ranges_and_method_calls_are_not_floats() {
+        let toks = kinds("0..n");
+        assert_eq!(toks[0].0, TokenKind::Number { is_float: false });
+        assert_eq!(toks[1].1, ".");
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0].0, TokenKind::Number { is_float: false });
+        assert_eq!(toks[2].1, "max");
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b\"x"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_region_tracks_braces() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let toks = lex(src);
+        let flags = test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        assert!(flags[unwrap_idx]);
+        let lib_idx = toks.iter().position(|t| t.text == "lib").expect("lib");
+        let after_idx = toks.iter().position(|t| t.text == "after").expect("after");
+        assert!(!flags[lib_idx]);
+        assert!(!flags[after_idx]);
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_exempt() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn real() { y }";
+        let toks = lex(src);
+        let flags = test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        let real_idx = toks.iter().position(|t| t.text == "real").expect("real");
+        assert!(flags[unwrap_idx]);
+        assert!(!flags[real_idx]);
+    }
+
+    #[test]
+    fn cfg_test_mod_semicolon_marks_nothing() {
+        let src = "#[cfg(test)]\nmod tests;\nfn real() { x.unwrap() }";
+        let toks = lex(src);
+        let flags = test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        assert!(!flags[unwrap_idx]);
+    }
+
+    #[test]
+    fn cfg_all_test_counts_as_test() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod helpers { fn h() { a.unwrap() } }";
+        let toks = lex(src);
+        let flags = test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        assert!(flags[unwrap_idx]);
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_exempt() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() { s.unwrap() }";
+        let toks = lex(src);
+        let flags = test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        assert!(!flags[unwrap_idx]);
+    }
+
+    #[test]
+    fn attribute_between_cfg_test_and_body_keeps_pending() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn t() { a.unwrap() } }";
+        let toks = lex(src);
+        let flags = test_regions(&toks);
+        let unwrap_idx = toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        assert!(flags[unwrap_idx]);
+    }
+}

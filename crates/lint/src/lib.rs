@@ -1,0 +1,221 @@
+//! ppm-lint: a token-aware static-analysis pass for this workspace.
+//!
+//! The reproduction's headline guarantees — byte-identical fixed-seed
+//! builds and panic-free typed-error library code — used to be policed
+//! by an awk/grep gate that could not see strings, comments, or module
+//! structure. This crate replaces it with a real (still zero-dependency)
+//! linter: a hand-written Rust lexer ([`lexer`]), a rule engine
+//! ([`rules`]) with six workspace-invariant rules, an allowlist
+//! ([`config`], `scripts/lint.conf` plus inline `lint:allow(<rule>)`
+//! comments), and compiler-style diagnostics in human or JSON form
+//! ([`report`]). The CLI exposes it as `ppm lint`.
+//!
+//! Scope: the root binary's `src/` tree and every `crates/<name>/src`
+//! tree except `crates/bench` (excluded from the workspace build). Test
+//! code — `#[cfg(test)]` modules and `#[test]` functions — is exempt
+//! from every rule.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, ConfigError};
+pub use report::{Diagnostic, Report};
+
+/// Errors from walking and reading workspace sources.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LintError {
+    /// A directory or file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying failure.
+        error: std::io::Error,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, error } => {
+                write!(f, "cannot read {}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { error, .. } => Some(error),
+        }
+    }
+}
+
+/// Lints one in-memory source file. `rel_path` must be workspace
+/// relative with `/` separators — it selects which rules apply.
+pub fn lint_source(rel_path: &str, source: &str, conf: &Config) -> Vec<Diagnostic> {
+    rules::check_source(rel_path, source, conf)
+}
+
+/// Lints every Rust source under `root` that is in scope (see the crate
+/// docs) and returns a deterministic [`Report`] (files are visited in
+/// sorted path order).
+///
+/// # Errors
+///
+/// [`LintError::Io`] when a scanned directory or file cannot be read.
+pub fn lint_workspace(root: &Path, conf: &Config) -> Result<Report, LintError> {
+    let files = workspace_files(root)?;
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        let source = std::fs::read_to_string(&full).map_err(|error| LintError::Io {
+            path: full.clone(),
+            error,
+        })?;
+        diagnostics.extend(rules::check_source(rel, &source, conf));
+    }
+    Ok(Report {
+        files_scanned: files.len(),
+        diagnostics,
+    })
+}
+
+/// Enumerates in-scope `.rs` files under `root`, as sorted
+/// workspace-relative `/`-separated paths: the root binary's `src/`
+/// tree plus `crates/<name>/src` for every crate except `bench`.
+/// `tests/`, `examples/`, and `benches/` trees are integration/test
+/// code and deliberately out of scope.
+///
+/// # Errors
+///
+/// [`LintError::Io`] when a directory listing fails.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, LintError> {
+    let mut rels = Vec::new();
+    if root.join("src").is_dir() {
+        collect_rs(root, "src", &mut rels)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for name in sorted_entries(&crates_dir)? {
+            if name == "bench" {
+                continue;
+            }
+            let rel = format!("crates/{name}/src");
+            if root.join(&rel).is_dir() {
+                collect_rs(root, &rel, &mut rels)?;
+            }
+        }
+    }
+    rels.sort();
+    Ok(rels)
+}
+
+/// Recursively collects `.rs` files under `root/rel_dir` into `out`.
+fn collect_rs(root: &Path, rel_dir: &str, out: &mut Vec<String>) -> Result<(), LintError> {
+    for name in sorted_entries(&root.join(rel_dir))? {
+        let rel = format!("{rel_dir}/{name}");
+        let full = root.join(&rel);
+        if full.is_dir() {
+            collect_rs(root, &rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lists a directory's entry names in sorted order (so walk order, and
+/// therefore diagnostic order, is independent of filesystem order).
+fn sorted_entries(dir: &Path) -> Result<Vec<String>, LintError> {
+    let io = |error: std::io::Error| LintError::Io {
+        path: dir.to_path_buf(),
+        error,
+    };
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir).map_err(io)? {
+        let entry = entry.map_err(io)?;
+        names.push(entry.file_name().to_string_lossy().into_owned());
+    }
+    names.sort();
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(root: &Path, rel: &str, text: &str) {
+        let full = root.join(rel);
+        std::fs::create_dir_all(full.parent().expect("parent")).expect("mkdir");
+        std::fs::write(full, text).expect("write fixture");
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppm-lint-{tag}-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clean temp root");
+        }
+        std::fs::create_dir_all(&dir).expect("mkdir temp root");
+        dir
+    }
+
+    #[test]
+    fn walker_scopes_and_sorts() {
+        let root = temp_root("walk");
+        write(&root, "src/main.rs", "fn main() {}");
+        write(&root, "src/cli/mod.rs", "pub mod x;");
+        write(&root, "crates/core/src/lib.rs", "pub fn f() {}");
+        write(&root, "crates/core/src/deep/inner.rs", "pub fn g() {}");
+        write(
+            &root,
+            "crates/bench/src/lib.rs",
+            "fn skipped() { x.unwrap() }",
+        );
+        write(&root, "crates/core/tests/it.rs", "fn t() { x.unwrap() }");
+        write(&root, "crates/core/src/notes.txt", "not rust");
+        let files = workspace_files(&root).expect("walk");
+        assert_eq!(
+            files,
+            vec![
+                "crates/core/src/deep/inner.rs",
+                "crates/core/src/lib.rs",
+                "src/cli/mod.rs",
+                "src/main.rs",
+            ]
+        );
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn lint_workspace_reports_findings() {
+        let root = temp_root("report");
+        write(
+            &root,
+            "crates/core/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        );
+        write(&root, "crates/core/src/ok.rs", "pub fn g() -> u32 { 4 }");
+        let report = lint_workspace(&root, &Config::empty()).expect("lint");
+        assert_eq!(report.files_scanned, 2);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, "panic-path");
+        assert_eq!(report.diagnostics[0].path, "crates/core/src/lib.rs");
+        assert!(!report.is_clean());
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_root_is_an_io_error() {
+        let err = lint_workspace(Path::new("/nonexistent-ppm-lint"), &Config::empty());
+        // No src/ and no crates/ at all: scans nothing, cleanly.
+        let report = err.expect("empty scan is not an error");
+        assert_eq!(report.files_scanned, 0);
+    }
+}

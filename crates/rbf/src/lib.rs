@@ -39,8 +39,6 @@
 //! The grid search fans out over worker threads ([`ppm_exec`]); the
 //! fitted model is byte-identical for every thread count.
 
-#![warn(missing_docs)]
-
 mod basis;
 mod criteria;
 mod network;

@@ -33,8 +33,6 @@
 //! assert!((tree.node(0).split.unwrap().value - 0.5).abs() < 0.07);
 //! ```
 
-#![warn(missing_docs)]
-
 mod dataset;
 mod tree;
 

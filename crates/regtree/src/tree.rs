@@ -162,11 +162,8 @@ impl RegressionTree {
         tree.grow(data, 0, all);
         // Order the recorded splits by decreasing significance (SSE
         // reduction), which is how the paper's Table 5 ranks them.
-        tree.splits.sort_by(|a, b| {
-            b.sse_reduction
-                .partial_cmp(&a.sse_reduction)
-                .expect("sse reductions are finite")
-        });
+        tree.splits
+            .sort_by(|a, b| b.sse_reduction.total_cmp(&a.sse_reduction));
         ppm_telemetry::counter("regtree.fits").inc();
         ppm_telemetry::counter("regtree.nodes_split").add(tree.splits.len() as u64);
         let leaf_sizes = ppm_telemetry::histogram("regtree.leaf_size");
@@ -340,11 +337,7 @@ fn best_split(data: &Dataset, indices: &[usize]) -> Option<(Split, f64)> {
     for k in 0..dim {
         order.clear();
         order.extend_from_slice(indices);
-        order.sort_by(|&a, &b| {
-            data.point(a)[k]
-                .partial_cmp(&data.point(b)[k])
-                .expect("finite coordinates")
-        });
+        order.sort_by(|&a, &b| data.point(a)[k].total_cmp(&data.point(b)[k]));
         // Prefix sums over the sorted order let every boundary be
         // evaluated in O(1).
         let mut sum_l = 0.0;

@@ -21,8 +21,6 @@
 //! assert!(k < 10);
 //! ```
 
-#![warn(missing_docs)]
-
 mod distributions;
 mod xoshiro;
 

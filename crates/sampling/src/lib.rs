@@ -46,8 +46,6 @@
 //! caller's seed, so the chosen design is byte-identical for every
 //! thread count.
 
-#![warn(missing_docs)]
-
 pub mod discrepancy;
 pub mod halton;
 pub mod lhs;

@@ -36,8 +36,6 @@
 //! assert!(stats.cpi() < 1.0); // superscalar issue beats 1 IPC
 //! ```
 
-#![warn(missing_docs)]
-
 mod bpred;
 mod cache;
 mod config;

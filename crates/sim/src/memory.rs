@@ -112,6 +112,8 @@ impl MemorySystem {
                 .iter()
                 .map(|&(_, d)| d)
                 .min()
+                // Only reached when the MSHR set is full, so in_flight
+                // is non-empty. lint:allow(panic-path)
                 .expect("non-empty in_flight");
             if earliest > start {
                 self.mshr_wait_cycles += earliest - start;

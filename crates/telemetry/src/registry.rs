@@ -287,7 +287,10 @@ impl Registry {
 
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock().expect("registry poisoned");
+        let mut map = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(c) = map.get(name) {
             return Arc::clone(c);
         }
@@ -298,7 +301,10 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock().expect("registry poisoned");
+        let mut map = self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(g) = map.get(name) {
             return Arc::clone(g);
         }
@@ -309,7 +315,10 @@ impl Registry {
 
     /// The histogram named `name`, created on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut map = self.histograms.lock().expect("registry poisoned");
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(h) = map.get(name) {
             return Arc::clone(h);
         }
@@ -321,7 +330,12 @@ impl Registry {
     /// A snapshot of every instrument, sorted by kind then name.
     pub fn snapshot(&self) -> Vec<MetricRecord> {
         let mut out = Vec::new();
-        for (name, c) in self.counters.lock().expect("registry poisoned").iter() {
+        for (name, c) in self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             out.push(MetricRecord {
                 name: name.clone(),
                 kind: MetricKind::Counter,
@@ -330,7 +344,12 @@ impl Registry {
                 hist: None,
             });
         }
-        for (name, g) in self.gauges.lock().expect("registry poisoned").iter() {
+        for (name, g) in self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             out.push(MetricRecord {
                 name: name.clone(),
                 kind: MetricKind::Gauge,
@@ -339,7 +358,12 @@ impl Registry {
                 hist: None,
             });
         }
-        for (name, h) in self.histograms.lock().expect("registry poisoned").iter() {
+        for (name, h) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             out.push(MetricRecord {
                 name: name.clone(),
                 kind: MetricKind::Histogram,
@@ -363,9 +387,18 @@ impl Registry {
     /// no longer reachable from the registry (used by tests and by the
     /// CLI between commands).
     pub fn reset(&self) {
-        self.counters.lock().expect("registry poisoned").clear();
-        self.gauges.lock().expect("registry poisoned").clear();
-        self.histograms.lock().expect("registry poisoned").clear();
+        self.counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 

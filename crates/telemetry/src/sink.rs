@@ -244,7 +244,10 @@ impl BufferSink {
 
     /// A clone of every record captured so far.
     pub fn records(&self) -> Vec<Record> {
-        self.records.lock().expect("buffer poisoned").clone()
+        self.records
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -252,7 +255,7 @@ impl Sink for BufferSink {
     fn record(&mut self, rec: &Record) {
         self.records
             .lock()
-            .expect("buffer poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(rec.clone());
     }
 

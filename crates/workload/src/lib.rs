@@ -35,8 +35,6 @@
 //! assert!(stats.cpi() > 1.0); // mcf is memory bound
 //! ```
 
-#![warn(missing_docs)]
-
 mod benchmark;
 mod generator;
 mod profile;

@@ -36,6 +36,9 @@ pub enum CliError {
     /// The regression sentry found the candidate worse than the
     /// baseline (exit code 5) — the comparison itself succeeded.
     Regression(String),
+    /// The static-analysis pass found violations (exit code 6) — the
+    /// scan itself succeeded; the findings were already printed.
+    Lint(usize),
     /// Anything else, with a user-facing message (exit code 1).
     Message(String),
 }
@@ -43,13 +46,14 @@ pub enum CliError {
 impl CliError {
     /// The process exit code for this error category: usage errors 2,
     /// simulation faults 3, persistence failures 4, regressions 5,
-    /// everything else 1.
+    /// lint findings 6, everything else 1.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Args(_) | CliError::Usage(_) => 2,
             CliError::Simulation(_) => 3,
             CliError::Persistence(_) => 4,
             CliError::Regression(_) => 5,
+            CliError::Lint(_) => 6,
             CliError::Message(_) => 1,
         }
     }
@@ -63,6 +67,7 @@ impl fmt::Display for CliError {
             CliError::Simulation(e) => write!(f, "{e}"),
             CliError::Persistence(m) => f.write_str(m),
             CliError::Regression(m) => f.write_str(m),
+            CliError::Lint(n) => write!(f, "ppm-lint: {n} finding(s)"),
             CliError::Message(m) => f.write_str(m),
         }
     }
@@ -140,6 +145,7 @@ pub fn run_with_artifacts(
         "workload-info" => workload_info(parsed, out),
         "report" => flight::report(parsed, out),
         "check-trace" => flight::check_trace(parsed, out),
+        "lint" => lint(parsed, out),
         other => Err(msg(format!("unknown command {other:?} (try `ppm help`)"))),
     }
 }
@@ -429,12 +435,10 @@ fn workload_info(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliErr
             .join(" ")
     )
     .map_err(msg)?;
-    let fmt_mpi = |table: &std::collections::HashMap<u32, f64>| {
-        let mut entries: Vec<_> = table.iter().collect();
-        entries.sort_by_key(|(k, _)| **k);
-        entries
+    let fmt_mpi = |table: &std::collections::BTreeMap<u32, f64>| {
+        table
             .iter()
-            .map(|(k, v)| format!("{k}K:{:.4}", v))
+            .map(|(k, v)| format!("{k}K:{v:.4}"))
             .collect::<Vec<_>>()
             .join(" ")
     };
@@ -466,6 +470,47 @@ fn firstorder(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError>
     )
     .map_err(msg)?;
     Ok(())
+}
+
+/// `ppm lint`: the workspace static-analysis pass (see `crates/lint`).
+///
+/// Flags: `--root <dir>` (default `.`), `--conf <file>` (default
+/// `<root>/scripts/lint.conf` when present), `--format human|json`.
+/// Findings are printed to stdout and exit with code 6, so scripts can
+/// tell "violations found" from a broken scan.
+fn lint(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let format = parsed.get("--format").unwrap_or("human");
+    if !matches!(format, "human" | "json") {
+        return Err(CliError::Usage(format!(
+            "unknown lint format {format:?} (human|json)"
+        )));
+    }
+    let root = Path::new(parsed.get("--root").unwrap_or("."));
+    let persist = |e: &dyn fmt::Display| CliError::Persistence(e.to_string());
+    let conf = match parsed.get("--conf") {
+        Some(path) => ppm_lint::Config::load(Path::new(path)).map_err(|e| persist(&e))?,
+        None => {
+            let default = root.join("scripts").join("lint.conf");
+            if default.is_file() {
+                ppm_lint::Config::load(&default).map_err(|e| persist(&e))?
+            } else {
+                ppm_lint::Config::empty()
+            }
+        }
+    };
+    let report = {
+        let _span = ppm_telemetry::span("stage.lint");
+        ppm_lint::lint_workspace(root, &conf).map_err(|e| persist(&e))?
+    };
+    match format {
+        "json" => writeln!(out, "{}", report.render_json()).map_err(msg)?,
+        _ => out.write_str(&report.render_human()).map_err(msg)?,
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::Lint(report.diagnostics.len()))
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,10 @@
 //! exports the span tree as Chrome-trace/Perfetto JSON, and
 //! `ppm report` diffs two ledgers as a regression sentry (exit code 5
 //! on regression). See [`flight`].
+//!
+//! `ppm lint` runs the workspace's token-aware static-analysis pass
+//! (`crates/lint`) and exits 6 when a rule fires — see the "Static
+//! analysis" section in README.md.
 
 mod args;
 mod commands;
@@ -55,6 +59,9 @@ COMMANDS:
   report      --candidate <ledger> --against <ledger>
                                  regression sentry: diff two run ledgers
   check-trace --file <trace>     validate a --trace-out Chrome-trace file
+  lint        [--root <dir>] [--conf <file>] [--format human|json]
+                                 static-analysis pass over the workspace
+                                 sources (exit code 6 on findings)
   help                           print this text
 
 CONFIGURATION FLAGS (defaults: the mid-range machine):
@@ -81,7 +88,7 @@ FAULT-TOLERANCE FLAGS (`build`):
 
 EXIT CODES:
   0 success    2 usage error    3 simulation fault    4 persistence failure
-  5 regression (`report`)    1 other errors
+  5 regression (`report`)    6 lint findings (`lint`)    1 other errors
 
 OBSERVABILITY FLAGS (any command):
   --quiet             suppress progress output on stderr

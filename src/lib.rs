@@ -35,8 +35,6 @@
 //! println!("model with {} centers", built.model.network.num_centers());
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod cli;
 
 pub use ppm_core as model;

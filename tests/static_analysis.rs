@@ -1,0 +1,199 @@
+//! Integration tests for `ppm lint`, the workspace static-analysis
+//! pass: golden diagnostics on seeded fixtures, one firing per rule,
+//! the CLI exit-code contract, and the self-lint gate asserting this
+//! workspace is violation-free.
+
+use std::path::{Path, PathBuf};
+
+use ppm::cli::{CliError, Parsed};
+use ppm_lint::{lint_source, lint_workspace, Config};
+use ppm_obs::Json;
+
+/// A fixture with exactly one violation per rule, at a path where every
+/// rule is in scope. `crates/firstorder` is in the deterministic, the
+/// numeric, and (as a non-telemetry library crate) the wall-clock,
+/// print, and env scopes at once.
+const SEEDED: &str = r#"
+use std::collections::HashMap;
+
+pub fn broken(x: Option<f64>) -> f64 {
+    let m: HashMap<u32, f64> = std::collections::HashMap::new();
+    let t = std::time::Instant::now();
+    println!("elapsed {:?}", t.elapsed());
+    let v = std::env::var("PPM_FIXTURE").unwrap_or_default();
+    if x.unwrap() == 0.5 {
+        return m.len() as f64 + v.len() as f64;
+    }
+    panic!("unreachable")
+}
+"#;
+
+const SEEDED_PATH: &str = "crates/firstorder/src/seeded.rs";
+
+#[test]
+fn every_rule_fires_on_the_seeded_fixture() {
+    let diags = lint_source(SEEDED_PATH, SEEDED, &Config::empty());
+    let mut fired: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    fired.sort_unstable();
+    fired.dedup();
+    assert_eq!(
+        fired,
+        vec![
+            "env-read",
+            "float-eq",
+            "iteration-order",
+            "panic-path",
+            "print-in-lib",
+            "wall-clock",
+        ],
+        "full diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn seeded_fixture_diagnostics_are_golden() {
+    let diags = lint_source(SEEDED_PATH, SEEDED, &Config::empty());
+    let rendered: Vec<String> = diags
+        .iter()
+        .map(|d| format!("{}:{}:{} {}", d.path, d.line, d.col, d.rule))
+        .collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "crates/firstorder/src/seeded.rs:2:23 iteration-order",
+            "crates/firstorder/src/seeded.rs:5:12 iteration-order",
+            "crates/firstorder/src/seeded.rs:5:50 iteration-order",
+            "crates/firstorder/src/seeded.rs:6:24 wall-clock",
+            "crates/firstorder/src/seeded.rs:7:5 print-in-lib",
+            "crates/firstorder/src/seeded.rs:8:18 env-read",
+            "crates/firstorder/src/seeded.rs:9:10 panic-path",
+            "crates/firstorder/src/seeded.rs:9:19 float-eq",
+            "crates/firstorder/src/seeded.rs:12:5 panic-path",
+        ],
+        "full diagnostics: {diags:#?}"
+    );
+    // Diagnostics arrive in source order and carry actionable messages.
+    assert!(
+        diags[0].message.contains("BTreeMap"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn test_code_in_the_fixture_is_exempt() {
+    let in_test = format!(
+        "#[cfg(test)]\nmod tests {{\n{}\n}}\n",
+        SEEDED.replace("pub fn", "fn")
+    );
+    let diags = lint_source(SEEDED_PATH, &in_test, &Config::empty());
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+fn write(root: &Path, rel: &str, text: &str) {
+    let full = root.join(rel);
+    std::fs::create_dir_all(full.parent().expect("parent")).expect("mkdir");
+    std::fs::write(full, text).expect("write fixture");
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ppm-lint-it-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clean temp root");
+    }
+    std::fs::create_dir_all(&dir).expect("mkdir temp root");
+    dir
+}
+
+fn run_lint(args: &[&str]) -> (String, Result<(), CliError>) {
+    let parsed = Parsed::parse(args.iter().map(|s| s.to_string())).expect("args parse");
+    let mut out = String::new();
+    let result = ppm::cli::run(&parsed, &mut out);
+    (out, result)
+}
+
+#[test]
+fn cli_lint_exits_6_on_a_seeded_violation_and_0_when_fixed() {
+    let root = temp_root("exit");
+    write(&root, SEEDED_PATH, SEEDED);
+    let root_s = root.to_string_lossy().into_owned();
+
+    let (out, result) = run_lint(&["lint", "--root", &root_s]);
+    let err = result.expect_err("violations must fail the command");
+    match &err {
+        CliError::Lint(n) => assert_eq!(*n, 9, "{out}"),
+        other => panic!("expected CliError::Lint, got {other:?}"),
+    }
+    assert_eq!(err.exit_code(), 6);
+    assert!(out.contains("panic-path"), "{out}");
+
+    // The same tree with the violation file replaced is clean.
+    write(&root, SEEDED_PATH, "pub fn fine() -> u32 { 7 }\n");
+    let (out, result) = run_lint(&["lint", "--root", &root_s]);
+    result.expect("clean tree must pass");
+    assert!(out.contains("0 finding(s)"), "{out}");
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn cli_lint_json_is_parseable_and_complete() {
+    let root = temp_root("json");
+    write(&root, SEEDED_PATH, SEEDED);
+    let root_s = root.to_string_lossy().into_owned();
+
+    let (out, result) = run_lint(&["lint", "--root", &root_s, "--format", "json"]);
+    assert_eq!(result.expect_err("seeded violations").exit_code(), 6);
+    let json = Json::parse(out.trim()).expect("valid JSON on stdout");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("ppm-lint v1")
+    );
+    assert_eq!(json.get("clean"), Some(&Json::Bool(false)));
+    assert_eq!(json.get("files_scanned").and_then(Json::as_i64), Some(1));
+    let diags = match json.get("diagnostics") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("diagnostics not an array: {other:?}"),
+    };
+    assert_eq!(diags.len(), 9);
+    for d in diags {
+        for key in ["rule", "path", "line", "col", "message"] {
+            assert!(d.get(key).is_some(), "diagnostic missing {key}: {d:?}");
+        }
+    }
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn cli_lint_rejects_unknown_format_and_bad_conf() {
+    let root = temp_root("badargs");
+    write(&root, "crates/core/src/lib.rs", "pub fn ok() {}\n");
+    let root_s = root.to_string_lossy().into_owned();
+
+    let (_, result) = run_lint(&["lint", "--root", &root_s, "--format", "xml"]);
+    assert_eq!(result.expect_err("unknown format").exit_code(), 2);
+
+    write(&root, "bad.conf", "allow not-a-rule something\n");
+    let conf = root.join("bad.conf").to_string_lossy().into_owned();
+    let (_, result) = run_lint(&["lint", "--root", &root_s, "--conf", &conf]);
+    assert_eq!(result.expect_err("bad conf").exit_code(), 4);
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+/// The gate this whole PR exists for: the workspace itself has zero
+/// findings under its checked-in allowlist.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let conf = Config::load(&root.join("scripts").join("lint.conf")).expect("lint.conf loads");
+    let report = lint_workspace(root, &conf).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered = report.render_human();
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{rendered}"
+    );
+}
