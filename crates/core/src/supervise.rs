@@ -207,13 +207,12 @@ fn supervised_eval<R: Response>(
             return Err((fault, attempt));
         }
         ppm_telemetry::counter("robust.retries").inc();
-        ppm_telemetry::event(
+        ppm_telemetry::event!(
+            ppm_telemetry::Level::Warn,
             "robust.retry",
-            &[
-                ("index", index.into()),
-                ("attempt", u64::from(attempt).into()),
-                ("fault", fault.to_string().into()),
-            ],
+            "index" => index,
+            "attempt" => u64::from(attempt),
+            "fault" => fault.to_string(),
         );
         let backoff = policy.backoff.saturating_mul(1u32 << (attempt - 1).min(16));
         if !backoff.is_zero() {
@@ -284,6 +283,13 @@ pub fn eval_batch_supervised<R: Response>(
         ],
     );
     ppm_telemetry::counter("sim.batch_points").add(todo.len() as u64);
+    // Progress counters for the live plane's /buildz route: planned
+    // counts the whole batch up front, done advances as points finish
+    // (checkpoint hits count as done immediately), so done/planned is
+    // the completion rate the ETA estimate divides by.
+    ppm_telemetry::counter("build.points_planned").add(n as u64);
+    ppm_telemetry::counter("build.points_done").add(resumed as u64);
+    ppm_telemetry::counter("build.points_resumed").add(resumed as u64);
 
     let quarantined: Mutex<Vec<Quarantine>> = Mutex::new(Vec::new());
     let mut fresh: Vec<Option<f64>> = vec![None; todo.len()];
@@ -343,13 +349,12 @@ fn run_one<R: Response>(
         Ok(v) => *slot = Some(v),
         Err((fault, attempts)) => {
             ppm_telemetry::counter("robust.quarantined").inc();
-            ppm_telemetry::event(
+            ppm_telemetry::event!(
+                ppm_telemetry::Level::Error,
                 "robust.quarantine",
-                &[
-                    ("index", index.into()),
-                    ("attempts", u64::from(attempts).into()),
-                    ("fault", fault.to_string().into()),
-                ],
+                "index" => index,
+                "attempts" => u64::from(attempts),
+                "fault" => fault.to_string(),
             );
             quarantined
                 .lock()
@@ -362,6 +367,9 @@ fn run_one<R: Response>(
                 });
         }
     }
+    // Quarantined points are still *done* for progress purposes: the
+    // supervisor will not spend more time on them.
+    ppm_telemetry::counter("build.points_done").inc();
 }
 
 #[cfg(test)]
@@ -450,6 +458,23 @@ mod tests {
         assert_eq!(out.values, pre);
         assert_eq!(out.resumed, 2);
         assert_eq!(out.evaluated, 0);
+    }
+
+    #[test]
+    fn progress_counters_track_planned_and_done() {
+        let scoped = ppm_telemetry::Registry::scoped();
+        let r = FnResponse::new(1, |x: &[f64]| if x[0] > 0.5 { f64::NAN } else { x[0] }).unwrap();
+        let pts = vec![vec![0.2], vec![0.9], vec![0.4], vec![0.1]];
+        let pre = vec![None, None, None, Some(7.0)];
+        let policy = SupervisorPolicy::default().with_max_quarantined_frac(0.5);
+        let out = eval_batch_supervised(&r, &pts, 1, &policy, &pre).unwrap();
+        assert_eq!(out.resumed, 1);
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(scoped.counter("build.points_planned").get(), 4);
+        // Done covers successes, the checkpoint hit, and the
+        // quarantined point — progress must reach planned even when
+        // points fail.
+        assert_eq!(scoped.counter("build.points_done").get(), 4);
     }
 
     #[test]

@@ -108,6 +108,32 @@ impl Executor {
     }
 }
 
+/// Marks one worker shard live for the duration of its run, for the
+/// live plane: `exec.<label>.w<k>.live` flips to 1, and the aggregate
+/// `exec.workers_live` up/down gauge rises by one. Dropping the guard
+/// reverses both, so a panicking shard never leaves a stuck gauge.
+struct LivenessGuard {
+    shard: std::sync::Arc<ppm_telemetry::Gauge>,
+    pool: std::sync::Arc<ppm_telemetry::Gauge>,
+}
+
+impl LivenessGuard {
+    fn enter(label: &str, w: usize) -> Self {
+        let shard = ppm_telemetry::gauge(&format!("exec.{label}.w{w}.live"));
+        let pool = ppm_telemetry::gauge("exec.workers_live");
+        shard.set(1.0);
+        pool.add(1.0);
+        LivenessGuard { shard, pool }
+    }
+}
+
+impl Drop for LivenessGuard {
+    fn drop(&mut self) {
+        self.shard.set(0.0);
+        self.pool.add(-1.0);
+    }
+}
+
 /// The parallel path: workers claim chunks of indices from a shared
 /// cursor, collect `(index, value)` pairs, and the results are placed
 /// into index-ordered slots after the scope joins.
@@ -136,6 +162,7 @@ where
                 let ctx = &ctx;
                 scope.spawn(move || {
                     let _ctx_guard = ctx.attach();
+                    let _live = LivenessGuard::enter(label, w);
                     let _shard = ppm_telemetry::span(&format!("exec.{label}.w{w}"));
                     let mut got: Vec<(usize, T)> = Vec::new();
                     let mut claimed = 0usize;
@@ -262,6 +289,39 @@ mod tests {
                 .count(),
             0
         );
+    }
+
+    #[test]
+    fn liveness_gauges_rise_during_and_clear_after_a_run() {
+        let scoped = ppm_telemetry::Registry::scoped();
+        let e = Executor::new(4).unwrap();
+        let saw_live = std::sync::atomic::AtomicBool::new(false);
+        e.map("live_test", 64, |i| {
+            // Read from inside a task: at minimum this worker is live.
+            if ppm_telemetry::gauge("exec.workers_live").get() >= 1.0 {
+                saw_live.store(true, Ordering::Relaxed);
+            }
+            i
+        });
+        assert!(saw_live.load(Ordering::Relaxed), "no live worker observed");
+        // All guards dropped: both shard and aggregate gauges are back
+        // to zero even though the instruments still exist.
+        assert_eq!(scoped.gauge("exec.workers_live").get(), 0.0);
+        assert_eq!(scoped.gauge("exec.live_test.w0.live").get(), 0.0);
+    }
+
+    #[test]
+    fn liveness_clears_even_when_a_worker_panics() {
+        let scoped = ppm_telemetry::Registry::scoped();
+        let e = Executor::new(4).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.map("live_panic", 32, |i| {
+                assert!(i != 9, "injected task failure");
+                i
+            })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(scoped.gauge("exec.workers_live").get(), 0.0);
     }
 
     #[test]

@@ -104,16 +104,20 @@ fn in_any(rel: &str, prefixes: &[&str]) -> bool {
 /// `panic-path` covers every scanned file (library crates and the CLI).
 /// `wall-clock` and `print-in-lib` exempt `crates/telemetry` (it *is*
 /// the timing and output layer) and the CLI binary (`src/`), which owns
-/// process-level I/O. `env-read` exempts only the CLI, the designated
-/// config layer. The determinism and numeric scopes are explicit crate
-/// lists.
+/// process-level I/O; `wall-clock` additionally exempts `crates/live`,
+/// whose socket timeouts, ETA extrapolation, and refresh pacing are
+/// observations of real time by design — the live plane reports on a
+/// running process and never feeds deterministic artifacts. `env-read`
+/// exempts only the CLI, the designated config layer. The determinism
+/// and numeric scopes are explicit crate lists.
 pub fn rule_applies(rule: &str, rel_path: &str) -> bool {
     let in_crates = rel_path.starts_with("crates/");
     let in_telemetry = rel_path.starts_with("crates/telemetry/");
+    let in_live = rel_path.starts_with("crates/live/");
     match rule {
         "panic-path" => true,
         "iteration-order" => in_any(rel_path, &DETERMINISTIC_CRATES),
-        "wall-clock" => in_crates && !in_telemetry,
+        "wall-clock" => in_crates && !in_telemetry && !in_live,
         "float-eq" => in_any(rel_path, &NUMERIC_CRATES),
         "print-in-lib" => in_crates && !in_telemetry,
         "env-read" => in_crates,
@@ -398,6 +402,14 @@ fn f(x: Option<u32>) -> u32 {
         );
         // The telemetry crate is the timing layer.
         assert!(rules_hit("crates/telemetry/src/span.rs", used).is_empty());
+        // The live plane observes real time by design (timeouts, ETA),
+        // but its output must still go through sinks and it must not
+        // read the environment.
+        assert!(rules_hit("crates/live/src/server.rs", used).is_empty());
+        assert_eq!(
+            rules_hit("crates/live/src/server.rs", "fn f() { println!(\"x\"); }"),
+            vec!["print-in-lib"]
+        );
         // A Duration type mention is not an observation of the clock.
         assert!(rules_hit("crates/core/src/f.rs", "fn f(d: std::time::Duration) {}").is_empty());
     }

@@ -1,0 +1,112 @@
+//! A tiny HTTP GET client over `std::net::TcpStream`, for `ppm top`
+//! and the live-plane integration tests.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::LiveError;
+
+/// Fetches `path` from the live plane at `addr` (e.g.
+/// `"127.0.0.1:9090"`), returning `(status, body)`. Speaks just enough
+/// HTTP/1.1 for the ppm-live server: one request, `Connection: close`,
+/// body read to EOF.
+///
+/// # Errors
+///
+/// [`LiveError::Io`] on connect/read/write failures,
+/// [`LiveError::Malformed`] when the response has no parseable status
+/// line.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), LiveError> {
+    let mut last_io = LiveError::Io(format!("no usable address for {addr}"));
+    let targets = addr
+        .to_socket_addrs()
+        .map_err(|e| LiveError::Io(format!("cannot resolve {addr}: {e}")))?;
+    for target in targets {
+        match TcpStream::connect_timeout(&target, timeout) {
+            Ok(stream) => return fetch(stream, addr, path, timeout),
+            Err(e) => last_io = LiveError::Io(format!("cannot connect to {target}: {e}")),
+        }
+    }
+    Err(last_io)
+}
+
+fn fetch(
+    mut stream: TcpStream,
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+) -> Result<(u16, String), LiveError> {
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| LiveError::Io(e.to_string()))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| LiveError::Io(format!("request write failed: {e}")))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| LiveError::Io(format!("response read failed: {e}")))?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP/1.1 response into `(status, body)`.
+fn parse_response(raw: &str) -> Result<(u16, String), LiveError> {
+    let status_line = raw
+        .lines()
+        .next()
+        .ok_or_else(|| LiveError::Malformed("empty response".to_string()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| LiveError::Malformed(format!("bad status line: {status_line}")))?;
+    let body = match raw.find("\r\n\r\n") {
+        Some(at) => &raw[at + 4..],
+        None => raw
+            .find("\n\n")
+            .map(|at| &raw[at + 2..])
+            .unwrap_or_default(),
+    };
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_and_body() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nhello\nworld\n";
+        let (status, body) = parse_response(raw).expect("valid response");
+        assert_eq!(status, 200);
+        assert_eq!(body, "hello\nworld\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse_response("not http at all"),
+            Err(LiveError::Malformed(_))
+        ));
+        assert!(matches!(parse_response(""), Err(LiveError::Malformed(_))));
+    }
+
+    #[test]
+    fn connect_to_dead_port_is_io_error() {
+        // Bind then drop a listener to find a port that refuses.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").port()
+        };
+        let err = http_get(
+            &format!("127.0.0.1:{port}"),
+            "/metrics",
+            Duration::from_millis(300),
+        )
+        .expect_err("nothing listening");
+        assert!(matches!(err, LiveError::Io(_)), "{err:?}");
+    }
+}

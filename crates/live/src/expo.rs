@@ -1,0 +1,121 @@
+//! Prometheus text-exposition rendering of registry snapshots.
+
+use ppm_telemetry::{MetricKind, MetricRecord};
+
+/// Maps a dotted registry name onto the exported Prometheus name:
+/// `ppm_` + the name with every non-alphanumeric character replaced by
+/// `_` (`exec.rbf_grid.ms` → `ppm_exec_rbf_grid_ms`). Units stay where
+/// the registry put them — as the trailing name segment.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("ppm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as Prometheus text exposition (version 0.0.4):
+/// `# HELP` / `# TYPE` headers, counters and gauges as single samples,
+/// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
+/// `_count`, with a final `+Inf` bucket. Quantiles ride along as
+/// `{quantile="..."}`-labelled gauges of the base name, the classic
+/// summary-style rendering scrape consumers understand.
+pub fn render_prometheus(snapshot: &[MetricRecord]) -> String {
+    let mut out = String::with_capacity(snapshot.len() * 96 + 64);
+    for m in snapshot {
+        let name = prometheus_name(&m.name);
+        match m.kind {
+            MetricKind::Counter => {
+                out.push_str(&format!("# HELP {name} ppm counter {}\n", m.name));
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                out.push_str(&format!("{name} {}\n", m.value.unwrap_or(0)));
+            }
+            MetricKind::Gauge => {
+                out.push_str(&format!("# HELP {name} ppm gauge {}\n", m.name));
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                let v = m.gauge.unwrap_or(0.0);
+                if v.is_finite() {
+                    out.push_str(&format!("{name} {v}\n"));
+                } else {
+                    out.push_str(&format!("{name} NaN\n"));
+                }
+            }
+            MetricKind::Histogram => {
+                let (count, sum, _min, _max, p50, p95, p99) =
+                    m.hist.unwrap_or((0, 0, 0, 0, 0, 0, 0));
+                out.push_str(&format!("# HELP {name} ppm histogram {}\n", m.name));
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                if let Some(buckets) = &m.buckets {
+                    for (le, cum) in buckets {
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {count}\n"));
+                out.push_str(&format!("{name}_sum {sum}\n"));
+                out.push_str(&format!("{name}_count {count}\n"));
+                for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
+                    out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_the_ppm_convention() {
+        assert_eq!(prometheus_name("sim.batch_points"), "ppm_sim_batch_points");
+        assert_eq!(
+            prometheus_name("span.stage.simulation.us"),
+            "ppm_span_stage_simulation_us"
+        );
+        assert_eq!(prometheus_name("exec.rbf-grid.ms"), "ppm_exec_rbf_grid_ms");
+    }
+
+    #[test]
+    fn exposition_renders_all_three_kinds() {
+        let r = ppm_telemetry::Registry::new();
+        r.counter("live.hits").add(3);
+        r.gauge("exec.workers").set(4.0);
+        let h = r.histogram("span.stage.sim.us");
+        h.record(5);
+        h.record(100);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# TYPE ppm_live_hits counter\nppm_live_hits 3\n"));
+        assert!(text.contains("# TYPE ppm_exec_workers gauge\nppm_exec_workers 4\n"));
+        assert!(text.contains("# TYPE ppm_span_stage_sim_us histogram\n"));
+        assert!(text.contains("ppm_span_stage_sim_us_bucket{le=\"5\"} 1\n"));
+        assert!(text.contains("ppm_span_stage_sim_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ppm_span_stage_sim_us_sum 105\n"));
+        assert!(text.contains("ppm_span_stage_sim_us_count 2\n"));
+        assert!(text.contains("ppm_span_stage_sim_us{quantile=\"0.5\"}"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value == "NaN" || value.parse::<f64>().is_ok(),
+                "unparseable value in line: {line}"
+            );
+            assert!(parts.next().unwrap().starts_with("ppm_"), "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_still_has_inf_bucket_and_zero_count() {
+        let r = ppm_telemetry::Registry::new();
+        r.histogram("span.stage.idle.us");
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("ppm_span_stage_idle_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("ppm_span_stage_idle_us_count 0\n"));
+    }
+}

@@ -1,0 +1,288 @@
+//! The data and rendering layer behind `ppm top`: poll a live plane,
+//! compute a completion rate, and draw one terminal frame.
+
+use std::time::Duration;
+
+use ppm_obs::Json;
+
+use crate::client::http_get;
+use crate::LiveError;
+
+/// One poll of a live endpoint: the `/buildz` progress document plus
+/// the recent quarantine events from `/eventz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopSnapshot {
+    /// Innermost open `stage.*` span, if any.
+    pub stage: Option<String>,
+    /// Milliseconds since the process's telemetry epoch.
+    pub elapsed_ms: u64,
+    /// Points planned across all batches so far.
+    pub planned: u64,
+    /// Points finished (including resumed and quarantined ones).
+    pub done: u64,
+    /// Points served from a checkpoint.
+    pub resumed: u64,
+    /// Total supervisor retries.
+    pub retries: u64,
+    /// Total quarantined points.
+    pub quarantined: u64,
+    /// Workers currently inside executor shards.
+    pub workers_live: f64,
+    /// Estimated milliseconds to completion, when computable.
+    pub eta_ms: Option<u64>,
+    /// Human-readable recent quarantine descriptions, oldest first.
+    pub quarantine_log: Vec<String>,
+}
+
+fn u64_field(doc: &Json, key: &str) -> u64 {
+    doc.get(key)
+        .and_then(Json::as_i64)
+        .map(|v| v.max(0) as u64)
+        .unwrap_or(0)
+}
+
+/// Polls `addr`'s `/buildz` and `/eventz` routes and assembles a
+/// [`TopSnapshot`].
+///
+/// # Errors
+///
+/// [`LiveError::Io`] / [`LiveError::Http`] when the endpoint is
+/// unreachable or unhappy, [`LiveError::Malformed`] when a payload does
+/// not parse as the expected schema.
+pub fn fetch_top(addr: &str, timeout: Duration) -> Result<TopSnapshot, LiveError> {
+    let (status, body) = http_get(addr, "/buildz", timeout)?;
+    if status != 200 {
+        return Err(LiveError::Http {
+            status,
+            detail: body,
+        });
+    }
+    let doc = Json::parse(&body)
+        .map_err(|e| LiveError::Malformed(format!("/buildz is not JSON: {e}")))?;
+    if doc.get("schema").and_then(Json::as_str) != Some("ppm-buildz v1") {
+        return Err(LiveError::Malformed(
+            "/buildz missing `ppm-buildz v1` schema header".to_string(),
+        ));
+    }
+    let points = doc.get("points").cloned().unwrap_or(Json::Null);
+    let mut snap = TopSnapshot {
+        stage: doc
+            .get("stage")
+            .and_then(Json::as_str)
+            .map(|s| s.to_string()),
+        elapsed_ms: u64_field(&doc, "elapsed_ms"),
+        planned: u64_field(&points, "planned"),
+        done: u64_field(&points, "done"),
+        resumed: u64_field(&points, "resumed"),
+        retries: u64_field(&doc, "retries"),
+        quarantined: u64_field(&doc, "quarantined"),
+        workers_live: doc
+            .get("workers_live")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        eta_ms: doc.get("eta_ms").and_then(Json::as_i64).map(|v| v as u64),
+        quarantine_log: Vec::new(),
+    };
+    // The quarantine list is best-effort colour: a failed /eventz fetch
+    // must not blank the whole view.
+    if let Ok((200, body)) = http_get(addr, "/eventz", timeout) {
+        if let Ok(doc) = Json::parse(&body) {
+            if let Some(events) = doc.get("events").and_then(Json::as_arr) {
+                for e in events {
+                    if e.get("name").and_then(Json::as_str) != Some("robust.quarantine") {
+                        continue;
+                    }
+                    let fields = e.get("fields").cloned().unwrap_or(Json::Null);
+                    let index = u64_field(&fields, "index");
+                    let fault = fields
+                        .get("fault")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown fault")
+                        .to_string();
+                    snap.quarantine_log.push(format!("point {index}: {fault}"));
+                }
+            }
+        }
+    }
+    Ok(snap)
+}
+
+/// Carries the previous poll across frames so the completion rate is a
+/// true delta, not a lifetime average.
+#[derive(Debug, Default)]
+pub struct TopState {
+    prev: Option<(u64, u64)>,
+}
+
+impl TopState {
+    /// A fresh state (first frame shows no rate).
+    pub fn new() -> Self {
+        TopState::default()
+    }
+
+    /// Renders one frame and advances the rate window.
+    pub fn frame(&mut self, addr: &str, snap: &TopSnapshot) -> String {
+        let qps = match self.prev {
+            Some((done, at_ms)) if snap.elapsed_ms > at_ms && snap.done >= done => {
+                Some((snap.done - done) as f64 * 1000.0 / (snap.elapsed_ms - at_ms) as f64)
+            }
+            _ => None,
+        };
+        self.prev = Some((snap.done, snap.elapsed_ms));
+        render_frame(addr, snap, qps)
+    }
+}
+
+fn fmt_secs(ms: u64) -> String {
+    format!("{:.1}s", ms as f64 / 1000.0)
+}
+
+/// Draws one `ppm top` frame as plain text: header, stage bar, rate
+/// line, and recent quarantines. Pure string assembly — the CLI decides
+/// whether to print it once (`--once`) or redraw in a loop.
+pub fn render_frame(addr: &str, snap: &TopSnapshot, qps: Option<f64>) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!("ppm top — {addr}\n"));
+    let stage = snap.stage.as_deref().unwrap_or("idle");
+    let eta = match snap.eta_ms {
+        Some(ms) => fmt_secs(ms),
+        None => "--".to_string(),
+    };
+    out.push_str(&format!(
+        "stage {stage}   elapsed {}   eta {eta}\n",
+        fmt_secs(snap.elapsed_ms)
+    ));
+    const WIDTH: usize = 30;
+    let (filled, pct) = if snap.planned > 0 {
+        let frac = (snap.done as f64 / snap.planned as f64).clamp(0.0, 1.0);
+        ((frac * WIDTH as f64).round() as usize, frac * 100.0)
+    } else {
+        (0, 0.0)
+    };
+    out.push_str(&format!(
+        "points [{}{}] {}/{} ({pct:.1}%)  resumed {}\n",
+        "#".repeat(filled.min(WIDTH)),
+        "-".repeat(WIDTH - filled.min(WIDTH)),
+        snap.done,
+        snap.planned,
+        snap.resumed
+    ));
+    let rate = match qps {
+        Some(q) => format!("{q:.1} pts/s"),
+        None => "--".to_string(),
+    };
+    out.push_str(&format!(
+        "rate {rate}   workers {:.0}   retries {}   quarantined {}\n",
+        snap.workers_live, snap.retries, snap.quarantined
+    ));
+    if !snap.quarantine_log.is_empty() {
+        out.push_str("recent quarantines:\n");
+        for q in snap.quarantine_log.iter().rev().take(5) {
+            out.push_str(&format!("  {q}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> TopSnapshot {
+        TopSnapshot {
+            stage: Some("simulation".to_string()),
+            elapsed_ms: 4000,
+            planned: 40,
+            done: 10,
+            resumed: 2,
+            retries: 3,
+            quarantined: 1,
+            workers_live: 2.0,
+            eta_ms: Some(12_000),
+            quarantine_log: vec!["point 7: panicked: injected".to_string()],
+        }
+    }
+
+    #[test]
+    fn frame_renders_progress_and_rate() {
+        let mut state = TopState::new();
+        let first = state.frame("127.0.0.1:1", &snap());
+        assert!(first.contains("ppm top — 127.0.0.1:1"));
+        assert!(first.contains("stage simulation"));
+        assert!(first.contains("10/40 (25.0%)"));
+        assert!(first.contains("eta 12.0s"));
+        assert!(first.contains("rate --"), "no rate on the first frame");
+        assert!(first.contains("point 7: panicked: injected"));
+
+        let mut later = snap();
+        later.done = 30;
+        later.elapsed_ms = 8000;
+        let second = state.frame("127.0.0.1:1", &later);
+        // 20 points in 4 seconds.
+        assert!(second.contains("rate 5.0 pts/s"), "{second}");
+    }
+
+    #[test]
+    fn empty_plan_renders_without_division() {
+        let empty = TopSnapshot {
+            stage: None,
+            elapsed_ms: 0,
+            planned: 0,
+            done: 0,
+            resumed: 0,
+            retries: 0,
+            quarantined: 0,
+            workers_live: 0.0,
+            eta_ms: None,
+            quarantine_log: Vec::new(),
+        };
+        let frame = render_frame("x", &empty, None);
+        assert!(frame.contains("stage idle"));
+        assert!(frame.contains("0/0 (0.0%)"));
+        assert!(frame.contains("eta --"));
+    }
+
+    #[test]
+    fn fetch_top_round_trips_against_a_live_server() {
+        let registry = std::sync::Arc::new(ppm_telemetry::Registry::new());
+        registry.counter("build.points_planned").add(8);
+        registry.counter("build.points_done").add(2);
+        let ring = ppm_telemetry::EventRing::new(8);
+        {
+            use ppm_telemetry::{Level, Record, Sink, Value};
+            let mut writer = ring.clone();
+            writer.record(&Record::Event {
+                name: "robust.quarantine".into(),
+                level: Level::Error,
+                fields: vec![
+                    ("index".into(), Value::from(3u64)),
+                    ("attempts".into(), Value::from(3u64)),
+                    ("fault".into(), Value::from("panicked: injected")),
+                ],
+                depth: 1,
+            });
+        }
+        let server = crate::LiveServer::start(
+            "127.0.0.1:0",
+            crate::RegistrySource::Shared(std::sync::Arc::clone(&registry)),
+            ring,
+        )
+        .expect("bind");
+        let snap =
+            fetch_top(&server.addr().to_string(), Duration::from_secs(2)).expect("fetch top");
+        assert_eq!(snap.planned, 8);
+        assert_eq!(snap.done, 2);
+        assert_eq!(snap.quarantine_log, vec!["point 3: panicked: injected"]);
+    }
+
+    #[test]
+    fn fetch_top_reports_unreachable_endpoints_as_io() {
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").port()
+        };
+        let err = fetch_top(&format!("127.0.0.1:{port}"), Duration::from_millis(300))
+            .expect_err("dead port");
+        assert!(matches!(err, LiveError::Io(_)));
+    }
+}

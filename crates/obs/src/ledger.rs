@@ -366,6 +366,7 @@ mod tests {
                     value: Some(40),
                     gauge: None,
                     hist: None,
+                    buckets: None,
                 },
                 MetricRecord {
                     name: "span.stage.tree.us".to_string(),
@@ -373,6 +374,7 @@ mod tests {
                     value: None,
                     gauge: None,
                     hist: Some((1, 100, 100, 100, 100, 100, 100)),
+                    buckets: Some(vec![(100, 1)]),
                 },
                 MetricRecord {
                     name: "exec.rbf_grid.ms".to_string(),
@@ -380,6 +382,7 @@ mod tests {
                     value: None,
                     gauge: Some(139.0),
                     hist: None,
+                    buckets: None,
                 },
                 MetricRecord {
                     name: "exec.idle".to_string(),
@@ -387,6 +390,7 @@ mod tests {
                     value: Some(3),
                     gauge: None,
                     hist: None,
+                    buckets: None,
                 },
             ],
             diagnostics: Some(Json::Obj(vec![("mean_pct".to_string(), Json::Float(2.1))])),

@@ -17,16 +17,22 @@
 //! * [`report`] — the regression sentry: diff two ledgers' stage
 //!   times, error statistics, and counters against thresholds, for
 //!   `ppm report` and the CI gate in `scripts/verify.sh`.
+//! * [`bench`] — `ppm-bench v1` perf-history files: one wall-time
+//!   measurement each, with the comparable identity (`body`) split
+//!   from the wall-clock sidecar (`timing`), for `ppm bench-export`
+//!   and the `results/BENCH_*.json` trajectory.
 //!
 //! Like the rest of the workspace, this crate has no external
 //! dependencies; [`json`] is a small self-contained JSON value type
 //! with a parser and serializer.
 
+pub mod bench;
 pub mod json;
 pub mod ledger;
 pub mod report;
 pub mod trace;
 
+pub use bench::{load_bench, write_bench, BenchError, BenchRecord, BENCH_SCHEMA};
 pub use json::{Json, JsonError};
 pub use ledger::{
     deterministic_metrics, fnv1a64_hex, load_ledger, verify_content_hash, Ledger, LedgerError,

@@ -398,6 +398,7 @@ mod tests {
         record_span(&mut sink, "exec.rbf_grid.w1", 600, 280, 2);
         sink.record(&Record::Event {
             name: "rbf.selected".to_string(),
+            level: ppm_telemetry::Level::Info,
             fields: vec![],
             depth: 1,
         });

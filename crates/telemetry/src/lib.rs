@@ -34,15 +34,18 @@
 mod cputime;
 mod json;
 mod registry;
+mod ring;
 mod sink;
 mod span;
 
 pub use cputime::process_cpu_us;
 pub use json::{json_string, Value};
 pub use registry::{Counter, Gauge, Histogram, MetricKind, MetricRecord, Registry};
-pub use sink::{BufferSink, JsonlSink, Record, Sink, StderrSink, Verbosity};
+pub use ring::{EventRing, RingEvent};
+pub use sink::{BufferSink, JsonlSink, Level, Record, Sink, StderrSink, Verbosity};
 pub use span::{
-    current_depth, current_span, monotonic_us, thread_ordinal, ContextGuard, Span, TelemetryContext,
+    current_depth, current_span, current_stage, monotonic_us, thread_ordinal, ContextGuard, Span,
+    TelemetryContext,
 };
 
 use std::cell::RefCell;
@@ -247,20 +250,44 @@ pub(crate) fn dispatch(rec: &Record) {
     }
 }
 
-/// Emits a discrete event with the given fields at the current span
-/// depth. No-op when telemetry is disabled.
+/// Emits a discrete [`Level::Info`] event with the given fields at the
+/// current span depth. No-op when telemetry is disabled.
 pub fn event(name: &str, fields: &[(&str, Value)]) {
+    event_at(Level::Info, name, fields);
+}
+
+/// Emits a discrete event at an explicit severity. `Warn` and `Error`
+/// events stay visible to `Progress` sinks even when nested; prefer the
+/// [`event!`] macro at call sites for the key/value sugar.
+pub fn event_at(level: Level, name: &str, fields: &[(&str, Value)]) {
     if !enabled() || SINK_COUNT.load(Ordering::Acquire) == 0 {
         return;
     }
     dispatch(&Record::Event {
         name: name.to_string(),
+        level,
         fields: fields
             .iter()
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect(),
         depth: current_depth(),
     });
+}
+
+/// Emits a leveled event with `key => value` field sugar:
+///
+/// ```
+/// use ppm_telemetry::Level;
+/// ppm_telemetry::event!(Level::Warn, "live.client_error", "cause" => "reset", "port" => 8080u64);
+/// ```
+///
+/// Values go through [`Value::from`], so integers, floats, booleans,
+/// `&str`, and `String` all work directly.
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr $(, $k:expr => $v:expr)* $(,)?) => {
+        $crate::event_at($level, $target, &[$(($k, $crate::Value::from($v))),*])
+    };
 }
 
 /// Snapshots every instrument in the active registry and sends the
@@ -346,6 +373,7 @@ mod tests {
                     name,
                     fields,
                     depth,
+                    ..
                 } if name == "t.evt" => Some((fields.clone(), *depth)),
                 _ => None,
             })

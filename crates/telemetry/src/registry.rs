@@ -59,6 +59,23 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adds `d` (which may be negative) to the gauge atomically — the
+    /// up/down form used for liveness counts such as
+    /// `exec.workers_live`.
+    pub fn add(&self, d: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
     /// The last value set (0.0 if never set).
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -168,6 +185,31 @@ impl Histogram {
         (n > 0).then(|| self.sum() as f64 / n as f64)
     }
 
+    /// The non-empty buckets as `(le, cumulative_count)` pairs, in
+    /// ascending order — the Prometheus cumulative-bucket form. `le` is
+    /// the bucket's inclusive integer upper bound (observations are
+    /// `u64`, so the count of values `<= le` equals the count below the
+    /// bucket's exclusive bound). Empty buckets are skipped; cumulative
+    /// counts stay monotone regardless. Lock-free: one relaxed load per
+    /// bucket, concurrent recording never blocks a scrape.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                cum += c;
+                let (lo, hi) = Self::bucket_bounds(idx);
+                // Top-octave bounds saturate: `hi` is already inclusive
+                // there, everywhere else the integer below `hi` is.
+                let le = if hi == u64::MAX { hi } else { hi - 1 };
+                debug_assert!(le >= lo);
+                out.push((le, cum));
+            }
+        }
+        out
+    }
+
     /// The `q`-quantile (`0.0..=1.0`) as a representative value of the
     /// bucket containing it, clamped to the observed min/max. `None`
     /// when empty.
@@ -223,6 +265,11 @@ pub struct MetricRecord {
     pub gauge: Option<f64>,
     /// `(count, sum, min, max, p50, p95, p99)` (histograms only).
     pub hist: Option<(u64, u64, u64, u64, u64, u64, u64)>,
+    /// Non-empty cumulative buckets as `(le, cumulative_count)`
+    /// (histograms only; see [`Histogram::cumulative_buckets`]). Not
+    /// part of the JSONL line — consumed by the live plane's
+    /// Prometheus exposition.
+    pub buckets: Option<Vec<(u64, u64)>>,
 }
 
 impl MetricRecord {
@@ -342,6 +389,7 @@ impl Registry {
                 value: Some(c.get()),
                 gauge: None,
                 hist: None,
+                buckets: None,
             });
         }
         for (name, g) in self
@@ -356,6 +404,7 @@ impl Registry {
                 value: None,
                 gauge: Some(g.get()),
                 hist: None,
+                buckets: None,
             });
         }
         for (name, h) in self
@@ -378,6 +427,7 @@ impl Registry {
                     h.quantile(0.95).unwrap_or(0),
                     h.quantile(0.99).unwrap_or(0),
                 )),
+                buckets: Some(h.cumulative_buckets()),
             });
         }
         out
@@ -504,6 +554,126 @@ mod tests {
     #[should_panic(expected = "outside [0, 1]")]
     fn out_of_range_quantile_panics() {
         Histogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn single_sample_histogram_is_exact_at_every_quantile() {
+        for v in [0u64, 1, 15, 16, 1000] {
+            let h = Histogram::new();
+            h.record(v);
+            // One sample: min/max clamping pins every quantile to it.
+            for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), Some(v), "v={v} q={q}");
+            }
+            assert_eq!(h.mean(), Some(v as f64));
+            assert_eq!(
+                h.cumulative_buckets(),
+                vec![(
+                    {
+                        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+                        assert!(lo <= v);
+                        hi - 1
+                    },
+                    1
+                )]
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_at_exact_bucket_boundaries() {
+        // Values 15 and 16 straddle the exact/log boundary; 20 and 32
+        // open later buckets. Each lands on a bucket's lower bound.
+        let h = Histogram::new();
+        for v in [15u64, 16, 20, 32] {
+            h.record(v);
+        }
+        // q=0.25 targets rank 1 of 4 → the first bucket; min-clamped.
+        assert_eq!(h.quantile(0.25), Some(15));
+        // q=0.5 → rank 2 → bucket [16,20), midpoint 17.
+        assert_eq!(h.quantile(0.5), Some(17));
+        // q=0.75 → rank 3 → bucket [20,24), midpoint 21.
+        assert_eq!(h.quantile(0.75), Some(21));
+        // q=1.0 → rank 4 → bucket [32,40), midpoint clamped to max 32.
+        assert_eq!(h.quantile(1.0), Some(32));
+        // q=0.0 always reports the smallest bucket's clamped value.
+        assert_eq!(h.quantile(0.0), Some(15));
+        // Cumulative buckets are monotone and end at the total count.
+        let cum = h.cumulative_buckets();
+        assert_eq!(cum.len(), 4);
+        assert!(cum.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(cum.last().unwrap().1, 4);
+        assert_eq!(cum[0], (15, 1));
+        assert_eq!(cum[1], (19, 2));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_cumulative_buckets() {
+        assert!(Histogram::new().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn gauge_add_is_atomic_and_signed() {
+        let g = Gauge::new();
+        g.add(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let g = &g;
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                        g.add(-1.0);
+                    }
+                    g.add(1.0);
+                });
+            }
+        });
+        assert_eq!(g.get(), 9.5);
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_concurrent_recording() {
+        // Writers hammer the registry while a reader snapshots; every
+        // snapshot must be internally consistent (cumulative buckets
+        // monotone, count >= last cumulative at read time, sum sane)
+        // and never block or panic.
+        let r = Registry::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = &r;
+                s.spawn(move || {
+                    let c = r.counter("live.hits");
+                    let h = r.histogram("live.lat_us");
+                    for i in 0..20_000u64 {
+                        c.inc();
+                        h.record(t * 7 + i % 1000);
+                    }
+                });
+            }
+            let r = &r;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    for m in r.snapshot() {
+                        if let Some(b) = &m.buckets {
+                            // `le` strictly ascending, cumulative
+                            // counts monotone — even mid-write.
+                            assert!(b.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+                            let (count, sum, min, max, ..) = m.hist.unwrap();
+                            if count > 0 {
+                                assert!(min <= max);
+                                assert!(sum >= min);
+                            }
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        assert_eq!(r.counter("live.hits").get(), 80_000);
+        let final_cum = r.histogram("live.lat_us").cumulative_buckets();
+        assert_eq!(final_cum.last().unwrap().1, 80_000);
     }
 
     #[test]

@@ -24,6 +24,38 @@ pub enum Verbosity {
     Trace,
 }
 
+/// Severity of an [`Record::Event`]. Ordered so sinks can filter with a
+/// simple comparison: `level >= Level::Warn` admits warnings and errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail, hidden unless tracing.
+    Debug,
+    /// Normal progress reporting (the historical default).
+    Info,
+    /// Something recoverable went wrong (retry, client disconnect).
+    Warn,
+    /// Something was lost (quarantined point, dropped artifact).
+    Error,
+}
+
+impl Level {
+    /// The lowercase wire name (`"debug"`, `"info"`, `"warn"`, `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// One telemetry record, as handed to sinks.
 #[derive(Debug, Clone)]
 pub enum Record {
@@ -31,6 +63,9 @@ pub enum Record {
     Event {
         /// Event name (dotted, e.g. `rbf.selected`).
         name: String,
+        /// Severity; `Warn`+ stays visible at `Progress` regardless of
+        /// nesting depth.
+        level: Level,
         /// Ordered field list.
         fields: Vec<(String, Value)>,
         /// Nesting depth of the span stack at emission time.
@@ -65,13 +100,14 @@ impl Record {
         match self {
             Record::Event {
                 name,
+                level,
                 fields,
                 depth,
             } => {
                 let mut s = String::with_capacity(64);
                 s.push_str("{\"t\":\"event\",\"name\":");
                 write_json_string(&mut s, name);
-                s.push_str(&format!(",\"depth\":{depth}"));
+                s.push_str(&format!(",\"level\":\"{level}\",\"depth\":{depth}"));
                 s.push_str(",\"fields\":{");
                 for (i, (k, v)) in fields.iter().enumerate() {
                     if i > 0 {
@@ -121,10 +157,15 @@ impl Record {
         match self {
             Record::Event {
                 name,
+                level,
                 fields,
                 depth,
             } => {
-                let mut s = format!("{:indent$}{name}", "", indent = depth * 2);
+                let tag = match level {
+                    Level::Warn | Level::Error => format!("{level}: "),
+                    Level::Debug | Level::Info => String::new(),
+                };
+                let mut s = format!("{:indent$}{tag}{name}", "", indent = depth * 2);
                 for (k, v) in fields {
                     let mut vs = String::new();
                     v.write_json(&mut vs);
@@ -146,11 +187,18 @@ impl Record {
         }
     }
 
-    /// Whether a sink at `v` should see this record.
+    /// Whether a sink at `v` should see this record. Warnings and
+    /// errors surface at `Progress` even when emitted inside nested
+    /// spans; `Quiet` suppresses everything.
     pub fn visible_at(&self, v: Verbosity) -> bool {
         match self {
             Record::Metric(_) => v > Verbosity::Quiet,
-            Record::Event { depth, .. } | Record::Span { depth, .. } => match v {
+            Record::Event { depth, level, .. } => match v {
+                Verbosity::Quiet => false,
+                Verbosity::Progress => *depth == 0 || *level >= Level::Warn,
+                Verbosity::Trace => true,
+            },
+            Record::Span { depth, .. } => match v {
                 Verbosity::Quiet => false,
                 Verbosity::Progress => *depth == 0,
                 Verbosity::Trace => true,
@@ -273,6 +321,7 @@ mod tests {
     fn event_records_serialize_with_escaped_fields() {
         let rec = Record::Event {
             name: "bench.loaded".to_string(),
+            level: Level::Info,
             fields: vec![
                 ("name".to_string(), Value::from("gcc \"O2\"\n")),
                 ("points".to_string(), Value::from(64u64)),
@@ -282,7 +331,7 @@ mod tests {
         };
         assert_eq!(
             rec.to_json_line(),
-            "{\"t\":\"event\",\"name\":\"bench.loaded\",\"depth\":1,\
+            "{\"t\":\"event\",\"name\":\"bench.loaded\",\"level\":\"info\",\"depth\":1,\
              \"fields\":{\"name\":\"gcc \\\"O2\\\"\\n\",\"points\":64,\"aicc\":-12.5}}"
         );
     }
@@ -351,6 +400,7 @@ mod tests {
         let sink = StderrSink::new(Verbosity::Quiet);
         let rec = Record::Event {
             name: "noisy".into(),
+            level: Level::Info,
             fields: vec![],
             depth: 0,
         };
@@ -362,6 +412,7 @@ mod tests {
         let mut sink = JsonlSink::new(Vec::new());
         sink.record(&Record::Event {
             name: "x".into(),
+            level: Level::Info,
             fields: vec![],
             depth: 0,
         });
@@ -371,6 +422,7 @@ mod tests {
             value: Some(2),
             gauge: None,
             hist: None,
+            buckets: None,
         }));
         let text = String::from_utf8(sink.writer).unwrap();
         let lines: Vec<&str> = text.lines().collect();

@@ -39,6 +39,41 @@ thread_local! {
 /// Source of thread ordinals; the first thread to record gets 0.
 static NEXT_ORDINAL: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide stack of open `stage.*` spans, innermost last. Unlike
+/// `SPAN_STACK` this is global, so the live plane can answer "what
+/// stage is the build in right now?" from any thread.
+static STAGE_STACK: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
+
+/// The innermost open `stage.*` span anywhere in the process, without
+/// the `stage.` prefix (e.g. `"simulation"`), or `None` between stages.
+pub fn current_stage() -> Option<String> {
+    STAGE_STACK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .last()
+        .map(|s| s.trim_start_matches("stage.").to_string())
+}
+
+fn stage_push(name: &str) {
+    if name.starts_with("stage.") {
+        STAGE_STACK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(name.to_string());
+    }
+}
+
+fn stage_pop(name: &str) {
+    if name.starts_with("stage.") {
+        let mut stack = STAGE_STACK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(pos) = stack.iter().rposition(|n| n == name) {
+            stack.remove(pos);
+        }
+    }
+}
+
 /// The process-wide monotonic epoch, fixed on first telemetry use.
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
@@ -148,6 +183,7 @@ impl Span {
             };
         }
         SPAN_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+        stage_push(name);
         Span {
             name: Some(name.to_string()),
             start: Instant::now(),
@@ -181,6 +217,7 @@ impl Drop for Span {
             }
             (stack.len(), stack.last().cloned())
         });
+        stage_pop(&name);
         crate::with_active_registry(|r| r.histogram(&format!("span.{name}.us")).record(us));
         crate::dispatch(&Record::Span {
             name,
@@ -211,6 +248,21 @@ mod tests {
         }
         assert_eq!(current_depth(), 1);
         assert_eq!(current_span().as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn current_stage_tracks_stage_spans_globally() {
+        {
+            let _s = Span::enter("stage.testing_live");
+            assert_eq!(current_stage().as_deref(), Some("testing_live"));
+            // Visible from another thread: the stack is process-wide.
+            let seen = std::thread::spawn(current_stage).join().unwrap();
+            assert_eq!(seen.as_deref(), Some("testing_live"));
+            // Non-stage spans don't disturb it.
+            let _inner = Span::enter("t.not_a_stage");
+            assert_eq!(current_stage().as_deref(), Some("testing_live"));
+        }
+        assert_eq!(current_stage(), None);
     }
 
     #[test]

@@ -28,16 +28,29 @@ echo "== flight recorder: smoke build + regression sentry + trace check =="
 # ledger — every deterministic counter and error statistic exactly, and
 # stage wall times within a generous cross-machine budget — and
 # (b) emit a structurally valid Chrome-trace file. `ppm report` exits 5
-# on regression, which fails this gate via `set -e`.
+# on regression, which fails this gate via `set -e`. The build also
+# carries `--live 127.0.0.1:0` so the gate proves the live plane binds,
+# serves, and shuts down cleanly alongside a real run.
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 target/release/ppm build --benchmark ammp --sample 20 --instructions 10000 \
-  --seed 7 --train-threads 2 --holdout 6 --quiet \
+  --seed 7 --train-threads 2 --holdout 6 --quiet --live 127.0.0.1:0 \
   --out "$smoke_dir/m.txt" --ledger-out "$smoke_dir/ledger.json" \
   --trace-out "$smoke_dir/trace.json"
 target/release/ppm report --candidate "$smoke_dir/ledger.json" \
   --against results/baselines/smoke.json --max-stage-ratio 25
 target/release/ppm check-trace --file "$smoke_dir/trace.json"
+
+echo "== bench trajectory: export perf history from the smoke ledger =="
+# Each verify run refreshes the `ppm-bench v1` files under results/ so
+# perf history accrues PR over PR: the RBF training stage, the
+# simulation stage, and the whole smoke build's wall time.
+target/release/ppm bench-export --ledger "$smoke_dir/ledger.json" \
+  --stage stage.rbf_train --bench rbf_train --out results/BENCH_rbf_train.json
+target/release/ppm bench-export --ledger "$smoke_dir/ledger.json" \
+  --stage stage.simulation --bench sim --out results/BENCH_sim.json
+target/release/ppm bench-export --ledger "$smoke_dir/ledger.json" \
+  --stage total --bench build_total --out results/BENCH_build_total.json
 
 echo "== ppm lint (token-aware static analysis, all crates) =="
 # The workspace's own linter (crates/lint) supersedes the old awk/grep

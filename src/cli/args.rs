@@ -55,10 +55,23 @@ pub struct Parsed {
     pub command: String,
     values: BTreeMap<String, String>,
     switches: Vec<String>,
+    positionals: Vec<String>,
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 5] = ["--energy", "--trace", "--quiet", "--resume", "--no-ledger"];
+const SWITCHES: [&str; 6] = [
+    "--energy",
+    "--trace",
+    "--quiet",
+    "--resume",
+    "--no-ledger",
+    "--once",
+];
+
+/// Commands that accept bare positional arguments after the command
+/// word (`ppm top 127.0.0.1:9090`). Everything else treats a stray
+/// positional as an error, preserving the strict historical surface.
+const POSITIONAL_COMMANDS: [&str; 1] = ["top"];
 
 impl Parsed {
     /// Parses raw arguments (excluding the program name).
@@ -74,8 +87,13 @@ impl Parsed {
         }
         let mut values = BTreeMap::new();
         let mut switches = Vec::new();
+        let mut positionals = Vec::new();
         while let Some(arg) = iter.next() {
             if !arg.starts_with("--") {
+                if POSITIONAL_COMMANDS.contains(&command.as_str()) {
+                    positionals.push(arg);
+                    continue;
+                }
                 return Err(ArgError::Unexpected(arg));
             }
             if SWITCHES.contains(&arg.as_str()) {
@@ -93,7 +111,14 @@ impl Parsed {
             command,
             values,
             switches,
+            positionals,
         })
+    }
+
+    /// Positional arguments after the command word (only commands in
+    /// the positional allowlist ever have any).
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// A string flag's value, if present.
@@ -206,6 +231,20 @@ mod tests {
             p.require("--out"),
             Err(ArgError::Required("--out"))
         ));
+    }
+
+    #[test]
+    fn top_accepts_a_positional_address_others_do_not() {
+        let p = parse(&["top", "127.0.0.1:9090", "--once"]).unwrap();
+        assert_eq!(p.positionals(), ["127.0.0.1:9090".to_string()]);
+        assert!(p.switch("--once"));
+        // The strict surface is preserved everywhere else.
+        assert!(matches!(
+            parse(&["build", "127.0.0.1:9090"]),
+            Err(ArgError::Unexpected(_))
+        ));
+        let bare = parse(&["top"]).unwrap();
+        assert!(bare.positionals().is_empty());
     }
 
     #[test]

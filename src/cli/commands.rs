@@ -39,6 +39,10 @@ pub enum CliError {
     /// The static-analysis pass found violations (exit code 6) — the
     /// scan itself succeeded; the findings were already printed.
     Lint(usize),
+    /// The live observability plane could not start or be reached
+    /// (exit code 7) — e.g. `--live` bind failures, `ppm top` against
+    /// a dead endpoint.
+    Live(String),
     /// Anything else, with a user-facing message (exit code 1).
     Message(String),
 }
@@ -46,7 +50,7 @@ pub enum CliError {
 impl CliError {
     /// The process exit code for this error category: usage errors 2,
     /// simulation faults 3, persistence failures 4, regressions 5,
-    /// lint findings 6, everything else 1.
+    /// lint findings 6, live-plane failures 7, everything else 1.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Args(_) | CliError::Usage(_) => 2,
@@ -54,6 +58,7 @@ impl CliError {
             CliError::Persistence(_) => 4,
             CliError::Regression(_) => 5,
             CliError::Lint(_) => 6,
+            CliError::Live(_) => 7,
             CliError::Message(_) => 1,
         }
     }
@@ -68,6 +73,7 @@ impl fmt::Display for CliError {
             CliError::Persistence(m) => f.write_str(m),
             CliError::Regression(m) => f.write_str(m),
             CliError::Lint(n) => write!(f, "ppm-lint: {n} finding(s)"),
+            CliError::Live(m) => f.write_str(m),
             CliError::Message(m) => f.write_str(m),
         }
     }
@@ -104,6 +110,12 @@ impl From<PersistError> for CliError {
 impl From<CheckpointError> for CliError {
     fn from(e: CheckpointError) -> Self {
         CliError::Persistence(e.to_string())
+    }
+}
+
+impl From<ppm_live::LiveError> for CliError {
+    fn from(e: ppm_live::LiveError) -> Self {
+        CliError::Live(e.to_string())
     }
 }
 
@@ -145,8 +157,89 @@ pub fn run_with_artifacts(
         "workload-info" => workload_info(parsed, out),
         "report" => flight::report(parsed, out),
         "check-trace" => flight::check_trace(parsed, out),
+        "bench-export" => flight::bench_export(parsed, out),
         "lint" => lint(parsed, out),
+        "top" => top(parsed, out),
         other => Err(msg(format!("unknown command {other:?} (try `ppm help`)"))),
+    }
+}
+
+/// Commands that accept `--live <addr>`: the long-running ones whose
+/// progress is worth watching from outside the process.
+pub const LIVE_COMMANDS: [&str; 3] = ["build", "simulate", "screen"];
+
+/// Starts the live observability plane when `--live <addr>` was given:
+/// binds the endpoint, installs the `/eventz` ring as a telemetry sink,
+/// and announces the bound address on stderr (unless `--quiet`).
+/// Returns the server handle — the caller keeps it alive for the run;
+/// dropping it stops the accept loop.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] when `--live` is given on a command outside
+/// [`LIVE_COMMANDS`]; [`CliError::Live`] (exit code 7) when the address
+/// cannot be bound.
+pub fn start_live(parsed: &Parsed) -> Result<Option<ppm_live::LiveServer>, CliError> {
+    let Some(addr) = parsed.get("--live") else {
+        return Ok(None);
+    };
+    if !LIVE_COMMANDS.contains(&parsed.command.as_str()) {
+        return Err(CliError::Usage(format!(
+            "--live is only supported on {} (got {:?})",
+            LIVE_COMMANDS.join("/"),
+            parsed.command
+        )));
+    }
+    let ring = ppm_telemetry::EventRing::new(256);
+    let server = ppm_live::LiveServer::start(addr, ppm_live::RegistrySource::Global, ring.clone())?;
+    ppm_telemetry::add_sink(Box::new(ring));
+    if !parsed.switch("--quiet") {
+        eprintln!("[ppm] live plane listening on http://{}", server.addr());
+    }
+    Ok(Some(server))
+}
+
+/// `ppm top <addr>`: render the live plane at `addr` as a terminal
+/// dashboard. `--once` prints a single frame and exits; otherwise the
+/// view redraws every `--interval-ms` (default 500) until the endpoint
+/// goes away — a vanished endpoint after a successful first poll means
+/// the watched run finished, and is a clean exit.
+fn top(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let addr = match parsed.positionals().first() {
+        Some(a) => a.clone(),
+        None => {
+            return Err(CliError::Usage(
+                "usage: ppm top <addr> [--once] [--interval-ms <n>]".to_string(),
+            ))
+        }
+    };
+    let interval_ms: u64 = parsed.num("--interval-ms", 500u64)?;
+    let quiet = parsed.switch("--quiet");
+    let timeout = std::time::Duration::from_secs(2);
+    let mut state = ppm_live::TopState::new();
+    // The first poll failing means there is no live plane to watch:
+    // that is the exit-code-7 case scripts should see.
+    let first = ppm_live::fetch_top(&addr, timeout)?;
+    if parsed.switch("--once") {
+        out.write_str(&state.frame(&addr, &first)).map_err(msg)?;
+        return Ok(());
+    }
+    let mut frame = state.frame(&addr, &first);
+    loop {
+        // Redraw in place: clear screen, cursor home, one frame.
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        match ppm_live::fetch_top(&addr, timeout) {
+            Ok(snap) => frame = state.frame(&addr, &snap),
+            Err(e) => {
+                if !quiet {
+                    eprintln!("[ppm top] {addr} went away ({e}); exiting");
+                }
+                return Ok(());
+            }
+        }
     }
 }
 
@@ -781,6 +874,13 @@ mod tests {
             3
         );
         assert_eq!(CliError::Persistence("x".into()).exit_code(), 4);
+        assert_eq!(CliError::Live("x".into()).exit_code(), 7);
+        let e: CliError = ppm_live::LiveError::Bind {
+            addr: "127.0.0.1:1".into(),
+            detail: "in use".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 7);
         assert_eq!(CliError::Message("x".into()).exit_code(), 1);
         // The From impls route checkpoint trouble to the persistence
         // category and everything else simulation-ward.
@@ -793,6 +893,57 @@ mod tests {
         }
         .into();
         assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn top_requires_an_address_and_dead_endpoints_exit_7() {
+        let err = run_cli(&["top"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("ppm top <addr>"), "{err}");
+        // A port nothing listens on: first poll fails, exit code 7.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = run_cli(&["top", &format!("127.0.0.1:{port}"), "--once"]).unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+    }
+
+    #[test]
+    fn top_once_renders_a_frame_against_a_live_server() {
+        let server = ppm_live::LiveServer::start(
+            "127.0.0.1:0",
+            ppm_live::RegistrySource::Global,
+            ppm_telemetry::EventRing::new(8),
+        )
+        .unwrap();
+        let out = run_cli(&["top", &server.addr().to_string(), "--once"]).unwrap();
+        assert!(out.contains("ppm top —"), "{out}");
+        assert!(out.contains("points ["), "{out}");
+    }
+
+    #[test]
+    fn live_flag_is_gated_to_long_running_commands() {
+        let parsed = Parsed::parse(
+            ["predict", "--live", "127.0.0.1:0"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let err = start_live(&parsed).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        // Without the flag nothing starts, whatever the command.
+        let parsed = Parsed::parse(["predict"].iter().map(|s| s.to_string())).unwrap();
+        assert!(start_live(&parsed).unwrap().is_none());
+        // An unbindable address is a live-plane error (exit code 7).
+        let parsed = Parsed::parse(
+            ["build", "--live", "not-an-address", "--quiet"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        let err = start_live(&parsed).unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
     }
 
     #[test]

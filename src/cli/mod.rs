@@ -31,13 +31,22 @@
 //! `ppm lint` runs the workspace's token-aware static-analysis pass
 //! (`crates/lint`) and exits 6 when a rule fires — see the "Static
 //! analysis" section in README.md.
+//!
+//! The live observability plane (`crates/live`): `--live <addr>` on
+//! `build`/`simulate`/`screen` serves `/metrics` (Prometheus text),
+//! `/buildz` (JSON progress + ETA), and `/eventz` (recent events) over
+//! HTTP for the duration of the run; `ppm top <addr>` renders it as a
+//! terminal dashboard. Bind or endpoint failures exit with code 7.
+//! `ppm bench-export` extracts a stage (or total) wall time from a run
+//! ledger into a `ppm-bench v1` file for the perf history in
+//! `results/`.
 
 mod args;
 mod commands;
 pub mod flight;
 
 pub use args::{ArgError, Parsed};
-pub use commands::{run, run_with_artifacts, CliError};
+pub use commands::{run, run_with_artifacts, start_live, CliError, LIVE_COMMANDS};
 pub use flight::RunArtifacts;
 
 /// Usage text printed by `ppm help`.
@@ -59,9 +68,14 @@ COMMANDS:
   report      --candidate <ledger> --against <ledger>
                                  regression sentry: diff two run ledgers
   check-trace --file <trace>     validate a --trace-out Chrome-trace file
+  bench-export --ledger <f> --stage <stage.name|total> --bench <name> --out <f>
+                                 extract one wall time from a run ledger
+                                 as a `ppm-bench v1` perf-history file
   lint        [--root <dir>] [--conf <file>] [--format human|json]
                                  static-analysis pass over the workspace
                                  sources (exit code 6 on findings)
+  top         <addr> [--once] [--interval-ms <n>]
+                                 terminal dashboard for a --live endpoint
   help                           print this text
 
 CONFIGURATION FLAGS (defaults: the mid-range machine):
@@ -88,12 +102,16 @@ FAULT-TOLERANCE FLAGS (`build`):
 
 EXIT CODES:
   0 success    2 usage error    3 simulation fault    4 persistence failure
-  5 regression (`report`)    6 lint findings (`lint`)    1 other errors
+  5 regression (`report`)    6 lint findings (`lint`)
+  7 live-plane failure (`--live` bind, `ppm top` endpoint)    1 other errors
 
 OBSERVABILITY FLAGS (any command):
   --quiet             suppress progress output on stderr
   --trace             nested span tracing on stderr (or set PPM_TRACE=1)
   --metrics-out <f>   write spans, events, and metrics to <f> as JSON lines
+  --live <addr>       serve /metrics /buildz /eventz over HTTP for the run
+                      (build/simulate/screen; use 127.0.0.1:0 for an
+                      ephemeral port, announced on stderr)
   --trace-out <f>     write the span tree as Chrome-trace/Perfetto JSON
   --ledger-out <f>    run-ledger path (default results/runs/<run-id>.json)
   --ledger-dir <d>    run-ledger directory (default results/runs)

@@ -91,6 +91,17 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
+    // The live observability plane (`--live <addr>`): started before the
+    // run so scrapers can watch it from the first point; the handle must
+    // stay alive until the command finishes. Bind failures are their own
+    // exit code (7) so supervisors can tell "port taken" from "run broke".
+    let live_server = match cli::start_live(&parsed) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
     let recorder = FlightRecorder::new();
     if flight::wants_recorder(&parsed) {
         tel::add_sink(recorder.sink());
@@ -109,6 +120,9 @@ fn main() -> ExitCode {
         started,
         cpu_start,
     );
+    // Stop the live plane before tearing down sinks: the accept thread
+    // must not serve a half-cleared registry.
+    drop(live_server);
     tel::export_metrics();
     tel::clear_sinks();
     if let Err(e) = &flight_result {
