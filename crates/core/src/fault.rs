@@ -136,6 +136,16 @@ impl FaultPlan {
         }
         None
     }
+
+    /// The fault scheduled for a request *index* — a pure function of
+    /// `(seed, index)`. This is the serving-side twin of
+    /// [`FaultPlan::fault_at`]: a request stream has no design point to
+    /// hash, but its sequence number is just as reproducible, so a chaos
+    /// run injects the same faults at the same request ordinals for a
+    /// given seed.
+    pub fn fault_at_index(&self, index: u64) -> Option<InjectedFault> {
+        self.fault_at(&[index as f64])
+    }
 }
 
 /// A [`Response`] wrapper that injects deterministic faults per
@@ -251,6 +261,22 @@ mod tests {
         assert_eq!(hits, again);
         let rate = hits.iter().filter(|&&h| h).count() as f64 / 1000.0;
         assert!((0.2..0.4).contains(&rate), "observed panic rate {rate}");
+    }
+
+    #[test]
+    fn fault_at_index_is_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan::default()
+            .with_seed(9)
+            .with_panic_rate(0.2)
+            .with_nan_rate(0.2);
+        let first: Vec<_> = (0..500).map(|i| plan.fault_at_index(i)).collect();
+        let again: Vec<_> = (0..500).map(|i| plan.fault_at_index(i)).collect();
+        assert_eq!(first, again);
+        let hits = first.iter().filter(|f| f.is_some()).count();
+        assert!((100..300).contains(&hits), "observed {hits} faults in 500");
+        let other = plan.clone().with_seed(10);
+        let differs = (0..500).any(|i| plan.fault_at_index(i) != other.fault_at_index(i));
+        assert!(differs, "seed does not influence the index schedule");
     }
 
     #[test]

@@ -41,8 +41,10 @@
 //! ```
 
 mod pool;
+mod service;
 
 pub use pool::{ExecError, Executor};
+pub use service::{ServicePool, SubmitError};
 
 use std::error::Error;
 use std::fmt;

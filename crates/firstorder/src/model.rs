@@ -1,6 +1,6 @@
 //! The analytical CPI composition.
 
-use ppm_sim::SimConfig;
+use ppm_sim::{ConfigError, SimConfig};
 
 use crate::ProgramStats;
 
@@ -49,6 +49,22 @@ impl FirstOrderModel {
     pub fn predict(&self, config: &SimConfig) -> f64 {
         // Documented `# Panics` contract above. lint:allow(panic-path)
         config.validate().expect("valid configuration");
+        self.predict_valid(config)
+    }
+
+    /// Predicts CPI for a configuration, returning the validation error
+    /// instead of panicking — the form a serving layer wants, where an
+    /// invalid request must become a 400, never a worker death.
+    ///
+    /// # Errors
+    ///
+    /// The [`ConfigError`] from [`SimConfig::validate`].
+    pub fn try_predict(&self, config: &SimConfig) -> Result<f64, ConfigError> {
+        config.validate()?;
+        Ok(self.predict_valid(config))
+    }
+
+    fn predict_valid(&self, config: &SimConfig) -> f64 {
         ppm_telemetry::counter("firstorder.predictions").inc();
         let s = &self.stats;
 
@@ -164,6 +180,18 @@ mod tests {
         let a = m.predict(&config);
         let b = m.predict(&config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_predict_matches_predict_and_rejects_invalid_configs() {
+        let m = model(Benchmark::Twolf);
+        let config = SimConfig::default();
+        assert_eq!(m.try_predict(&config).unwrap(), m.predict(&config));
+        let bad = SimConfig {
+            rob_size: 1,
+            ..SimConfig::default()
+        };
+        assert!(m.try_predict(&bad).is_err());
     }
 
     #[test]

@@ -107,17 +107,23 @@ fn in_any(rel: &str, prefixes: &[&str]) -> bool {
 /// process-level I/O; `wall-clock` additionally exempts `crates/live`,
 /// whose socket timeouts, ETA extrapolation, and refresh pacing are
 /// observations of real time by design — the live plane reports on a
-/// running process and never feeds deterministic artifacts. `env-read`
+/// running process and never feeds deterministic artifacts. The serving
+/// plane (`crates/serve`) gets a *narrower* exemption than live: only
+/// its `clock.rs` (the `Deadline`/`Stopwatch` module, the plane's sole
+/// sanctioned window onto real time) may read the clock; every other
+/// serve file must express time through those types, so the rule still
+/// catches stray `Instant::now()` in routing or model logic. `env-read`
 /// exempts only the CLI, the designated config layer. The determinism
 /// and numeric scopes are explicit crate lists.
 pub fn rule_applies(rule: &str, rel_path: &str) -> bool {
     let in_crates = rel_path.starts_with("crates/");
     let in_telemetry = rel_path.starts_with("crates/telemetry/");
     let in_live = rel_path.starts_with("crates/live/");
+    let is_serve_clock = rel_path == "crates/serve/src/clock.rs";
     match rule {
         "panic-path" => true,
         "iteration-order" => in_any(rel_path, &DETERMINISTIC_CRATES),
-        "wall-clock" => in_crates && !in_telemetry && !in_live,
+        "wall-clock" => in_crates && !in_telemetry && !in_live && !is_serve_clock,
         "float-eq" => in_any(rel_path, &NUMERIC_CRATES),
         "print-in-lib" => in_crates && !in_telemetry,
         "env-read" => in_crates,
@@ -409,6 +415,14 @@ fn f(x: Option<u32>) -> u32 {
         assert_eq!(
             rules_hit("crates/live/src/server.rs", "fn f() { println!(\"x\"); }"),
             vec!["print-in-lib"]
+        );
+        // The serving plane gets a narrower dispensation than live:
+        // only its clock module may observe real time — everything
+        // else in `crates/serve` must go through those types.
+        assert!(rules_hit("crates/serve/src/clock.rs", used).is_empty());
+        assert_eq!(
+            rules_hit("crates/serve/src/server.rs", used),
+            vec!["wall-clock"]
         );
         // A Duration type mention is not an observation of the clock.
         assert!(rules_hit("crates/core/src/f.rs", "fn f(d: std::time::Duration) {}").is_empty());

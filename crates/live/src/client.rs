@@ -18,13 +18,32 @@ use crate::LiveError;
 /// [`LiveError::Malformed`] when the response has no parseable status
 /// line.
 pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), LiveError> {
+    request(addr, "GET", path, timeout)
+}
+
+/// Like [`http_get`] but issues a bodyless `POST` — the shape of the
+/// serving plane's control endpoints (`/reloadz`, `/quitz`).
+///
+/// # Errors
+///
+/// Same contract as [`http_get`].
+pub fn http_post(addr: &str, path: &str, timeout: Duration) -> Result<(u16, String), LiveError> {
+    request(addr, "POST", path, timeout)
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    timeout: Duration,
+) -> Result<(u16, String), LiveError> {
     let mut last_io = LiveError::Io(format!("no usable address for {addr}"));
     let targets = addr
         .to_socket_addrs()
         .map_err(|e| LiveError::Io(format!("cannot resolve {addr}: {e}")))?;
     for target in targets {
         match TcpStream::connect_timeout(&target, timeout) {
-            Ok(stream) => return fetch(stream, addr, path, timeout),
+            Ok(stream) => return fetch(stream, addr, method, path, timeout),
             Err(e) => last_io = LiveError::Io(format!("cannot connect to {target}: {e}")),
         }
     }
@@ -34,6 +53,7 @@ pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, Strin
 fn fetch(
     mut stream: TcpStream,
     addr: &str,
+    method: &str,
     path: &str,
     timeout: Duration,
 ) -> Result<(u16, String), LiveError> {
@@ -41,7 +61,7 @@ fn fetch(
         .set_read_timeout(Some(timeout))
         .and_then(|()| stream.set_write_timeout(Some(timeout)))
         .map_err(|e| LiveError::Io(e.to_string()))?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    let request = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
     stream
         .write_all(request.as_bytes())
         .map_err(|e| LiveError::Io(format!("request write failed: {e}")))?;

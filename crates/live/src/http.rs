@@ -1,0 +1,127 @@
+//! Shared HTTP/1.1 plumbing for the workspace's zero-dependency
+//! servers: the live observability plane (`crates/live`) and the
+//! prediction service (`crates/serve`).
+//!
+//! This is deliberately a minimal subset — one request per connection,
+//! `Connection: close`, bounded heads — because both servers only need
+//! to survive scrapers, load generators, and misbehaving clients, not
+//! implement the RFC. All functions return `String` errors so callers
+//! can fold them into their own counters without caring about the
+//! distinction between "peer vanished" and "peer sent garbage".
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Default upper bound on the request head either server will buffer.
+pub const MAX_HEAD: usize = 8 * 1024;
+
+/// Reads the request head (everything up to the blank line), bounding
+/// the buffered size by `max_head`; the caller bounds time via the
+/// stream's read timeout. Returns the first line (the request line).
+///
+/// # Errors
+///
+/// A human-readable description when the peer disconnects, stalls past
+/// the socket timeout, sends an oversized head, or sends an empty
+/// request line.
+pub fn read_head(stream: &mut TcpStream, max_head: usize) -> Result<String, String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed before request completed".to_string());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > max_head {
+            return Err(format!("request head exceeds {max_head} bytes"));
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    match text.lines().next() {
+        Some(line) if !line.trim().is_empty() => Ok(line.trim().to_string()),
+        _ => Err("empty request line".to_string()),
+    }
+}
+
+/// The standard reason phrase for the status codes these servers emit.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Writes a complete HTTP/1.1 response (`Connection: close`).
+///
+/// # Errors
+///
+/// A human-readable description when the peer stops reading mid-write.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> Result<(), String> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(body.as_bytes())
+        .map_err(|e| e.to_string())?;
+    stream.flush().map_err(|e| e.to_string())
+}
+
+/// Splits a request-line path into `(route, query pairs)`:
+/// `"/predict?rob=64&deadline_ms=50"` becomes
+/// `("/predict", [("rob", "64"), ("deadline_ms", "50")])`. No
+/// percent-decoding — the serving query surface is plain numerals.
+pub fn split_query(path: &str) -> (&str, Vec<(&str, &str)>) {
+    match path.split_once('?') {
+        None => (path, Vec::new()),
+        Some((route, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| kv.split_once('=').unwrap_or((kv, "")))
+                .collect();
+            (route, pairs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_query_handles_bare_and_paired_params() {
+        assert_eq!(split_query("/predict"), ("/predict", vec![]));
+        let (route, pairs) = split_query("/predict?rob=64&flag&x=");
+        assert_eq!(route, "/predict");
+        assert_eq!(pairs, vec![("rob", "64"), ("flag", ""), ("x", "")]);
+    }
+
+    #[test]
+    fn reasons_cover_the_served_statuses() {
+        for status in [200, 400, 404, 405, 409, 500, 503] {
+            assert_ne!(reason(status), "Error", "status {status}");
+        }
+        assert_eq!(reason(418), "Error");
+    }
+}

@@ -32,11 +32,12 @@
 mod buildz;
 mod client;
 mod expo;
+pub mod http;
 mod server;
 mod top;
 
 pub use buildz::render_buildz;
-pub use client::http_get;
+pub use client::{http_get, http_post};
 pub use expo::render_prometheus;
 pub use server::LiveServer;
 pub use top::{fetch_top, render_frame, TopSnapshot, TopState};

@@ -1,6 +1,5 @@
 //! The accept loop: a minimal HTTP/1.1 server on a dedicated thread.
 
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -9,13 +8,12 @@ use std::time::Duration;
 
 use ppm_telemetry::{EventRing, Level};
 
+use crate::http::{read_head, write_response, MAX_HEAD};
 use crate::{buildz, expo, LiveError, RegistrySource};
 
 /// Per-connection socket budget: a scraper that cannot send a request
 /// line or drain a response in this window is dropped.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
-/// Upper bound on the request head we will buffer.
-const MAX_HEAD: usize = 8 * 1024;
 
 /// A running live-plane endpoint. Dropping the handle (or calling
 /// [`LiveServer::shutdown`]) stops the accept loop and joins its
@@ -118,7 +116,7 @@ fn client_error(op: &str, detail: &str) {
 fn handle_connection(mut stream: TcpStream, source: &RegistrySource, ring: &EventRing) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let head = match read_head(&mut stream) {
+    let head = match read_head(&mut stream, MAX_HEAD) {
         Ok(head) => head,
         Err(detail) => {
             client_error("read", &detail);
@@ -130,31 +128,6 @@ fn handle_connection(mut stream: TcpStream, source: &RegistrySource, ring: &Even
     let (status, content_type, body) = route(&head, source, ring);
     if let Err(detail) = write_response(&mut stream, status, content_type, &body) {
         client_error("write", &detail);
-    }
-}
-
-/// Reads the request head (everything up to the blank line), bounding
-/// both size and time. Returns the first line.
-fn read_head(stream: &mut TcpStream) -> Result<String, String> {
-    let mut buf = Vec::with_capacity(256);
-    let mut chunk = [0u8; 512];
-    loop {
-        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
-        if n == 0 {
-            return Err("connection closed before request completed".to_string());
-        }
-        buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
-        }
-        if buf.len() > MAX_HEAD {
-            return Err(format!("request head exceeds {MAX_HEAD} bytes"));
-        }
-    }
-    let text = String::from_utf8_lossy(&buf);
-    match text.lines().next() {
-        Some(line) if !line.trim().is_empty() => Ok(line.trim().to_string()),
-        _ => Err("empty request line".to_string()),
     }
 }
 
@@ -196,38 +169,12 @@ fn route(
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> Result<(), String> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        _ => "Error",
-    };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream
-        .write_all(head.as_bytes())
-        .map_err(|e| e.to_string())?;
-    stream
-        .write_all(body.as_bytes())
-        .map_err(|e| e.to_string())?;
-    stream.flush().map_err(|e| e.to_string())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::http_get;
     use ppm_obs::Json;
+    use std::io::{Read, Write};
     use std::sync::Arc as StdArc;
 
     fn scoped_server() -> (LiveServer, StdArc<ppm_telemetry::Registry>, EventRing) {

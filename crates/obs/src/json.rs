@@ -131,6 +131,14 @@ impl Json {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The integer payload (also accepts integral floats).
     pub fn as_i64(&self) -> Option<i64> {
         match self {

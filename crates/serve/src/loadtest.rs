@@ -1,0 +1,348 @@
+//! The load generator: `ppm loadtest` issues open- or closed-loop
+//! request streams against a running service and reports latency
+//! quantiles, so shed/degrade/SLO claims are *measured*, not asserted.
+//!
+//! Closed loop (`rate == 0`): each of `concurrency` workers fires its
+//! next request the moment the previous one answers — the classic
+//! saturation probe. Open loop (`rate > 0`): request *k* of the whole
+//! test is launched at `start + k/rate`, whether or not earlier ones
+//! have answered, which is what real arrival processes do to a service
+//! and what makes queueing delay visible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use ppm_live::http_get;
+use ppm_obs::{BenchRecord, Json};
+use ppm_telemetry::Registry;
+
+use crate::clock::{unix_now_ms, Stopwatch};
+use crate::ServeError;
+
+/// ROB sizes cycled across requests so the service sees varied (but
+/// always valid) design points instead of one cache-hot configuration.
+const ROB_SIZES: [u32; 8] = [32, 48, 64, 96, 128, 160, 192, 256];
+
+/// Everything `ppm loadtest` needs. The CLI maps flags onto this
+/// one-to-one.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// The service address (`host:port`).
+    pub addr: String,
+    /// Total requests across all workers.
+    pub requests: usize,
+    /// Concurrent workers.
+    pub concurrency: usize,
+    /// Open-loop arrival rate in requests/second across the whole test;
+    /// zero means closed loop.
+    pub rate: f64,
+    /// Per-request `?deadline_ms=` to attach, if any.
+    pub deadline_ms: Option<u64>,
+    /// Socket budget per request (connect + read).
+    pub timeout: Duration,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        LoadtestConfig {
+            addr: "127.0.0.1:0".to_string(),
+            requests: 200,
+            concurrency: 4,
+            rate: 0.0,
+            deadline_ms: None,
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a loadtest measured. Every accepted request lands in exactly
+/// one of `ok`/`shed`/`deadline_exceeded`/`errors`; `degraded` counts
+/// the subset of `ok` answered by the analytical estimator.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Requests issued.
+    pub sent: u64,
+    /// 200 responses with a parseable `ppm-serve v1` body.
+    pub ok: u64,
+    /// The subset of `ok` flagged `"degraded": true`.
+    pub degraded: u64,
+    /// 503s from queue-full load shedding.
+    pub shed: u64,
+    /// 503s from deadline enforcement.
+    pub deadline_exceeded: u64,
+    /// Transport failures, non-JSON bodies, and unexpected statuses.
+    pub errors: u64,
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Whole-test wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Achieved throughput in requests/second.
+    pub rps: f64,
+}
+
+impl LoadtestReport {
+    /// The report as a JSON document (`ppm-loadtest v1`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::Str("ppm-loadtest v1".to_string()),
+            ),
+            ("sent".to_string(), Json::from(self.sent)),
+            ("ok".to_string(), Json::from(self.ok)),
+            ("degraded".to_string(), Json::from(self.degraded)),
+            ("shed".to_string(), Json::from(self.shed)),
+            (
+                "deadline_exceeded".to_string(),
+                Json::from(self.deadline_exceeded),
+            ),
+            ("errors".to_string(), Json::from(self.errors)),
+            ("p50_ms".to_string(), Json::Float(self.p50_ms)),
+            ("p95_ms".to_string(), Json::Float(self.p95_ms)),
+            ("p99_ms".to_string(), Json::Float(self.p99_ms)),
+            ("mean_ms".to_string(), Json::Float(self.mean_ms)),
+            ("wall_ms".to_string(), Json::Float(self.wall_ms)),
+            ("rps".to_string(), Json::Float(self.rps)),
+        ])
+    }
+
+    /// A `ppm-bench v1` record carrying the p99 latency — the SLO
+    /// number the regression sentry gates on.
+    pub fn bench_record(&self) -> BenchRecord {
+        BenchRecord {
+            bench: "serve_latency_p99".to_string(),
+            unit: "ms".to_string(),
+            wall_ms: self.p99_ms,
+            source_run: "loadtest".to_string(),
+            created_unix_ms: unix_now_ms(),
+        }
+    }
+}
+
+/// Shared tallies the worker threads bump.
+#[derive(Default)]
+struct Tallies {
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Runs the loadtest to completion and reports.
+///
+/// # Errors
+///
+/// [`ServeError::Client`] when the configuration is unusable (zero
+/// requests or workers) or when *every* request failed at the transport
+/// layer — the address is almost certainly wrong, and a report full of
+/// zeros would bury that.
+pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeError> {
+    if config.requests == 0 || config.concurrency == 0 {
+        return Err(ServeError::Client(
+            "loadtest wants at least one request and one worker".to_string(),
+        ));
+    }
+    let tallies = Tallies::default();
+    // A scoped registry: loadtest latency must not pollute the global
+    // metrics of whatever process embeds this (tests, the CLI).
+    let registry = Registry::new();
+    let latency_us = registry.histogram("loadtest.latency.us");
+    let wall = Stopwatch::start();
+    std::thread::scope(|scope| {
+        for worker in 0..config.concurrency {
+            let tallies = &tallies;
+            let latency_us = &latency_us;
+            scope.spawn(move || {
+                let mut k = worker;
+                while k < config.requests {
+                    if config.rate > 0.0 {
+                        // Open loop: request k launches at start + k/rate,
+                        // regardless of how earlier requests are doing.
+                        let due =
+                            wall.deadline_after(Duration::from_secs_f64(k as f64 / config.rate));
+                        let lag = due.remaining();
+                        if !lag.is_zero() {
+                            std::thread::sleep(lag);
+                        }
+                    }
+                    let rob = ROB_SIZES[k % ROB_SIZES.len()];
+                    let path = match config.deadline_ms {
+                        Some(ms) => format!("/predict?rob={rob}&deadline_ms={ms}"),
+                        None => format!("/predict?rob={rob}"),
+                    };
+                    let request = Stopwatch::start();
+                    let outcome = http_get(&config.addr, &path, config.timeout);
+                    latency_us.record(request.elapsed_us());
+                    classify(tallies, &outcome);
+                    k += config.concurrency;
+                }
+            });
+        }
+    });
+    let wall_ms = wall.elapsed_us() as f64 / 1000.0;
+    let sent = config.requests as u64;
+    let errors = tallies.errors.load(Ordering::Relaxed);
+    if errors == sent {
+        return Err(ServeError::Client(format!(
+            "all {sent} requests to {} failed; is the service up?",
+            config.addr
+        )));
+    }
+    let q = |p: f64| latency_us.quantile(p).unwrap_or(0) as f64 / 1000.0;
+    Ok(LoadtestReport {
+        sent,
+        ok: tallies.ok.load(Ordering::Relaxed),
+        degraded: tallies.degraded.load(Ordering::Relaxed),
+        shed: tallies.shed.load(Ordering::Relaxed),
+        deadline_exceeded: tallies.deadline_exceeded.load(Ordering::Relaxed),
+        errors,
+        p50_ms: q(0.50),
+        p95_ms: q(0.95),
+        p99_ms: q(0.99),
+        mean_ms: latency_us.mean().unwrap_or(0.0) / 1000.0,
+        wall_ms,
+        rps: if wall_ms > 0.0 {
+            sent as f64 / (wall_ms / 1000.0)
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Buckets one response. 503 bodies distinguish shedding from deadline
+/// enforcement by their `error` text — both are explicit refusals, but
+/// they indict different defenses.
+fn classify(tallies: &Tallies, outcome: &Result<(u16, String), ppm_live::LiveError>) {
+    match outcome {
+        Ok((200, body)) => match Json::parse(body) {
+            Ok(doc) if doc.get("prediction").and_then(Json::as_f64).is_some() => {
+                tallies.ok.fetch_add(1, Ordering::Relaxed);
+                if doc.get("degraded").and_then(Json::as_bool) == Some(true) {
+                    tallies.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            _ => {
+                tallies.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+        Ok((503, body)) => {
+            if body.contains("deadline") {
+                tallies.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            } else {
+                tallies.shed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        _ => {
+            tallies.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServeConfig, ServeServer};
+    use ppm_workload::Benchmark;
+
+    fn analytical_server(tag: &str) -> ServeServer {
+        let registry = std::env::temp_dir()
+            .join(format!("ppm-loadtest-{tag}-{}", std::process::id()))
+            .join("registry");
+        ServeServer::start(ServeConfig {
+            registry,
+            fallback_benchmark: Some(Benchmark::Ammp),
+            ..ServeConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn closed_loop_measures_a_live_service() {
+        let server = analytical_server("closed");
+        let report = run_loadtest(&LoadtestConfig {
+            addr: server.addr().to_string(),
+            requests: 24,
+            concurrency: 3,
+            ..LoadtestConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.sent, 24);
+        assert_eq!(
+            report.ok + report.shed + report.deadline_exceeded + report.errors,
+            24,
+            "every request is classified exactly once"
+        );
+        assert!(report.ok > 0, "{report:?}");
+        // Analytical-only service: every OK answer is degraded.
+        assert_eq!(report.degraded, report.ok);
+        assert!(report.p99_ms >= report.p50_ms);
+        assert!(report.rps > 0.0);
+        let bench = report.bench_record();
+        assert_eq!(bench.bench, "serve_latency_p99");
+        assert_eq!(bench.wall_ms, report.p99_ms);
+        let doc = report.to_json();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ppm-loadtest v1")
+        );
+    }
+
+    #[test]
+    fn open_loop_paces_arrivals() {
+        let server = analytical_server("open");
+        let wall = Stopwatch::start();
+        let report = run_loadtest(&LoadtestConfig {
+            addr: server.addr().to_string(),
+            requests: 10,
+            concurrency: 2,
+            rate: 100.0,
+            ..LoadtestConfig::default()
+        })
+        .unwrap();
+        // 10 requests at 100/s: the last launches at t=90ms, so the
+        // test cannot finish faster than its arrival schedule.
+        assert!(
+            wall.elapsed() >= Duration::from_millis(80),
+            "open loop finished in {}ms",
+            wall.elapsed_ms()
+        );
+        assert_eq!(report.sent, 10);
+    }
+
+    #[test]
+    fn unreachable_service_is_an_error_not_a_zero_report() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let err = run_loadtest(&LoadtestConfig {
+            addr,
+            requests: 3,
+            concurrency: 1,
+            timeout: Duration::from_millis(200),
+            ..LoadtestConfig::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("failed"), "{err}");
+    }
+
+    #[test]
+    fn zero_requests_or_workers_is_rejected() {
+        let bad = LoadtestConfig {
+            requests: 0,
+            ..LoadtestConfig::default()
+        };
+        assert!(run_loadtest(&bad).is_err());
+        let bad = LoadtestConfig {
+            concurrency: 0,
+            ..LoadtestConfig::default()
+        };
+        assert!(run_loadtest(&bad).is_err());
+    }
+}

@@ -1,0 +1,908 @@
+//! The prediction service: a deadline-enforced HTTP endpoint over a
+//! sharded worker pool, with load shedding, graceful degradation, and
+//! validated hot reload.
+//!
+//! # Request life cycle
+//!
+//! Every accepted connection is stamped with a [`Stopwatch`] *at
+//! accept*, so time spent waiting in the worker queue counts against
+//! the request's deadline. The accept thread offers the connection to a
+//! [`ServicePool`]; when every shard queue is full the request is
+//! **shed** — an immediate best-effort 503 instead of unbounded queueing
+//! (`serve.shed`). A worker that picks the request up first checks the
+//! deadline (expired-in-queue is a 503, not a stale answer), evaluates,
+//! and checks again before replying.
+//!
+//! # The shed / degrade state machine
+//!
+//! Shedding and degradation are different defenses and trip
+//! independently:
+//!
+//! * **Shed** protects *latency*: the queue is full, so the request is
+//!   refused outright. No prediction is attempted.
+//! * **Degrade** protects *availability of answers*: the request is
+//!   served, but by the first-order analytical estimator instead of the
+//!   RBF surrogate, and the response says so (`"degraded": true`).
+//!
+//! Degradation triggers on any of: no model loaded (analytical-only
+//! startup), queue depth at or past `degrade_depth` (pressure), or a
+//! *sticky* failure state entered after `fail_streak` consecutive model
+//! evaluation failures (panic or non-finite prediction). Sticky
+//! degradation probes the real model every `probe_every`-th prediction
+//! and clears itself on the first success — recovery is automatic, no
+//! operator action required.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ppm_core::fault::{FaultPlan, InjectedFault};
+use ppm_core::space::DesignSpace;
+use ppm_exec::{ServicePool, SubmitError};
+use ppm_live::http::{read_head, split_query, write_response, MAX_HEAD};
+use ppm_sim::SimConfig;
+use ppm_telemetry::{json_string, Counter, Histogram, Level};
+use ppm_workload::Benchmark;
+
+use crate::chaos::ChaosClients;
+use crate::clock::Stopwatch;
+use crate::store::{ModelStore, ServingModel};
+use crate::ServeError;
+
+/// Per-connection socket budget (same rationale as the live plane): a
+/// client that cannot send a head or drain a response in this window is
+/// dropped.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+const JSON: &str = "application/json";
+const TEXT: &str = "text/plain";
+
+/// Everything `ppm serve` needs to start. Field defaults are tuned for
+/// an interactive service on a developer machine; the CLI maps flags
+/// onto them one-to-one.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads evaluating predictions.
+    pub workers: usize,
+    /// Bounded queue slots per worker; total queue capacity is
+    /// `workers * queue_per_worker`, beyond which requests are shed.
+    pub queue_per_worker: usize,
+    /// Deadline applied when the request does not name one.
+    pub default_deadline: Duration,
+    /// Upper cap on client-requested deadlines (`?deadline_ms=`).
+    pub max_deadline: Duration,
+    /// Queue depth at which predictions degrade to the analytical
+    /// estimator. Zero means *every* prediction is degraded — useful
+    /// for drills and smoke tests.
+    pub degrade_depth: usize,
+    /// Consecutive model failures before degradation turns sticky.
+    pub fail_streak: u32,
+    /// While sticky, every n-th prediction probes the real model.
+    pub probe_every: u64,
+    /// The model registry directory (see [`crate::store`]).
+    pub registry: PathBuf,
+    /// Serve analytically when the registry has no loadable model.
+    pub fallback_benchmark: Option<Benchmark>,
+    /// Chaos-mode seed: injects worker faults and misbehaving clients.
+    pub chaos: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_per_worker: 8,
+            default_deadline: Duration::from_millis(250),
+            max_deadline: Duration::from_secs(5),
+            degrade_depth: 16,
+            fail_streak: 3,
+            probe_every: 16,
+            registry: PathBuf::from("registry"),
+            fallback_benchmark: None,
+            chaos: None,
+        }
+    }
+}
+
+/// One accepted connection, stamped at accept so queueing time counts
+/// against its deadline.
+struct Conn {
+    stream: TcpStream,
+    accepted: Stopwatch,
+}
+
+/// Pre-resolved counter handles: the hot path must not take the
+/// registry lock per request.
+struct Counters {
+    requests: Arc<Counter>,
+    ok: Arc<Counter>,
+    shed: Arc<Counter>,
+    degraded: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    client_errors: Arc<Counter>,
+    reloads: Arc<Counter>,
+    reload_failures: Arc<Counter>,
+    model_failures: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+}
+
+impl Counters {
+    fn resolve() -> Self {
+        Counters {
+            requests: ppm_telemetry::counter("serve.requests"),
+            ok: ppm_telemetry::counter("serve.ok"),
+            shed: ppm_telemetry::counter("serve.shed"),
+            degraded: ppm_telemetry::counter("serve.degraded"),
+            deadline_exceeded: ppm_telemetry::counter("serve.deadline_exceeded"),
+            client_errors: ppm_telemetry::counter("serve.client_errors"),
+            reloads: ppm_telemetry::counter("serve.reloads"),
+            reload_failures: ppm_telemetry::counter("serve.reload_failures"),
+            model_failures: ppm_telemetry::counter("serve.model_failures"),
+            latency_us: ppm_telemetry::histogram("serve.latency.us"),
+        }
+    }
+}
+
+/// Shared service state: the store, the degrade state machine, and the
+/// knobs the request path consults.
+struct ServeState {
+    store: ModelStore,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    space: DesignSpace,
+    default_deadline: Duration,
+    max_deadline: Duration,
+    degrade_depth: usize,
+    fail_streak: u32,
+    probe_every: u64,
+    workers: usize,
+    queue_capacity: usize,
+    fault: Option<FaultPlan>,
+    /// Requests accepted but not yet picked up by a worker — the
+    /// pressure signal behind both `/readyz` and depth degradation.
+    queued: AtomicUsize,
+    /// Monotonic request sequence; the chaos plan keys faults off it.
+    seq: AtomicU64,
+    /// Consecutive model-evaluation failures.
+    streak: AtomicU32,
+    /// Sticky degradation: set after `fail_streak` failures, cleared by
+    /// a successful probe.
+    sticky: AtomicBool,
+    /// Counts predictions taken while sticky, to pace probes.
+    probe_tick: AtomicU64,
+    counters: Counters,
+}
+
+/// A running prediction service. [`ServeServer::wait`] blocks until the
+/// service stops (`POST /quitz` or [`ServeServer::shutdown`]); dropping
+/// the handle shuts it down.
+pub struct ServeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    chaos: Option<ChaosClients>,
+}
+
+impl ServeServer {
+    /// Opens the registry, binds the address, and starts the accept
+    /// thread and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when no model loads and no fallback
+    /// benchmark is configured; [`ServeError::Bind`] when the address
+    /// cannot be bound; [`ServeError::Pool`] when the worker pool is
+    /// misconfigured (zero workers or queue slots).
+    pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
+        let store = ModelStore::open(&config.registry, config.fallback_benchmark)?;
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
+            addr: config.addr.clone(),
+            detail: e.to_string(),
+        })?;
+        let addr = listener.local_addr().map_err(|e| ServeError::Bind {
+            addr: config.addr.clone(),
+            detail: e.to_string(),
+        })?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(ServeState {
+            store,
+            addr,
+            stop: Arc::clone(&stop),
+            space: DesignSpace::paper_table1(),
+            default_deadline: config.default_deadline,
+            max_deadline: config.max_deadline,
+            degrade_depth: config.degrade_depth,
+            fail_streak: config.fail_streak.max(1),
+            probe_every: config.probe_every.max(1),
+            workers: config.workers,
+            queue_capacity: config.workers * config.queue_per_worker,
+            fault: config.chaos.map(crate::chaos::fault_plan),
+            queued: AtomicUsize::new(0),
+            seq: AtomicU64::new(0),
+            streak: AtomicU32::new(0),
+            sticky: AtomicBool::new(false),
+            probe_tick: AtomicU64::new(0),
+            counters: Counters::resolve(),
+        });
+        let worker_state = Arc::clone(&state);
+        let pool = ServicePool::new(
+            "serve",
+            config.workers,
+            config.queue_per_worker,
+            move |conn: Conn| {
+                worker_state.queued.fetch_sub(1, Ordering::SeqCst);
+                handle_connection(&worker_state, conn);
+            },
+        )
+        .map_err(|e| ServeError::Pool(e.to_string()))?;
+        let accept_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("ppm-serve".to_string())
+            .spawn(move || accept_loop(&listener, &pool, &accept_state))
+            .map_err(|e| ServeError::Bind {
+                addr: config.addr.clone(),
+                detail: format!("cannot spawn accept thread: {e}"),
+            })?;
+        let chaos = config
+            .chaos
+            .map(|seed| ChaosClients::start(addr, seed, Arc::clone(&stop)));
+        Ok(ServeServer {
+            addr,
+            stop,
+            handle: Some(handle),
+            chaos,
+        })
+    }
+
+    /// The actually bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the service stops — via `POST /quitz` or a signal
+    /// from another thread holding [`ServeServer::shutdown`].
+    pub fn wait(mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.stop.store(true, Ordering::Release);
+        drop(self.chaos.take());
+    }
+
+    /// Stops accepting, drains queued requests, and joins every thread
+    /// (workers, accept loop, chaos clients).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        drop(self.chaos.take());
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, pool: &ServicePool<Conn>, state: &Arc<ServeState>) {
+    for conn in listener.incoming() {
+        if state.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(stream) => stream,
+            Err(e) => {
+                client_error(state, "accept", &e.to_string());
+                continue;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        state.counters.requests.inc();
+        state.queued.fetch_add(1, Ordering::SeqCst);
+        let conn = Conn {
+            stream,
+            accepted: Stopwatch::start(),
+        };
+        match pool.try_submit(conn) {
+            Ok(()) => {}
+            Err(SubmitError::Saturated(conn)) => {
+                state.queued.fetch_sub(1, Ordering::SeqCst);
+                shed(state, conn);
+            }
+            Err(SubmitError::Closed(conn)) => {
+                state.queued.fetch_sub(1, Ordering::SeqCst);
+                shed(state, conn);
+                break;
+            }
+        }
+    }
+    // Dropping the pool here drains already-queued connections and
+    // joins the workers, so accepted requests still get answers.
+}
+
+/// Sheds an accepted connection: an immediate 503 without reading the
+/// request head. Control routes shed too under saturation — a deliberate
+/// tradeoff: reading heads on the accept thread would let one slowloris
+/// stall every queue decision.
+fn shed(state: &ServeState, conn: Conn) {
+    state.counters.shed.inc();
+    let mut stream = conn.stream;
+    let body = format!(
+        "{{\"error\":\"shed: request queue full\",\"queued\":{}}}\n",
+        state.queued.load(Ordering::SeqCst)
+    );
+    let _ = write_response(&mut stream, 503, JSON, &body);
+}
+
+/// Records a client-side failure: counter plus a `Warn` event. Client
+/// misbehaviour must cost at most its own request.
+fn client_error(state: &ServeState, op: &str, detail: &str) {
+    state.counters.client_errors.inc();
+    ppm_telemetry::event!(
+        Level::Warn,
+        "serve.client_error",
+        "op" => op,
+        "detail" => detail,
+    );
+}
+
+fn handle_connection(state: &Arc<ServeState>, conn: Conn) {
+    let Conn {
+        mut stream,
+        accepted,
+    } = conn;
+    let head = match read_head(&mut stream, MAX_HEAD) {
+        Ok(head) => head,
+        Err(detail) => {
+            client_error(state, "read", &detail);
+            let _ = write_response(&mut stream, 400, TEXT, "bad request\n");
+            return;
+        }
+    };
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let (route, pairs) = split_query(target);
+    let (status, content_type, body) = match (method, route) {
+        ("GET", "/predict") => predict(state, &accepted, &pairs),
+        ("GET", "/healthz") => (200, TEXT, "ok\n".to_string()),
+        ("GET", "/readyz") => readyz(state),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4",
+            ppm_live::render_prometheus(&ppm_telemetry::snapshot()),
+        ),
+        ("GET", "/statusz") => (200, JSON, statusz(state)),
+        ("GET", "/") => (
+            200,
+            TEXT,
+            "ppm serve: GET /predict /healthz /readyz /metrics /statusz; POST /reloadz /quitz\n"
+                .to_string(),
+        ),
+        ("POST", "/reloadz") => reloadz(state),
+        ("POST", "/quitz") => {
+            let _ = write_response(&mut stream, 200, TEXT, "stopping\n");
+            drop(stream);
+            state.stop.store(true, Ordering::Release);
+            // Wake the blocking accept so it observes the stop flag.
+            let _ = TcpStream::connect_timeout(&state.addr, IO_TIMEOUT);
+            return;
+        }
+        (_, "/predict" | "/healthz" | "/readyz" | "/metrics" | "/statusz" | "/") => (
+            405,
+            TEXT,
+            format!("method {method} not allowed on {route}\n"),
+        ),
+        (_, "/reloadz" | "/quitz") => (405, TEXT, format!("{route} is POST-only (got {method})\n")),
+        _ => (404, TEXT, format!("no route {route}\n")),
+    };
+    if let Err(detail) = write_response(&mut stream, status, content_type, &body) {
+        client_error(state, "write", &detail);
+    }
+}
+
+/// Why a model evaluation did not produce a usable prediction.
+enum EvalFailure {
+    Panicked,
+    NonFinite(f64),
+    WrongDim { model: usize, space: usize },
+}
+
+impl std::fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalFailure::Panicked => write!(f, "evaluation panicked"),
+            EvalFailure::NonFinite(v) => write!(f, "prediction was {v}"),
+            EvalFailure::WrongDim { model, space } => {
+                write!(
+                    f,
+                    "model dimension {model} does not match the space ({space})"
+                )
+            }
+        }
+    }
+}
+
+/// Runs the real RBF prediction, routing any chaos fault scheduled for
+/// this sequence number through the same failure paths a genuinely
+/// broken model would take.
+fn evaluate_real(
+    state: &ServeState,
+    model: &ServingModel,
+    config: &SimConfig,
+    seq: u64,
+) -> Result<f64, EvalFailure> {
+    let network = match model.network.as_ref() {
+        Some(network) => network,
+        None => return Err(EvalFailure::WrongDim { model: 0, space: 0 }),
+    };
+    let unit = unit_point(state, config);
+    if network.dim() != unit.len() {
+        return Err(EvalFailure::WrongDim {
+            model: network.dim(),
+            space: unit.len(),
+        });
+    }
+    let fault = state
+        .fault
+        .as_ref()
+        .and_then(|plan| plan.fault_at_index(seq));
+    if fault == Some(InjectedFault::Slow) {
+        // A slow evaluation, not a broken one: the post-evaluation
+        // deadline check decides whether the answer is still useful.
+        if let Some(plan) = &state.fault {
+            std::thread::sleep(plan.slow_delay);
+        }
+    }
+    let value = catch_unwind(AssertUnwindSafe(|| {
+        if fault == Some(InjectedFault::Panic) {
+            // Chaos mode deliberately exercises the worker's panic
+            // containment. lint:allow(panic-path): injected fault
+            panic!("chaos: injected evaluation panic");
+        }
+        match fault {
+            Some(InjectedFault::Nan) => f64::NAN,
+            Some(InjectedFault::Inf) => f64::INFINITY,
+            _ => network.predict(&unit),
+        }
+    }))
+    .map_err(|_| EvalFailure::Panicked)?;
+    if !value.is_finite() {
+        return Err(EvalFailure::NonFinite(value));
+    }
+    Ok(value)
+}
+
+/// The unit design point the RBF expects, in Table 1 parameter order.
+fn unit_point(state: &ServeState, config: &SimConfig) -> Vec<f64> {
+    let actual = vec![
+        f64::from(config.pipe_depth),
+        f64::from(config.rob_size),
+        config.iq_frac,
+        config.lsq_frac,
+        f64::from(config.l2_size_kb),
+        f64::from(config.l2_lat),
+        f64::from(config.il1_size_kb),
+        f64::from(config.dl1_size_kb),
+        f64::from(config.dl1_lat),
+    ];
+    state.space.params().to_unit(&actual)
+}
+
+/// Builds a simulator configuration from query parameters, defaulting
+/// every knob the request does not name.
+fn config_from_pairs(pairs: &[(&str, &str)]) -> Result<SimConfig, String> {
+    let default = SimConfig::default();
+    let mut builder = SimConfig::builder()
+        .pipe_depth(default.pipe_depth)
+        .rob_size(default.rob_size)
+        .iq_frac(default.iq_frac)
+        .lsq_frac(default.lsq_frac)
+        .l2_size_kb(default.l2_size_kb)
+        .l2_lat(default.l2_lat)
+        .il1_size_kb(default.il1_size_kb)
+        .dl1_size_kb(default.dl1_size_kb)
+        .dl1_lat(default.dl1_lat);
+    fn int(key: &str, value: &str) -> Result<u32, String> {
+        value
+            .parse::<u32>()
+            .map_err(|_| format!("{key} wants an integer, got {value:?}"))
+    }
+    fn frac(key: &str, value: &str) -> Result<f64, String> {
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("{key} wants a number, got {value:?}"))
+    }
+    for (key, value) in pairs {
+        builder = match *key {
+            "deadline_ms" => builder,
+            "depth" => builder.pipe_depth(int(key, value)?),
+            "rob" => builder.rob_size(int(key, value)?),
+            "iq" => builder.iq_frac(frac(key, value)?),
+            "lsq" => builder.lsq_frac(frac(key, value)?),
+            "l2-kb" => builder.l2_size_kb(int(key, value)?),
+            "l2-lat" => builder.l2_lat(int(key, value)?),
+            "il1-kb" => builder.il1_size_kb(int(key, value)?),
+            "dl1-kb" => builder.dl1_size_kb(int(key, value)?),
+            "dl1-lat" => builder.dl1_lat(int(key, value)?),
+            other => return Err(format!("unknown parameter {other:?}")),
+        };
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn bad_request(detail: &str) -> (u16, &'static str, String) {
+    (
+        400,
+        JSON,
+        format!("{{\"error\":{}}}\n", json_string(detail)),
+    )
+}
+
+fn predict(
+    state: &ServeState,
+    accepted: &Stopwatch,
+    pairs: &[(&str, &str)],
+) -> (u16, &'static str, String) {
+    let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+    let mut budget = state.default_deadline;
+    for (key, value) in pairs {
+        if *key == "deadline_ms" {
+            match value.parse::<u64>() {
+                Ok(ms) if ms > 0 => {
+                    budget = Duration::from_millis(ms).min(state.max_deadline);
+                }
+                _ => {
+                    return bad_request(&format!(
+                        "deadline_ms wants a positive integer, got {value:?}"
+                    ))
+                }
+            }
+        }
+    }
+    let deadline = accepted.deadline_after(budget);
+    let budget_ms = budget.as_millis();
+    if deadline.expired() {
+        state.counters.deadline_exceeded.inc();
+        return (
+            503,
+            JSON,
+            format!(
+                "{{\"error\":\"deadline exceeded while queued\",\"deadline_ms\":{budget_ms},\"elapsed_ms\":{}}}\n",
+                accepted.elapsed_ms()
+            ),
+        );
+    }
+    let config = match config_from_pairs(pairs) {
+        Ok(config) => config,
+        Err(detail) => return bad_request(&detail),
+    };
+    let model = state.store.active();
+    // The analytical answer is a closed-form formula — cheap enough to
+    // compute unconditionally, so the degraded path has zero extra
+    // latency exactly when the service is under the most pressure.
+    let analytical = match model.fallback.try_predict(&config) {
+        Ok(value) if value.is_finite() => value,
+        Ok(value) => {
+            return (
+                500,
+                JSON,
+                format!(
+                    "{{\"error\":{}}}\n",
+                    json_string(&format!("analytical estimate was {value}"))
+                ),
+            )
+        }
+        Err(e) => return bad_request(&e.to_string()),
+    };
+    let queued = state.queued.load(Ordering::SeqCst);
+    let mut degraded_reason: Option<String> = None;
+    if model.network.is_none() {
+        degraded_reason = Some("no model loaded (analytical-only)".to_string());
+    } else if queued >= state.degrade_depth {
+        degraded_reason = Some(format!(
+            "queue depth {queued} at degrade threshold {}",
+            state.degrade_depth
+        ));
+    } else if state.sticky.load(Ordering::Acquire)
+        && !state
+            .probe_tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(state.probe_every)
+    {
+        degraded_reason = Some(format!(
+            "model failing (streak {}); probing every {} requests",
+            state.streak.load(Ordering::Relaxed),
+            state.probe_every
+        ));
+    }
+    let prediction = if degraded_reason.is_some() {
+        analytical
+    } else {
+        match evaluate_real(state, &model, &config, seq) {
+            Ok(value) => {
+                state.streak.store(0, Ordering::Relaxed);
+                if state.sticky.swap(false, Ordering::AcqRel) {
+                    ppm_telemetry::event!(
+                        Level::Info,
+                        "serve.recovered",
+                        "model_version" => model.version.clone(),
+                    );
+                }
+                value
+            }
+            Err(failure) => {
+                state.counters.model_failures.inc();
+                let streak = state.streak.fetch_add(1, Ordering::SeqCst) + 1;
+                if streak >= state.fail_streak && !state.sticky.swap(true, Ordering::AcqRel) {
+                    ppm_telemetry::event!(
+                        Level::Warn,
+                        "serve.degraded_sticky",
+                        "streak" => u64::from(streak),
+                        "detail" => failure.to_string(),
+                    );
+                }
+                degraded_reason = Some(failure.to_string());
+                analytical
+            }
+        }
+    };
+    if deadline.expired() {
+        state.counters.deadline_exceeded.inc();
+        return (
+            503,
+            JSON,
+            format!(
+                "{{\"error\":\"deadline exceeded during evaluation\",\"deadline_ms\":{budget_ms},\"elapsed_ms\":{}}}\n",
+                accepted.elapsed_ms()
+            ),
+        );
+    }
+    let degraded = degraded_reason.is_some();
+    if degraded {
+        state.counters.degraded.inc();
+    }
+    state.counters.ok.inc();
+    state.counters.latency_us.record(accepted.elapsed_us());
+    let reason_json = match &degraded_reason {
+        Some(reason) => json_string(reason),
+        None => "null".to_string(),
+    };
+    (
+        200,
+        JSON,
+        format!(
+            "{{\"schema\":\"ppm-serve v1\",\"benchmark\":{},\"metric\":{},\"prediction\":{prediction},\
+             \"degraded\":{degraded},\"degraded_reason\":{reason_json},\"model_version\":{},\
+             \"deadline_ms\":{budget_ms},\"elapsed_ms\":{}}}\n",
+            json_string(&model.benchmark.to_string()),
+            json_string(&model.metric),
+            json_string(&model.version),
+            accepted.elapsed_ms()
+        ),
+    )
+}
+
+/// Readiness is stricter than liveness: the process can be alive
+/// (`/healthz`) while unable to give full-fidelity answers.
+fn readyz(state: &ServeState) -> (u16, &'static str, String) {
+    let model = state.store.active();
+    let queued = state.queued.load(Ordering::SeqCst);
+    let sticky = state.sticky.load(Ordering::Acquire);
+    let ready = model.network.is_some() && !sticky && queued < state.degrade_depth;
+    let body = format!(
+        "{{\"ready\":{ready},\"model_version\":{},\"sticky_degraded\":{sticky},\"queued\":{queued},\"degrade_depth\":{}}}\n",
+        json_string(&model.version),
+        state.degrade_depth
+    );
+    (if ready { 200 } else { 503 }, JSON, body)
+}
+
+fn statusz(state: &ServeState) -> String {
+    let model = state.store.active();
+    format!(
+        "{{\"schema\":\"ppm-statusz v1\",\"model_version\":{},\"benchmark\":{},\"metric\":{},\
+         \"workers\":{},\"queue_capacity\":{},\"queued\":{},\"degrade_depth\":{},\
+         \"sticky_degraded\":{},\"fail_streak\":{},\"chaos\":{},\
+         \"requests\":{},\"ok\":{},\"shed\":{},\"degraded\":{},\"deadline_exceeded\":{},\
+         \"model_failures\":{},\"reloads\":{},\"reload_failures\":{}}}\n",
+        json_string(&model.version),
+        json_string(&model.benchmark.to_string()),
+        json_string(&model.metric),
+        state.workers,
+        state.queue_capacity,
+        state.queued.load(Ordering::SeqCst),
+        state.degrade_depth,
+        state.sticky.load(Ordering::Acquire),
+        state.streak.load(Ordering::Relaxed),
+        state.fault.is_some(),
+        state.counters.requests.get(),
+        state.counters.ok.get(),
+        state.counters.shed.get(),
+        state.counters.degraded.get(),
+        state.counters.deadline_exceeded.get(),
+        state.counters.model_failures.get(),
+        state.counters.reloads.get(),
+        state.counters.reload_failures.get(),
+    )
+}
+
+fn reloadz(state: &ServeState) -> (u16, &'static str, String) {
+    match state.store.reload() {
+        Ok(outcome) => {
+            state.counters.reloads.inc();
+            if outcome.changed {
+                // A new model starts with a clean failure record.
+                state.streak.store(0, Ordering::Relaxed);
+                state.sticky.store(false, Ordering::Release);
+            }
+            (
+                200,
+                JSON,
+                format!(
+                    "{{\"version\":{},\"changed\":{}}}\n",
+                    json_string(&outcome.version),
+                    outcome.changed
+                ),
+            )
+        }
+        Err(e) => {
+            state.counters.reload_failures.inc();
+            ppm_telemetry::event!(
+                Level::Error,
+                "serve.reload_failed",
+                "detail" => e.to_string(),
+            );
+            // 409: the request conflicted with the validation gate; the
+            // previous model keeps serving (rollback by not swapping).
+            (
+                409,
+                JSON,
+                format!(
+                    "{{\"error\":{},\"version\":{}}}\n",
+                    json_string(&e.to_string()),
+                    json_string(&state.store.active().version)
+                ),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_live::{http_get, http_post};
+    use ppm_obs::Json;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppm-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn analytical_config(tag: &str) -> ServeConfig {
+        ServeConfig {
+            registry: scratch(tag).join("registry"),
+            fallback_benchmark: Some(Benchmark::Ammp),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_predictions_health_and_status_analytically() {
+        let server = ServeServer::start(analytical_config("basic")).unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/predict?rob=96", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ppm-serve v1")
+        );
+        assert_eq!(doc.get("degraded").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("model_version").and_then(Json::as_str),
+            Some("analytical")
+        );
+        let p = doc.get("prediction").and_then(Json::as_f64).unwrap();
+        assert!(p.is_finite() && p > 0.0);
+
+        let (status, _) = http_get(&addr, "/healthz", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        // Not ready: no real model is loaded.
+        let (status, body) = http_get(&addr, "/readyz", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 503, "{body}");
+        let (status, body) = http_get(&addr, "/statusz", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ppm-statusz v1")
+        );
+        let (status, body) = http_get(&addr, "/metrics", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("ppm_serve_requests"), "{body}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters_and_unknown_routes() {
+        let server = ServeServer::start(analytical_config("params")).unwrap();
+        let addr = server.addr().to_string();
+        let (status, body) = http_get(&addr, "/predict?rob=banana", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 400, "{body}");
+        let (status, body) = http_get(&addr, "/predict?warp=9", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("warp"));
+        let (status, _) = http_get(&addr, "/predict?deadline_ms=0", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 400);
+        // Out-of-range configs are 400s from the builder's validation.
+        let (status, body) = http_get(&addr, "/predict?rob=7", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = http_get(&addr, "/nope", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_get(&addr, "/reloadz", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 405, "reloadz is POST-only");
+    }
+
+    #[test]
+    fn quitz_stops_the_server_and_wait_returns() {
+        let server = ServeServer::start(analytical_config("quitz")).unwrap();
+        let addr = server.addr().to_string();
+        let (status, _) = http_post(&addr, "/quitz", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+        server.wait();
+    }
+
+    #[test]
+    fn reload_of_an_empty_registry_is_a_conflict_not_a_crash() {
+        let server = ServeServer::start(analytical_config("reload")).unwrap();
+        let addr = server.addr().to_string();
+        let before = ppm_telemetry::registry()
+            .counter("serve.reload_failures")
+            .get();
+        let (status, body) = http_post(&addr, "/reloadz", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 409, "{body}");
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("version").and_then(Json::as_str),
+            Some("analytical"),
+            "rollback keeps the active version"
+        );
+        let after = ppm_telemetry::registry()
+            .counter("serve.reload_failures")
+            .get();
+        assert!(after > before);
+        // Predictions still work after the failed reload.
+        let (status, _) = http_get(&addr, "/predict", IO_TIMEOUT).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn degrade_depth_zero_degrades_every_prediction() {
+        let config = ServeConfig {
+            degrade_depth: 0,
+            ..analytical_config("always-degraded")
+        };
+        let server = ServeServer::start(config).unwrap();
+        let addr = server.addr().to_string();
+        for _ in 0..3 {
+            let (status, body) = http_get(&addr, "/predict", IO_TIMEOUT).unwrap();
+            assert_eq!(status, 200);
+            let doc = Json::parse(&body).unwrap();
+            assert_eq!(doc.get("degraded").and_then(Json::as_bool), Some(true));
+        }
+    }
+}

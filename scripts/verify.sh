@@ -52,6 +52,70 @@ target/release/ppm bench-export --ledger "$smoke_dir/ledger.json" \
 target/release/ppm bench-export --ledger "$smoke_dir/ledger.json" \
   --stage total --bench build_total --out results/BENCH_build_total.json
 
+echo "== serving plane: publish + serve smoke + loadtest SLO gate =="
+# Publish the smoke model into a scratch registry and prove the serving
+# behaviours end to end against a real `ppm serve` process: one
+# full-fidelity prediction, a hot-reload rollback cycle (corrupt CURRENT
+# is refused with a 409, the restored pointer reloads with a 200), a
+# loadtest whose p99 gates this script (exit 5 on SLO breach) while
+# refreshing the serve perf history, and one degraded prediction from a
+# second server forced into overload with --degrade-depth 0.
+target/release/ppm publish --model "$smoke_dir/m.txt" \
+  --registry "$smoke_dir/registry"
+
+# Raw HTTP over bash's /dev/tcp (the container has no curl); the serve
+# address comes from the stderr banner of the backgrounded server.
+http_request() { # method path addr
+  exec 3<>"/dev/tcp/${3%:*}/${3##*:}"
+  printf '%s %s HTTP/1.1\r\nHost: ppm\r\nConnection: close\r\n\r\n' "$1" "$2" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+serve_addr() { # logfile
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/.*listening on http:\/\/\(.*\)$/\1/p' "$1" | head -n 1)
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  echo "$addr"
+}
+
+target/release/ppm serve 127.0.0.1:0 --registry "$smoke_dir/registry" \
+  2> "$smoke_dir/serve.log" &
+serve_pid=$!
+addr=$(serve_addr "$smoke_dir/serve.log")
+[ -n "$addr" ] || { echo "serve never announced an address"; exit 1; }
+
+http_request GET '/predict?rob=128' "$addr" | grep -q '"degraded":false' \
+  || { echo "serve smoke: no full-fidelity prediction"; exit 1; }
+
+version=$(cat "$smoke_dir/registry/CURRENT")
+echo bogus > "$smoke_dir/registry/CURRENT"
+http_request POST /reloadz "$addr" | grep -q 'HTTP/1.1 409' \
+  || { echo "serve smoke: corrupt reload was not refused"; exit 1; }
+echo "$version" > "$smoke_dir/registry/CURRENT"
+http_request POST /reloadz "$addr" | grep -q 'HTTP/1.1 200' \
+  || { echo "serve smoke: restored reload failed"; exit 1; }
+
+target/release/ppm loadtest "$addr" --requests 200 --concurrency 4 \
+  --slo-p99-ms 500 --out results/BENCH_serve_latency.json
+
+http_request POST /quitz "$addr" > /dev/null
+wait "$serve_pid"
+
+# Overload drill: --degrade-depth 0 forces every prediction through the
+# analytical estimator, flagged as degraded.
+target/release/ppm serve 127.0.0.1:0 --registry "$smoke_dir/registry" \
+  --degrade-depth 0 2> "$smoke_dir/serve-degraded.log" &
+serve_pid=$!
+addr=$(serve_addr "$smoke_dir/serve-degraded.log")
+[ -n "$addr" ] || { echo "degraded serve never announced an address"; exit 1; }
+http_request GET '/predict?rob=128' "$addr" | grep -q '"degraded":true' \
+  || { echo "serve smoke: overload drill was not degraded"; exit 1; }
+http_request POST /quitz "$addr" > /dev/null
+wait "$serve_pid"
+
 echo "== ppm lint (token-aware static analysis, all crates) =="
 # The workspace's own linter (crates/lint) supersedes the old awk/grep
 # unwrap gate: six rules (panic-path, iteration-order, wall-clock,

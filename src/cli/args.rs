@@ -69,9 +69,10 @@ const SWITCHES: [&str; 6] = [
 ];
 
 /// Commands that accept bare positional arguments after the command
-/// word (`ppm top 127.0.0.1:9090`). Everything else treats a stray
-/// positional as an error, preserving the strict historical surface.
-const POSITIONAL_COMMANDS: [&str; 1] = ["top"];
+/// word (`ppm top 127.0.0.1:9090`, `ppm serve 127.0.0.1:8080`).
+/// Everything else treats a stray positional as an error, preserving
+/// the strict historical surface.
+const POSITIONAL_COMMANDS: [&str; 3] = ["top", "serve", "loadtest"];
 
 impl Parsed {
     /// Parses raw arguments (excluding the program name).

@@ -43,6 +43,10 @@ pub enum CliError {
     /// (exit code 7) — e.g. `--live` bind failures, `ppm top` against
     /// a dead endpoint.
     Live(String),
+    /// The prediction service could not start or be driven (exit code
+    /// 8) — `ppm serve` bind/registry failures, `ppm publish`
+    /// validation refusals, `ppm loadtest` against a dead service.
+    Serve(String),
     /// Anything else, with a user-facing message (exit code 1).
     Message(String),
 }
@@ -50,7 +54,8 @@ pub enum CliError {
 impl CliError {
     /// The process exit code for this error category: usage errors 2,
     /// simulation faults 3, persistence failures 4, regressions 5,
-    /// lint findings 6, live-plane failures 7, everything else 1.
+    /// lint findings 6, live-plane failures 7, serve failures 8,
+    /// everything else 1.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Args(_) | CliError::Usage(_) => 2,
@@ -59,6 +64,7 @@ impl CliError {
             CliError::Regression(_) => 5,
             CliError::Lint(_) => 6,
             CliError::Live(_) => 7,
+            CliError::Serve(_) => 8,
             CliError::Message(_) => 1,
         }
     }
@@ -74,6 +80,7 @@ impl fmt::Display for CliError {
             CliError::Regression(m) => f.write_str(m),
             CliError::Lint(n) => write!(f, "ppm-lint: {n} finding(s)"),
             CliError::Live(m) => f.write_str(m),
+            CliError::Serve(m) => f.write_str(m),
             CliError::Message(m) => f.write_str(m),
         }
     }
@@ -119,6 +126,12 @@ impl From<ppm_live::LiveError> for CliError {
     }
 }
 
+impl From<ppm_serve::ServeError> for CliError {
+    fn from(e: ppm_serve::ServeError) -> Self {
+        CliError::Serve(e.to_string())
+    }
+}
+
 fn msg(m: impl fmt::Display) -> CliError {
     CliError::Message(m.to_string())
 }
@@ -160,6 +173,9 @@ pub fn run_with_artifacts(
         "bench-export" => flight::bench_export(parsed, out),
         "lint" => lint(parsed, out),
         "top" => top(parsed, out),
+        "serve" => serve(parsed, out),
+        "publish" => publish(parsed, out),
+        "loadtest" => loadtest(parsed, out),
         other => Err(msg(format!("unknown command {other:?} (try `ppm help`)"))),
     }
 }
@@ -241,6 +257,140 @@ fn top(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
             }
         }
     }
+}
+
+/// `ppm serve <addr>`: the fault-hardened prediction service (see
+/// `crates/serve`). Blocks until `POST /quitz`. Registry/bind failures
+/// exit with code 8.
+fn serve(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let addr = match parsed.positionals().first() {
+        Some(a) => a.clone(),
+        None => {
+            return Err(CliError::Usage(
+                "usage: ppm serve <addr> [--registry <dir>] [--benchmark <b>] \
+                 [--workers <n>] [--queue <n>] [--deadline-ms <n>] [--degrade-depth <n>] \
+                 [--chaos <seed>]"
+                    .to_string(),
+            ))
+        }
+    };
+    let fallback_benchmark = parsed
+        .get("--benchmark")
+        .map(|name| Benchmark::from_str(name).map_err(msg))
+        .transpose()?;
+    let chaos = parsed
+        .get("--chaos")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("--chaos wants an integer seed, got {v:?}")))
+        })
+        .transpose()?;
+    let defaults = ppm_serve::ServeConfig::default();
+    let config = ppm_serve::ServeConfig {
+        addr,
+        workers: parsed.num("--workers", defaults.workers)?,
+        queue_per_worker: parsed.num("--queue", defaults.queue_per_worker)?,
+        default_deadline: std::time::Duration::from_millis(parsed.num(
+            "--deadline-ms",
+            u64::try_from(defaults.default_deadline.as_millis()).unwrap_or(250),
+        )?),
+        max_deadline: std::time::Duration::from_millis(parsed.num(
+            "--max-deadline-ms",
+            u64::try_from(defaults.max_deadline.as_millis()).unwrap_or(5000),
+        )?),
+        degrade_depth: parsed.num("--degrade-depth", defaults.degrade_depth)?,
+        fail_streak: parsed.num("--fail-streak", defaults.fail_streak)?,
+        probe_every: parsed.num("--probe-every", defaults.probe_every)?,
+        registry: std::path::PathBuf::from(parsed.get("--registry").unwrap_or("registry")),
+        fallback_benchmark,
+        chaos,
+    };
+    let server = ppm_serve::ServeServer::start(config)?;
+    if !parsed.switch("--quiet") {
+        eprintln!("[ppm serve] listening on http://{}", server.addr());
+        if chaos.is_some() {
+            eprintln!("[ppm serve] CHAOS MODE: injecting faults and misbehaving clients");
+        }
+    }
+    server.wait();
+    writeln!(out, "serve stopped").map_err(msg)?;
+    Ok(())
+}
+
+/// `ppm publish --model <file> --registry <dir>`: validate a model file
+/// and install it in the serving registry under its content hash,
+/// pointing `CURRENT` at it.
+fn publish(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let model = parsed.require("--model")?;
+    let registry = parsed.require("--registry")?;
+    let version = ppm_serve::publish(Path::new(registry), Path::new(model))?;
+    writeln!(out, "published {model} to {registry} as version {version}").map_err(msg)?;
+    Ok(())
+}
+
+/// `ppm loadtest <addr>`: drive a running service and report latency
+/// quantiles; `--slo-p99-ms` turns the p99 into a regression gate
+/// (exit code 5), `--out` writes a `ppm-bench v1` perf-history file.
+fn loadtest(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let addr = match parsed.positionals().first() {
+        Some(a) => a.clone(),
+        None => {
+            return Err(CliError::Usage(
+                "usage: ppm loadtest <addr> [--requests <n>] [--concurrency <n>] \
+                 [--rate <req/s>] [--deadline-ms <n>] [--slo-p99-ms <ms>] [--out <bench.json>]"
+                    .to_string(),
+            ))
+        }
+    };
+    let deadline_ms: u64 = parsed.num("--deadline-ms", 0u64)?;
+    let config = ppm_serve::LoadtestConfig {
+        addr,
+        requests: parsed.num("--requests", 200usize)?,
+        concurrency: parsed.num("--concurrency", 4usize)?,
+        rate: parsed.num("--rate", 0.0f64)?,
+        deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
+        timeout: std::time::Duration::from_secs(5),
+    };
+    let report = ppm_serve::run_loadtest(&config)?;
+    writeln!(out, "sent               {}", report.sent).map_err(msg)?;
+    writeln!(
+        out,
+        "ok                 {} ({} degraded)",
+        report.ok, report.degraded
+    )
+    .map_err(msg)?;
+    writeln!(out, "shed               {}", report.shed).map_err(msg)?;
+    writeln!(out, "deadline exceeded  {}", report.deadline_exceeded).map_err(msg)?;
+    writeln!(out, "errors             {}", report.errors).map_err(msg)?;
+    writeln!(
+        out,
+        "latency ms         p50 {:.2}  p95 {:.2}  p99 {:.2}  mean {:.2}",
+        report.p50_ms, report.p95_ms, report.p99_ms, report.mean_ms
+    )
+    .map_err(msg)?;
+    writeln!(
+        out,
+        "wall               {:.0} ms ({:.0} req/s)",
+        report.wall_ms, report.rps
+    )
+    .map_err(msg)?;
+    if let Some(path) = parsed.get("--out") {
+        ppm_obs::write_bench(Path::new(path), &report.bench_record())
+            .map_err(|e| CliError::Persistence(format!("cannot write bench {path}: {e}")))?;
+        writeln!(out, "bench record written to {path}").map_err(msg)?;
+    }
+    if let Some(slo) = parsed.get("--slo-p99-ms") {
+        let slo: f64 = slo
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--slo-p99-ms wants a number, got {slo:?}")))?;
+        if report.p99_ms > slo {
+            return Err(CliError::Regression(format!(
+                "p99 latency {:.2} ms exceeds the {slo} ms SLO",
+                report.p99_ms
+            )));
+        }
+    }
+    Ok(())
 }
 
 fn benchmark_arg(parsed: &Parsed) -> Result<Benchmark, CliError> {
@@ -881,6 +1031,9 @@ mod tests {
         }
         .into();
         assert_eq!(e.exit_code(), 7);
+        assert_eq!(CliError::Serve("x".into()).exit_code(), 8);
+        let e: CliError = ppm_serve::ServeError::Store("no CURRENT".into()).into();
+        assert_eq!(e.exit_code(), 8);
         assert_eq!(CliError::Message("x".into()).exit_code(), 1);
         // The From impls route checkpoint trouble to the persistence
         // category and everything else simulation-ward.
@@ -944,6 +1097,72 @@ mod tests {
         .unwrap();
         let err = start_live(&parsed).unwrap_err();
         assert_eq!(err.exit_code(), 7, "{err}");
+    }
+
+    #[test]
+    fn serve_and_loadtest_require_an_address() {
+        let err = run_cli(&["serve"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("ppm serve <addr>"), "{err}");
+        let err = run_cli(&["loadtest"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("ppm loadtest <addr>"), "{err}");
+    }
+
+    #[test]
+    fn serve_with_bad_chaos_seed_is_a_usage_error() {
+        let err = run_cli(&["serve", "127.0.0.1:0", "--chaos", "banana"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn serve_on_an_empty_registry_without_fallback_exits_8() {
+        let dir = std::env::temp_dir().join("ppm_cli_serve_empty_reg");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_cli(&[
+            "serve",
+            "127.0.0.1:0",
+            "--registry",
+            dir.to_str().unwrap(),
+            "--quiet",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+    }
+
+    #[test]
+    fn publish_refuses_garbage_with_exit_8() {
+        let dir = std::env::temp_dir().join("ppm_cli_publish_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let junk = dir.join("junk.txt");
+        std::fs::write(&junk, "not a model\n").unwrap();
+        let err = run_cli(&[
+            "publish",
+            "--model",
+            junk.to_str().unwrap(),
+            "--registry",
+            dir.join("registry").to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+    }
+
+    #[test]
+    fn loadtest_against_a_dead_service_exits_8() {
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let err = run_cli(&[
+            "loadtest",
+            &format!("127.0.0.1:{port}"),
+            "--requests",
+            "2",
+            "--concurrency",
+            "1",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
     }
 
     #[test]

@@ -40,6 +40,13 @@
 //! `ppm bench-export` extracts a stage (or total) wall time from a run
 //! ledger into a `ppm-bench v1` file for the perf history in
 //! `results/`.
+//!
+//! The serving plane (`crates/serve`): `ppm serve <addr>` answers
+//! `GET /predict` with deadline enforcement, load shedding, and
+//! graceful degradation to the first-order analytical estimator;
+//! `ppm publish` installs models in its content-addressed registry and
+//! `ppm loadtest` drives a running service and gates on a p99 SLO.
+//! Serve failures exit with code 8.
 
 mod args;
 mod commands;
@@ -76,6 +83,17 @@ COMMANDS:
                                  sources (exit code 6 on findings)
   top         <addr> [--once] [--interval-ms <n>]
                                  terminal dashboard for a --live endpoint
+  serve       <addr> [--registry <dir>] [--benchmark <b>] [--chaos <seed>]
+                                 fault-hardened CPI-prediction service:
+                                 GET /predict /healthz /readyz /metrics
+                                 /statusz, POST /reloadz /quitz
+  publish     --model <file> --registry <dir>
+                                 install a model in the serving registry
+                                 (content-hash versioned, updates CURRENT)
+  loadtest    <addr> [--requests <n>] [--concurrency <n>] [--rate <r>]
+              [--slo-p99-ms <ms>] [--out <bench.json>]
+                                 drive a running service, report latency
+                                 quantiles, optionally gate on a p99 SLO
   help                           print this text
 
 CONFIGURATION FLAGS (defaults: the mid-range machine):
@@ -102,8 +120,23 @@ FAULT-TOLERANCE FLAGS (`build`):
 
 EXIT CODES:
   0 success    2 usage error    3 simulation fault    4 persistence failure
-  5 regression (`report`)    6 lint findings (`lint`)
-  7 live-plane failure (`--live` bind, `ppm top` endpoint)    1 other errors
+  5 regression (`report`, `loadtest --slo-p99-ms`)    6 lint findings (`lint`)
+  7 live-plane failure (`--live` bind, `ppm top` endpoint)
+  8 serve failure (`serve` bind/registry, `publish`, `loadtest` transport)
+  1 other errors
+
+SERVING FLAGS (`serve`):
+  --registry <dir>    model registry (default registry/)
+  --benchmark <b>     serve analytically when no model loads (degraded)
+  --workers <n>       prediction workers (default 4)
+  --queue <n>         queue slots per worker; full queues shed (default 8)
+  --deadline-ms <n>   default request deadline (default 250)
+  --max-deadline-ms <n>  cap on client ?deadline_ms= requests (default 5000)
+  --degrade-depth <n> queue depth that degrades predictions to the
+                      analytical estimator (default 16; 0 = always degraded)
+  --fail-streak <n>   consecutive model failures before sticky degradation
+  --probe-every <n>   probe cadence while sticky-degraded (default 16)
+  --chaos <seed>      inject worker faults and misbehaving clients
 
 OBSERVABILITY FLAGS (any command):
   --quiet             suppress progress output on stderr
