@@ -1,7 +1,7 @@
 //! Processor responses: what the model-building procedure measures at a
 //! design point.
 
-use ppm_sim::{estimate_energy, EnergyParams, Processor};
+use ppm_sim::{estimate_energy, BatchProcessor, EnergyParams, Processor};
 use ppm_workload::{Benchmark, TraceGenerator};
 
 use crate::builder::BuildError;
@@ -45,6 +45,21 @@ pub trait Response: Sync {
     ///
     /// Implementations may panic if `unit.len() != self.dim()`.
     fn eval(&self, unit: &[f64]) -> f64;
+
+    /// Evaluates many points in one pass, when the implementation has a
+    /// cheaper-than-serial batched path.
+    ///
+    /// Returns `None` when no batched path applies (the default); the
+    /// caller then falls back to per-point [`Response::eval`] calls. A
+    /// `Some` result must contain exactly `points.len()` values, each
+    /// equal to what `eval` would have returned for the same point —
+    /// batching is an execution strategy, never a semantic change.
+    /// Non-finite values are returned as-is so the supervised executor
+    /// can quarantine those points individually.
+    fn eval_many(&self, points: &[Vec<f64>]) -> Option<Vec<f64>> {
+        let _ = points;
+        None
+    }
 }
 
 /// A response computed by running the cycle-level simulator on a
@@ -137,12 +152,43 @@ impl Response for SimulatorResponse {
         let config = self.space.to_config(unit);
         let trace = TraceGenerator::new(self.benchmark, self.seed).take(self.trace_len);
         let stats = Processor::new(config.clone()).run(trace);
+        self.report(&stats, &config)
+    }
+
+    /// Simulates all points in one trace pass via [`BatchProcessor`].
+    /// The batched engine produces byte-identical [`ppm_sim::SimStats`]
+    /// to serial runs, so the reported metrics match [`Response::eval`]
+    /// exactly. Declines (`None`) for fewer than two points, or if the
+    /// batch cannot be assembled (all points share this response's
+    /// fixed machine, so that only happens for invalid derived
+    /// configurations — the serial path then surfaces the fault
+    /// per-point).
+    fn eval_many(&self, points: &[Vec<f64>]) -> Option<Vec<f64>> {
+        if points.len() < 2 {
+            return None;
+        }
+        let configs: Vec<_> = points.iter().map(|u| self.space.to_config(u)).collect();
+        let batch = BatchProcessor::new(configs.clone()).ok()?;
+        let trace = TraceGenerator::new(self.benchmark, self.seed).take(self.trace_len);
+        let all = batch.run(trace);
+        Some(
+            all.iter()
+                .zip(&configs)
+                .map(|(stats, config)| self.report(stats, config))
+                .collect(),
+        )
+    }
+}
+
+impl SimulatorResponse {
+    /// Reduces simulation statistics to the configured scalar metric.
+    fn report(&self, stats: &ppm_sim::SimStats, config: &ppm_sim::SimConfig) -> f64 {
         match self.metric {
             // A degenerate CPI becomes NaN so the supervisor can
             // quarantine the point instead of feeding it to the fit.
             Metric::Cpi => stats.checked_cpi().unwrap_or(f64::NAN),
-            Metric::Epi => estimate_energy(&stats, &config, &EnergyParams::default()).epi(),
-            Metric::Edp => estimate_energy(&stats, &config, &EnergyParams::default()).edp(),
+            Metric::Epi => estimate_energy(stats, config, &EnergyParams::default()).epi(),
+            Metric::Edp => estimate_energy(stats, config, &EnergyParams::default()).edp(),
         }
     }
 }

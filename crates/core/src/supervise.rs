@@ -267,7 +267,7 @@ pub fn eval_batch_supervised<R: Response>(
     }
     let _span = ppm_telemetry::span("stage.simulation");
     let n = points.len();
-    let mut values: Vec<Option<f64>> = if precomputed.is_empty() {
+    let values: Vec<Option<f64>> = if precomputed.is_empty() {
         vec![None; n]
     } else {
         precomputed.to_vec()
@@ -293,6 +293,36 @@ pub fn eval_batch_supervised<R: Response>(
 
     let quarantined: Mutex<Vec<Quarantine>> = Mutex::new(Vec::new());
     let mut fresh: Vec<Option<f64>> = vec![None; todo.len()];
+
+    // Batched fast path: a response with a one-pass multi-point
+    // evaluator (the cycle-level simulator shares the trace pass across
+    // all lanes) handles the whole remainder at once. The batch runs
+    // under a single catch_unwind — a panic anywhere falls back to the
+    // per-point path below, which re-isolates and retries each point
+    // individually. Non-finite values quarantine exactly as in the
+    // serial path (deterministic, so never retried).
+    if todo.len() >= 2 {
+        let todo_points: Vec<Vec<f64>> = todo.iter().map(|&i| points[i].clone()).collect();
+        let batched = catch_unwind(AssertUnwindSafe(|| response.eval_many(&todo_points)));
+        if let Ok(Some(vals)) = batched {
+            assert_eq!(
+                vals.len(),
+                todo.len(),
+                "eval_many must return one value per point"
+            );
+            ppm_telemetry::event("sim.batch_fastpath", &[("points", todo.len().into())]);
+            for ((slot, &i), v) in fresh.iter_mut().zip(&todo).zip(vals) {
+                if v.is_finite() {
+                    *slot = Some(v);
+                } else {
+                    record_quarantine(i, &points[i], Fault::NonFinite(v), 1, &quarantined);
+                }
+                ppm_telemetry::counter("build.points_done").inc();
+            }
+            return finish(values, todo, fresh, quarantined, resumed, policy);
+        }
+    }
+
     let workers = threads.min(todo.len().max(1));
     if workers <= 1 {
         for (slot, &i) in fresh.iter_mut().zip(&todo) {
@@ -319,6 +349,20 @@ pub fn eval_batch_supervised<R: Response>(
             }
         });
     }
+    finish(values, todo, fresh, quarantined, resumed, policy)
+}
+
+/// Merges freshly evaluated values into the batch result and applies
+/// the quarantine threshold — shared by the batched fast path and the
+/// per-point worker path.
+fn finish(
+    mut values: Vec<Option<f64>>,
+    todo: Vec<usize>,
+    fresh: Vec<Option<f64>>,
+    quarantined: Mutex<Vec<Quarantine>>,
+    resumed: usize,
+    policy: &SupervisorPolicy,
+) -> Result<BatchOutcome, BuildError> {
     for (&i, v) in todo.iter().zip(fresh) {
         values[i] = v;
     }
@@ -337,6 +381,33 @@ pub fn eval_batch_supervised<R: Response>(
     Ok(outcome)
 }
 
+/// Records one quarantined point: telemetry plus the report entry.
+fn record_quarantine(
+    index: usize,
+    point: &[f64],
+    fault: Fault,
+    attempts: u32,
+    quarantined: &Mutex<Vec<Quarantine>>,
+) {
+    ppm_telemetry::counter("robust.quarantined").inc();
+    ppm_telemetry::event!(
+        ppm_telemetry::Level::Error,
+        "robust.quarantine",
+        "index" => index,
+        "attempts" => u64::from(attempts),
+        "fault" => fault.to_string(),
+    );
+    quarantined
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+        .push(Quarantine {
+            index,
+            point: point.to_vec(),
+            fault,
+            attempts,
+        });
+}
+
 fn run_one<R: Response>(
     response: &R,
     index: usize,
@@ -347,25 +418,7 @@ fn run_one<R: Response>(
 ) {
     match supervised_eval(response, index, point, policy) {
         Ok(v) => *slot = Some(v),
-        Err((fault, attempts)) => {
-            ppm_telemetry::counter("robust.quarantined").inc();
-            ppm_telemetry::event!(
-                ppm_telemetry::Level::Error,
-                "robust.quarantine",
-                "index" => index,
-                "attempts" => u64::from(attempts),
-                "fault" => fault.to_string(),
-            );
-            quarantined
-                .lock()
-                .unwrap_or_else(|poison| poison.into_inner())
-                .push(Quarantine {
-                    index,
-                    point: point.to_vec(),
-                    fault,
-                    attempts,
-                });
-        }
+        Err((fault, attempts)) => record_quarantine(index, point, fault, attempts, quarantined),
     }
     // Quarantined points are still *done* for progress purposes: the
     // supervisor will not spend more time on them.

@@ -58,6 +58,16 @@ impl Default for LoadtestConfig {
 /// What a loadtest measured. Every accepted request lands in exactly
 /// one of `ok`/`shed`/`deadline_exceeded`/`errors`; `degraded` counts
 /// the subset of `ok` answered by the analytical estimator.
+///
+/// Latency is tallied **per outcome class**: `p50_ms`/`p95_ms`/
+/// `p99_ms`/`mean_ms` cover successful (200) answers only — the
+/// numbers an SLO is about — while refusals (503s, which a saturated
+/// service returns in microseconds) report separately as
+/// `refusal_*`. Folding both into one histogram would let a storm of
+/// fast 503s drag the "latency" quantiles down precisely when the
+/// service is at its worst. Transport failures are not timed at all:
+/// their latency measures the client's timeout budget, not the
+/// service.
 #[derive(Debug, Clone)]
 pub struct LoadtestReport {
     /// Requests issued.
@@ -72,14 +82,20 @@ pub struct LoadtestReport {
     pub deadline_exceeded: u64,
     /// Transport failures, non-JSON bodies, and unexpected statuses.
     pub errors: u64,
-    /// Median request latency in milliseconds.
+    /// Median successful-request latency in milliseconds.
     pub p50_ms: f64,
-    /// 95th-percentile latency in milliseconds.
+    /// 95th-percentile successful-request latency in milliseconds.
     pub p95_ms: f64,
-    /// 99th-percentile latency in milliseconds.
+    /// 99th-percentile successful-request latency in milliseconds.
     pub p99_ms: f64,
-    /// Mean latency in milliseconds.
+    /// Mean successful-request latency in milliseconds.
     pub mean_ms: f64,
+    /// Median refusal (503) latency in milliseconds.
+    pub refusal_p50_ms: f64,
+    /// 99th-percentile refusal (503) latency in milliseconds.
+    pub refusal_p99_ms: f64,
+    /// Mean refusal (503) latency in milliseconds.
+    pub refusal_mean_ms: f64,
     /// Whole-test wall time in milliseconds.
     pub wall_ms: f64,
     /// Achieved throughput in requests/second.
@@ -107,13 +123,25 @@ impl LoadtestReport {
             ("p95_ms".to_string(), Json::Float(self.p95_ms)),
             ("p99_ms".to_string(), Json::Float(self.p99_ms)),
             ("mean_ms".to_string(), Json::Float(self.mean_ms)),
+            (
+                "refusal_p50_ms".to_string(),
+                Json::Float(self.refusal_p50_ms),
+            ),
+            (
+                "refusal_p99_ms".to_string(),
+                Json::Float(self.refusal_p99_ms),
+            ),
+            (
+                "refusal_mean_ms".to_string(),
+                Json::Float(self.refusal_mean_ms),
+            ),
             ("wall_ms".to_string(), Json::Float(self.wall_ms)),
             ("rps".to_string(), Json::Float(self.rps)),
         ])
     }
 
-    /// A `ppm-bench v1` record carrying the p99 latency — the SLO
-    /// number the regression sentry gates on.
+    /// A `ppm-bench v1` record carrying the p99 latency of successful
+    /// answers — the SLO number the regression sentry gates on.
     pub fn bench_record(&self) -> BenchRecord {
         BenchRecord {
             bench: "serve_latency_p99".to_string(),
@@ -151,14 +179,18 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
     }
     let tallies = Tallies::default();
     // A scoped registry: loadtest latency must not pollute the global
-    // metrics of whatever process embeds this (tests, the CLI).
+    // metrics of whatever process embeds this (tests, the CLI). One
+    // histogram per outcome class — see the report docs for why they
+    // must not share one.
     let registry = Registry::new();
-    let latency_us = registry.histogram("loadtest.latency.us");
+    let ok_latency_us = registry.histogram("loadtest.latency.ok.us");
+    let refusal_latency_us = registry.histogram("loadtest.latency.refused.us");
     let wall = Stopwatch::start();
     std::thread::scope(|scope| {
         for worker in 0..config.concurrency {
             let tallies = &tallies;
-            let latency_us = &latency_us;
+            let ok_latency_us = &ok_latency_us;
+            let refusal_latency_us = &refusal_latency_us;
             scope.spawn(move || {
                 let mut k = worker;
                 while k < config.requests {
@@ -179,8 +211,12 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
                     };
                     let request = Stopwatch::start();
                     let outcome = http_get(&config.addr, &path, config.timeout);
-                    latency_us.record(request.elapsed_us());
-                    classify(tallies, &outcome);
+                    let elapsed_us = request.elapsed_us();
+                    match classify(tallies, &outcome) {
+                        Outcome::Ok => ok_latency_us.record(elapsed_us),
+                        Outcome::Refusal => refusal_latency_us.record(elapsed_us),
+                        Outcome::Error => {}
+                    }
                     k += config.concurrency;
                 }
             });
@@ -195,7 +231,8 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
             config.addr
         )));
     }
-    let q = |p: f64| latency_us.quantile(p).unwrap_or(0) as f64 / 1000.0;
+    let q = |p: f64| ok_latency_us.quantile(p).unwrap_or(0) as f64 / 1000.0;
+    let rq = |p: f64| refusal_latency_us.quantile(p).unwrap_or(0) as f64 / 1000.0;
     Ok(LoadtestReport {
         sent,
         ok: tallies.ok.load(Ordering::Relaxed),
@@ -206,7 +243,10 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
         p50_ms: q(0.50),
         p95_ms: q(0.95),
         p99_ms: q(0.99),
-        mean_ms: latency_us.mean().unwrap_or(0.0) / 1000.0,
+        mean_ms: ok_latency_us.mean().unwrap_or(0.0) / 1000.0,
+        refusal_p50_ms: rq(0.50),
+        refusal_p99_ms: rq(0.99),
+        refusal_mean_ms: refusal_latency_us.mean().unwrap_or(0.0) / 1000.0,
         wall_ms,
         rps: if wall_ms > 0.0 {
             sent as f64 / (wall_ms / 1000.0)
@@ -216,10 +256,20 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
     })
 }
 
+/// Which latency histogram a response belongs to.
+enum Outcome {
+    /// A successful (200) prediction.
+    Ok,
+    /// An explicit 503 refusal (shed or deadline-exceeded).
+    Refusal,
+    /// A transport failure or malformed answer; not timed.
+    Error,
+}
+
 /// Buckets one response. 503 bodies distinguish shedding from deadline
 /// enforcement by their `error` text — both are explicit refusals, but
 /// they indict different defenses.
-fn classify(tallies: &Tallies, outcome: &Result<(u16, String), ppm_live::LiveError>) {
+fn classify(tallies: &Tallies, outcome: &Result<(u16, String), ppm_live::LiveError>) -> Outcome {
     match outcome {
         Ok((200, body)) => match Json::parse(body) {
             Ok(doc) if doc.get("prediction").and_then(Json::as_f64).is_some() => {
@@ -227,9 +277,11 @@ fn classify(tallies: &Tallies, outcome: &Result<(u16, String), ppm_live::LiveErr
                 if doc.get("degraded").and_then(Json::as_bool) == Some(true) {
                     tallies.degraded.fetch_add(1, Ordering::Relaxed);
                 }
+                Outcome::Ok
             }
             _ => {
                 tallies.errors.fetch_add(1, Ordering::Relaxed);
+                Outcome::Error
             }
         },
         Ok((503, body)) => {
@@ -238,9 +290,11 @@ fn classify(tallies: &Tallies, outcome: &Result<(u16, String), ppm_live::LiveErr
             } else {
                 tallies.shed.fetch_add(1, Ordering::Relaxed);
             }
+            Outcome::Refusal
         }
         _ => {
             tallies.errors.fetch_add(1, Ordering::Relaxed);
+            Outcome::Error
         }
     }
 }
@@ -314,6 +368,34 @@ mod tests {
             wall.elapsed_ms()
         );
         assert_eq!(report.sent, 10);
+    }
+
+    #[test]
+    fn shed_all_server_times_refusals_separately_from_ok() {
+        let registry = std::env::temp_dir()
+            .join(format!("ppm-loadtest-shedall-{}", std::process::id()))
+            .join("registry");
+        let server = ServeServer::start(ServeConfig {
+            registry,
+            fallback_benchmark: Some(Benchmark::Ammp),
+            queue_per_worker: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let report = run_loadtest(&LoadtestConfig {
+            addr: server.addr().to_string(),
+            requests: 16,
+            concurrency: 2,
+            ..LoadtestConfig::default()
+        })
+        .unwrap();
+        assert_eq!(report.ok, 0, "{report:?}");
+        assert_eq!(report.shed, 16, "{report:?}");
+        // No successful sample: the OK quantiles have no evidence and
+        // must stay empty instead of being filled by fast 503s.
+        assert_eq!(report.p99_ms, 0.0, "{report:?}");
+        assert!(report.refusal_p99_ms > 0.0, "{report:?}");
+        assert!(report.refusal_p99_ms >= report.refusal_p50_ms);
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue slots per worker; total queue capacity is
     /// `workers * queue_per_worker`, beyond which requests are shed.
+    /// Zero is the explicit shed-all drill mode: the service accepts
+    /// and refuses *every* request with a 503, which is how the
+    /// loadtest's SLO gate is proven to fail (not pass vacuously)
+    /// against a service that answers nothing.
     pub queue_per_worker: usize,
     /// Deadline applied when the request does not name one.
     pub default_deadline: Duration,
@@ -199,7 +203,8 @@ impl ServeServer {
     /// [`ServeError::Store`] when no model loads and no fallback
     /// benchmark is configured; [`ServeError::Bind`] when the address
     /// cannot be bound; [`ServeError::Pool`] when the worker pool is
-    /// misconfigured (zero workers or queue slots).
+    /// misconfigured (zero workers with a non-zero queue; a zero queue
+    /// is the shed-all drill mode, not an error).
     pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
         let store = ModelStore::open(&config.registry, config.fallback_benchmark)?;
         let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Bind {
@@ -231,21 +236,31 @@ impl ServeServer {
             probe_tick: AtomicU64::new(0),
             counters: Counters::resolve(),
         });
-        let worker_state = Arc::clone(&state);
-        let pool = ServicePool::new(
-            "serve",
-            config.workers,
-            config.queue_per_worker,
-            move |conn: Conn| {
-                worker_state.queued.fetch_sub(1, Ordering::SeqCst);
-                handle_connection(&worker_state, conn);
-            },
-        )
-        .map_err(|e| ServeError::Pool(e.to_string()))?;
+        // `queue_per_worker == 0` means shed-all: no pool at all, the
+        // accept loop refuses everything. Going through ServicePool
+        // would be rejected as a zero-slot queue, and rightly so — this
+        // mode is a drill, not a degenerate pool.
+        let pool = if config.queue_per_worker == 0 {
+            None
+        } else {
+            let worker_state = Arc::clone(&state);
+            Some(
+                ServicePool::new(
+                    "serve",
+                    config.workers,
+                    config.queue_per_worker,
+                    move |conn: Conn| {
+                        worker_state.queued.fetch_sub(1, Ordering::SeqCst);
+                        handle_connection(&worker_state, conn);
+                    },
+                )
+                .map_err(|e| ServeError::Pool(e.to_string()))?,
+            )
+        };
         let accept_state = Arc::clone(&state);
         let handle = std::thread::Builder::new()
             .name("ppm-serve".to_string())
-            .spawn(move || accept_loop(&listener, &pool, &accept_state))
+            .spawn(move || accept_loop(&listener, pool.as_ref(), &accept_state))
             .map_err(|e| ServeError::Bind {
                 addr: config.addr.clone(),
                 detail: format!("cannot spawn accept thread: {e}"),
@@ -295,7 +310,7 @@ impl Drop for ServeServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, pool: &ServicePool<Conn>, state: &Arc<ServeState>) {
+fn accept_loop(listener: &TcpListener, pool: Option<&ServicePool<Conn>>, state: &Arc<ServeState>) {
     for conn in listener.incoming() {
         if state.stop.load(Ordering::Acquire) {
             break;
@@ -311,9 +326,22 @@ fn accept_loop(listener: &TcpListener, pool: &ServicePool<Conn>, state: &Arc<Ser
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         state.counters.requests.inc();
         state.queued.fetch_add(1, Ordering::SeqCst);
-        let conn = Conn {
+        let mut conn = Conn {
             stream,
             accepted: Stopwatch::start(),
+        };
+        let Some(pool) = pool else {
+            // Shed-all drill mode: refuse without a pool to queue into.
+            // Unlike saturation shedding, drain the request head first:
+            // closing with unread bytes in the socket makes the kernel
+            // send RST, which clients see as a transport error instead
+            // of a 503. The slowloris argument for head-blind shedding
+            // does not apply here — there is no queue to protect.
+            state.queued.fetch_sub(1, Ordering::SeqCst);
+            let mut scratch = [0u8; 1024];
+            let _ = std::io::Read::read(&mut conn.stream, &mut scratch);
+            shed(state, conn);
+            continue;
         };
         match pool.try_submit(conn) {
             Ok(()) => {}

@@ -1,0 +1,1410 @@
+//! Batched multi-configuration simulation: one trace pass, N timing
+//! lanes.
+//!
+//! `BuildRBFmodel` pays the dominant share of its wall time running the
+//! cycle-level simulator once per sampled design point — over the *same*
+//! synthetic instruction stream every time. [`BatchProcessor`] amortizes
+//! that stream: the trace is materialized once per chunk into a shared
+//! window, the (configuration-independent) branch-prediction outcomes
+//! are computed once, and N per-configuration timing lanes consume the
+//! window in lockstep chunks.
+//!
+//! # The shared-trace invariant
+//!
+//! Batching is sound because two streams are *lane-invariant*:
+//!
+//! * **The instruction stream.** A [`TraceSource`] is a pure function of
+//!   the workload (benchmark, seed), never of the processor
+//!   configuration — the property the surrogate-modeling methodology
+//!   already requires. Every lane therefore fetches the identical
+//!   instruction sequence, so `seq` equals the absolute trace index in
+//!   every lane.
+//! * **The branch-prediction outcomes.** All predictor parameters live
+//!   in [`FixedMachine`], which [`BatchProcessor::new`] requires to be
+//!   identical across lanes. The predictor is consulted once per branch,
+//!   at fetch, in trace order — so its internal state evolution (and
+//!   hence each branch's mispredicted flag) depends only on the trace.
+//!   One shared [`BranchPredictor`] computes the flag stream as
+//!   instructions enter the window.
+//!
+//! A third stream is *almost* lane-invariant: each load's forwarding
+//! source. The youngest older store to the same word is a pure trace
+//! property, precomputed once per window slot by the shared pass; the
+//! per-lane residue is a single `>= head_seq` liveness check, which
+//! reproduces exactly when the serial engine's store map would still
+//! hold that store (the map only drops an entry when its youngest
+//! store commits).
+//!
+//! Everything else *may* diverge per lane and is therefore lane-local:
+//! all timing state (cycle counter, ROB/IQ/LSQ occupancy, ready and
+//! completion structures, fetch gates), the entire cache hierarchy and
+//! DRAM model (capacities are design parameters, and access *timing*
+//! feeds back into bank/bus/MSHR contention), and the statistics.
+//!
+//! # Structure-of-arrays lanes
+//!
+//! Lane state lives in [`Lanes`]: one `Vec` per scalar (cycle counter,
+//! queue occupancies, fetch gates) and one `Vec` per container (ROB,
+//! fetch queue, heaps), indexed by lane. The hot kernel borrows a
+//! [`LaneView`] of one lane — a struct of disjoint `&mut` into the
+//! arrays — so the cycle loop runs on direct references while the
+//! storage stays columnar.
+//!
+//! # Chunk-major scheduling and the window barrier
+//!
+//! The window holds up to two chunks of instructions. Each lane runs
+//! cycles until its fetch position passes the first chunk's end (a fetch
+//! group may overshoot by at most `width` instructions — which is why
+//! the *second* chunk is already materialized), then pauses. When every
+//! lane has passed the barrier, the front chunk is dropped and one more
+//! is pulled from the generator. Once the generator is exhausted, lanes
+//! run to completion unconstrained.
+//!
+//! Lanes additionally *skip* provable no-op cycles (nothing completing,
+//! committing, issuing, dispatching, or fetching) in one jump, charging
+//! the skipped span to the statistics — ROB occupancy integral and
+//! exactly the stall counter the serial engine would have bumped — so
+//! [`SimStats`] stay byte-identical to N serial [`Processor`] runs while
+//! high-CPI idle spans cost O(1).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::pipeline::{class_of, record_run_telemetry, EntryState};
+use crate::{BranchPredictor, ConfigError, Hierarchy, Instr, Op, SimConfig, SimStats, TraceSource};
+
+/// Instructions per shared chunk. Two chunks are resident at once, so
+/// the window's working set stays well under a megabyte while the
+/// per-chunk bookkeeping amortizes to noise.
+const CHUNK: usize = 16_384;
+
+/// Errors from assembling a batch.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BatchError {
+    /// No configurations were supplied.
+    Empty,
+    /// A configuration failed [`SimConfig::validate`].
+    InvalidConfig {
+        /// Index of the offending configuration.
+        index: usize,
+        /// The underlying validation error.
+        error: ConfigError,
+    },
+    /// A configuration's [`FixedMachine`](crate::FixedMachine) differs
+    /// from lane 0's. The shared trace pass computes branch-prediction
+    /// outcomes once, which is only sound when the predictor (and the
+    /// rest of the fixed machine) is identical across lanes.
+    HeterogeneousFixedMachine {
+        /// Index of the first configuration that differs.
+        index: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Empty => write!(f, "batch needs at least one configuration"),
+            BatchError::InvalidConfig { index, error } => {
+                write!(f, "configuration {index} is invalid: {error}")
+            }
+            BatchError::HeterogeneousFixedMachine { index } => write!(
+                f,
+                "configuration {index} has a different fixed machine than lane 0; \
+                 batching shares one branch-prediction pass and requires identical \
+                 fixed machines"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Runs N processor configurations over one shared trace pass.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_sim::{BatchProcessor, Processor, SimConfig, Instr, Op};
+///
+/// let configs: Vec<SimConfig> = [24u32, 96]
+///     .iter()
+///     .map(|&rob| SimConfig::builder().rob_size(rob).build().unwrap())
+///     .collect();
+/// let trace = || (0..2_000).map(|i| Instr::alu(Op::IntAlu, 0x1000 + (i % 128) * 4, 1, 0));
+///
+/// let batched = BatchProcessor::new(configs.clone()).unwrap().run(trace());
+/// for (stats, config) in batched.iter().zip(configs) {
+///     // Byte-identical to a serial run of the same configuration.
+///     assert_eq!(*stats, Processor::new(config).run(trace()));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct BatchProcessor {
+    configs: Vec<SimConfig>,
+}
+
+impl BatchProcessor {
+    /// Assembles a batch, validating every configuration and requiring
+    /// one shared fixed machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`BatchError`].
+    pub fn new(configs: Vec<SimConfig>) -> Result<Self, BatchError> {
+        if configs.is_empty() {
+            return Err(BatchError::Empty);
+        }
+        for (index, config) in configs.iter().enumerate() {
+            config
+                .validate()
+                .map_err(|error| BatchError::InvalidConfig { index, error })?;
+            if config.fixed != configs[0].fixed {
+                return Err(BatchError::HeterogeneousFixedMachine { index });
+            }
+        }
+        Ok(BatchProcessor { configs })
+    }
+
+    /// The number of timing lanes.
+    pub fn lanes(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Runs every lane over one pass of the trace and returns one
+    /// [`SimStats`] per configuration, in input order — byte-identical
+    /// to running [`Processor::run`](crate::Processor::run) per
+    /// configuration on the same trace.
+    ///
+    /// Bound the run length with `trace.take(n)`.
+    pub fn run(self, trace: impl TraceSource) -> Vec<SimStats> {
+        ppm_telemetry::counter("sim.batch_runs").inc();
+        ppm_telemetry::counter("sim.batch_lanes").add(self.configs.len() as u64);
+        let mut kernel = Kernel::new(&self.configs);
+        kernel.run(trace);
+        kernel.finalize()
+    }
+}
+
+/// Which structural stall the serial dispatch stage would charge each
+/// cycle of a skipped span.
+#[derive(Clone, Copy)]
+enum Stall {
+    Rob,
+    Iq,
+    Lsq,
+}
+
+/// FNV-1a with a multiply-xorshift fast path for `u64` keys.
+///
+/// The store map is keyed by word address and only ever used through
+/// `get`/`insert`/`remove` — never iterated — so its hash function
+/// cannot influence timing statistics, and the default SipHash is pure
+/// per-instruction overhead in the batch kernel.
+#[derive(Default)]
+struct WordHasher(u64);
+
+impl Hasher for WordHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, word: u64) {
+        let h = word.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type StoreMap = HashMap<u64, u64, BuildHasherDefault<WordHasher>>;
+
+/// Number of fixed-latency completion classes (single-cycle, integer
+/// multiply, FP add, FP multiply, L1-latency loads).
+const FIXED_DELAYS: usize = 5;
+
+/// Pending execution completions, split by latency class.
+///
+/// Completions with a *fixed* latency K are pushed as `now + K` with
+/// `now` nondecreasing, so each class's queue is already sorted — a
+/// `VecDeque` replaces heap discipline for the overwhelming majority of
+/// instructions. Only variable-latency completions (cache-missing
+/// loads) go through a real heap.
+///
+/// Same-cycle entries may interleave across queues, so [`Self::pop_due`]
+/// does not define an order *within* a cycle. That is safe: processing
+/// order within one `process_completions` call is outcome-independent —
+/// marking Done, decrementing `pending_deps`, and pushing to the
+/// (seq-ordered) ready heap all commute, and the fetch-restart update
+/// depends only on the current cycle, not the pop order.
+struct CompletionSet {
+    /// One sorted `(done_cycle, seq)` queue per fixed latency class.
+    lines: [VecDeque<(u64, u64)>; FIXED_DELAYS],
+    /// The latency each line holds, used to route pushes by delay.
+    delays: [u64; FIXED_DELAYS],
+    /// Variable-latency completions.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Bit `i` set iff `lines[i]` is non-empty; bit `FIXED_DELAYS` for
+    /// the heap. Drains visit only live structures.
+    live: u8,
+    /// Exact earliest pending cycle (`u64::MAX` when empty), so the
+    /// per-step due-check is O(1). Pushes maintain it directly;
+    /// [`Self::drain_due`] recomputes it.
+    min: u64,
+}
+
+impl CompletionSet {
+    fn new(delays: [u64; FIXED_DELAYS]) -> Self {
+        CompletionSet {
+            lines: Default::default(),
+            delays,
+            heap: BinaryHeap::new(),
+            live: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn push(&mut self, now: u64, done_cycle: u64, seq: u64) {
+        self.min = self.min.min(done_cycle);
+        let delay = done_cycle - now;
+        for (i, (line, &d)) in self.lines.iter_mut().zip(&self.delays).enumerate() {
+            if delay == d {
+                line.push_back((done_cycle, seq));
+                self.live |= 1 << i;
+                return;
+            }
+        }
+        self.heap.push(Reverse((done_cycle, seq)));
+        self.live |= 1 << FIXED_DELAYS;
+    }
+
+    /// The earliest pending completion cycle (`u64::MAX` when empty).
+    fn min_cycle(&self) -> u64 {
+        self.min
+    }
+
+    /// Drains every completion with `done_cycle <= now` into `out` (no
+    /// intra-cycle order; see the type docs for why that is sound) and
+    /// recomputes the cached minimum, in one pass over the live
+    /// structures.
+    fn drain_due(&mut self, now: u64, out: &mut Vec<u64>) {
+        let mut min = u64::MAX;
+        let mut pending = self.live;
+        while pending != 0 {
+            let i = pending.trailing_zeros() as usize;
+            pending &= pending - 1;
+            if i < FIXED_DELAYS {
+                let line = &mut self.lines[i];
+                while let Some(&(cycle, seq)) = line.front() {
+                    if cycle > now {
+                        min = min.min(cycle);
+                        break;
+                    }
+                    out.push(seq);
+                    line.pop_front();
+                }
+                if line.is_empty() {
+                    self.live &= !(1 << i);
+                }
+            } else {
+                while let Some(&Reverse((cycle, seq))) = self.heap.peek() {
+                    if cycle > now {
+                        min = min.min(cycle);
+                        break;
+                    }
+                    out.push(seq);
+                    self.heap.pop();
+                }
+                if self.heap.is_empty() {
+                    self.live &= !(1 << FIXED_DELAYS);
+                }
+            }
+        }
+        self.min = min;
+    }
+}
+
+/// One in-flight instruction's hot scheduling state — 32 bytes, two per
+/// cache line. Unlike the serial engine's ROB entry this does not carry
+/// the [`Instr`]: the shared window keeps every in-flight instruction
+/// resident, so the stages re-read it by absolute index instead.
+#[derive(Clone, Copy)]
+struct Slot {
+    seq: u64,
+    done_cycle: u64,
+    /// Forwarding-source store seq for loads, `u64::MAX` for none.
+    fwd_src: u64,
+    state: EntryState,
+    pending_deps: u8,
+}
+
+const VACANT: Slot = Slot {
+    seq: u64::MAX,
+    done_cycle: 0,
+    fwd_src: u64::MAX,
+    state: EntryState::Done,
+    pending_deps: 0,
+};
+
+/// The reorder buffer as a power-of-two ring addressed directly by
+/// sequence number: the slot for `seq` is `slots[seq & mask]`, unique
+/// because at most `rob_size <= capacity` instructions are in flight.
+///
+/// Slots are permanent — commit advances the head without moving them —
+/// and the waiter lists live in a parallel array (they are cold next to
+/// the scheduling fields), each vector staying resident for the next
+/// instruction that lands on its slot, so steady-state dispatch
+/// allocates nothing.
+struct Rob {
+    slots: Vec<Slot>,
+    waiters: Vec<Vec<u64>>,
+    mask: u64,
+    len: usize,
+}
+
+impl Rob {
+    fn new(rob_size: usize) -> Self {
+        let cap = rob_size.next_power_of_two();
+        Rob {
+            slots: vec![VACANT; cap],
+            waiters: (0..cap).map(|_| Vec::new()).collect(),
+            mask: cap as u64 - 1,
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn contains(&self, head_seq: u64, seq: u64) -> bool {
+        seq >= head_seq && seq < head_seq + self.len as u64
+    }
+
+    /// The slot for `seq`, without checking liveness — callers must
+    /// know `seq` is in flight.
+    fn slot_mut(&mut self, seq: u64) -> &mut Slot {
+        &mut self.slots[(seq & self.mask) as usize]
+    }
+
+    fn get(&self, head_seq: u64, seq: u64) -> Option<&Slot> {
+        self.contains(head_seq, seq)
+            .then(|| &self.slots[(seq & self.mask) as usize])
+    }
+
+    fn front(&self, head_seq: u64) -> Option<&Slot> {
+        self.get(head_seq, head_seq)
+    }
+}
+
+/// The set of ready-to-issue instructions as a bitset over ROB slots
+/// (same `seq & mask` addressing as [`Rob`]).
+///
+/// Insert and remove are single bit operations; issue scans the words
+/// in sequence order from the head, so selection is oldest-first like
+/// the serial engine's min-heap — and quota-deferred entries simply
+/// stay set, with no pop-and-repush churn.
+struct ReadySet {
+    words: Vec<u64>,
+    mask: u64,
+    count: usize,
+}
+
+impl ReadySet {
+    fn new(cap: usize) -> Self {
+        ReadySet {
+            words: vec![0; cap.div_ceil(64)],
+            mask: cap as u64 - 1,
+            count: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn insert(&mut self, seq: u64) {
+        let p = (seq & self.mask) as usize;
+        debug_assert_eq!(self.words[p >> 6] & (1 << (p & 63)), 0);
+        self.words[p >> 6] |= 1 << (p & 63);
+        self.count += 1;
+    }
+
+    fn remove(&mut self, seq: u64) {
+        let p = (seq & self.mask) as usize;
+        debug_assert_ne!(self.words[p >> 6] & (1 << (p & 63)), 0);
+        self.words[p >> 6] &= !(1 << (p & 63));
+        self.count -= 1;
+    }
+}
+
+/// A fetched instruction waiting to dispatch. Unlike the serial
+/// engine's fetch-queue entry this does not carry the [`Instr`] itself:
+/// the kernel keeps the previous chunk resident in the shared window
+/// precisely so in-flight front-end entries can re-read their
+/// instruction (and forwarding source) by absolute index at dispatch.
+#[derive(Clone, Copy)]
+struct Fetched {
+    seq: u64,
+    rename_ready: u64,
+}
+
+/// One lane's hot scalar state, copied into registers/stack for the
+/// duration of a chunk run and written back after (see
+/// [`Lanes::view`] / [`Lanes::store`]). Keeping these by value lets the
+/// per-cycle loop touch them without pointer chasing.
+#[derive(Clone, Copy)]
+struct LaneScalars {
+    now: u64,
+    head_seq: u64,
+    iq_count: usize,
+    lsq_count: usize,
+    fetch_blocked_on: Option<u64>,
+    fetch_available: u64,
+    last_fetch_line: u64,
+    /// Next trace index this lane fetches; equals the lane's `next_seq`.
+    pos: usize,
+    /// Cycles actually stepped (as opposed to skipped); the
+    /// `sim.batch_cycles_executed` diagnostic.
+    executed: u64,
+}
+
+/// Per-lane state, stored column-wise: scalars in one dense array,
+/// containers in one array per kind.
+struct Lanes {
+    scalars: Vec<LaneScalars>,
+    done: Vec<bool>,
+    // Derived per-lane parameters (design-point dependent).
+    rob_size: Vec<usize>,
+    iq_size: Vec<usize>,
+    lsq_size: Vec<usize>,
+    front_depth: Vec<u64>,
+    fq_capacity: Vec<usize>,
+    dl1_lat: Vec<u64>,
+    // Containers.
+    rob: Vec<Rob>,
+    fetch_queue: Vec<VecDeque<Fetched>>,
+    ready: Vec<ReadySet>,
+    completions: Vec<CompletionSet>,
+    hierarchy: Vec<Hierarchy>,
+    stats: Vec<SimStats>,
+    /// Retired-instruction tallies indexed by `Op` discriminant; folded
+    /// into the named [`SimStats`] fields at finalize so commit charges
+    /// one unconditional array increment instead of a seven-way branch.
+    op_counts: Vec<[u64; 7]>,
+    /// Reusable scratch for the seqs completing this cycle.
+    due: Vec<Vec<u64>>,
+}
+
+/// One lane's working state for the hot kernel: scalars *by value*
+/// (copied in by [`Lanes::view`], copied out by [`Lanes::store`]) plus
+/// disjoint mutable borrows of the lane's containers.
+struct LaneView<'a> {
+    s: LaneScalars,
+    rob_size: usize,
+    iq_size: usize,
+    lsq_size: usize,
+    front_depth: u64,
+    fq_capacity: usize,
+    dl1_lat: u64,
+    rob: &'a mut Rob,
+    fetch_queue: &'a mut VecDeque<Fetched>,
+    ready: &'a mut ReadySet,
+    completions: &'a mut CompletionSet,
+    hierarchy: &'a mut Hierarchy,
+    stats: &'a mut SimStats,
+    op_counts: &'a mut [u64; 7],
+    due: &'a mut Vec<u64>,
+}
+
+impl Lanes {
+    fn new(configs: &[SimConfig]) -> Self {
+        let n = configs.len();
+        Lanes {
+            scalars: vec![
+                LaneScalars {
+                    now: 0,
+                    head_seq: 0,
+                    iq_count: 0,
+                    lsq_count: 0,
+                    fetch_blocked_on: None,
+                    fetch_available: 0,
+                    last_fetch_line: u64::MAX,
+                    pos: 0,
+                    executed: 0,
+                };
+                n
+            ],
+            done: vec![false; n],
+            rob_size: configs.iter().map(|c| c.rob_size as usize).collect(),
+            iq_size: configs.iter().map(|c| c.iq_size() as usize).collect(),
+            lsq_size: configs.iter().map(|c| c.lsq_size() as usize).collect(),
+            front_depth: configs.iter().map(|c| c.front_depth() as u64).collect(),
+            fq_capacity: configs
+                .iter()
+                .map(|c| (c.front_depth() as usize + 4) * c.fixed.width as usize)
+                .collect(),
+            dl1_lat: configs.iter().map(|c| c.dl1_lat as u64).collect(),
+            rob: configs
+                .iter()
+                .map(|c| Rob::new(c.rob_size as usize))
+                .collect(),
+            fetch_queue: (0..n).map(|_| VecDeque::new()).collect(),
+            ready: configs
+                .iter()
+                .map(|c| ReadySet::new((c.rob_size as usize).next_power_of_two()))
+                .collect(),
+            completions: configs
+                .iter()
+                .map(|c| {
+                    CompletionSet::new([
+                        1,
+                        c.fixed.int_mul_lat as u64,
+                        c.fixed.fp_alu_lat as u64,
+                        c.fixed.fp_mul_lat as u64,
+                        c.dl1_lat as u64,
+                    ])
+                })
+                .collect(),
+            hierarchy: configs.iter().map(Hierarchy::new).collect(),
+            stats: vec![SimStats::default(); n],
+            op_counts: vec![[0; 7]; n],
+            due: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn view(&mut self, l: usize) -> LaneView<'_> {
+        LaneView {
+            s: self.scalars[l],
+            rob_size: self.rob_size[l],
+            iq_size: self.iq_size[l],
+            lsq_size: self.lsq_size[l],
+            front_depth: self.front_depth[l],
+            fq_capacity: self.fq_capacity[l],
+            dl1_lat: self.dl1_lat[l],
+            rob: &mut self.rob[l],
+            fetch_queue: &mut self.fetch_queue[l],
+            ready: &mut self.ready[l],
+            completions: &mut self.completions[l],
+            hierarchy: &mut self.hierarchy[l],
+            stats: &mut self.stats[l],
+            op_counts: &mut self.op_counts[l],
+            due: &mut self.due[l],
+        }
+    }
+
+    /// Writes a view's scalar state back to the lane columns.
+    fn store(&mut self, l: usize, s: LaneScalars) {
+        self.scalars[l] = s;
+    }
+}
+
+/// Parameters identical across lanes (all from the shared
+/// [`FixedMachine`](crate::FixedMachine)).
+struct Shared {
+    width: usize,
+    line_bits: u32,
+    quotas: [u32; 5],
+    int_mul_lat: u64,
+    fp_alu_lat: u64,
+    fp_mul_lat: u64,
+}
+
+/// The batched execution kernel: the shared window plus all lanes.
+struct Kernel {
+    lanes: Lanes,
+    shared: Shared,
+    /// One branch predictor for all lanes; see the module docs for why
+    /// its outcomes are lane-invariant.
+    bpred: BranchPredictor,
+    /// The resident instruction window (up to two chunks).
+    window: Vec<Instr>,
+    /// Per-window-slot branch mispredict flags (false for non-branches).
+    flags: Vec<bool>,
+    /// Per-window-slot forwarding source: the youngest older store to
+    /// the same word for loads, `u64::MAX` otherwise.
+    fwd: Vec<u64>,
+    /// Word address -> youngest store seq seen so far in the shared
+    /// pass; feeds `fwd`.
+    store_last: StoreMap,
+    /// Absolute trace index of `window[0]`.
+    win_start: usize,
+    /// Absolute trace index of the current chunk's first instruction.
+    /// The window keeps the *previous* chunk resident too, so fetch
+    /// queues (bounded well below a chunk) can re-read instructions at
+    /// dispatch after the barrier slides.
+    cur_start: usize,
+    /// The generator returned `None`; `win_start + window.len()` is the
+    /// final trace length.
+    exhausted: bool,
+}
+
+/// The shared window's parallel columns, borrowed together for the
+/// per-lane kernel functions.
+struct Window<'w> {
+    instrs: &'w [Instr],
+    flags: &'w [bool],
+    fwd: &'w [u64],
+    /// Absolute trace index of `instrs[0]`.
+    start: usize,
+}
+
+impl Kernel {
+    fn new(configs: &[SimConfig]) -> Self {
+        let fixed = &configs[0].fixed;
+        Kernel {
+            lanes: Lanes::new(configs),
+            shared: Shared {
+                width: fixed.width as usize,
+                line_bits: fixed.line_size.trailing_zeros(),
+                quotas: [
+                    fixed.int_alus,
+                    fixed.int_muls,
+                    fixed.fp_alus,
+                    fixed.fp_muls,
+                    fixed.mem_ports,
+                ],
+                int_mul_lat: fixed.int_mul_lat as u64,
+                fp_alu_lat: fixed.fp_alu_lat as u64,
+                fp_mul_lat: fixed.fp_mul_lat as u64,
+            },
+            bpred: BranchPredictor::with_kind(
+                fixed.predictor,
+                fixed.gshare_entries,
+                fixed.gshare_history,
+                fixed.btb_entries,
+            ),
+            window: Vec::with_capacity(3 * CHUNK),
+            flags: Vec::with_capacity(3 * CHUNK),
+            fwd: Vec::with_capacity(3 * CHUNK),
+            store_last: StoreMap::default(),
+            win_start: 0,
+            cur_start: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Pulls instructions until the window covers the current chunk
+    /// plus one lookahead chunk (fetch groups overshoot the barrier by
+    /// at most `width`), computing each branch's shared mispredict flag
+    /// and each load's forwarding source as it enters.
+    fn refill(&mut self, trace: &mut impl TraceSource) {
+        let target = self.cur_start - self.win_start + 2 * CHUNK;
+        while self.window.len() < target {
+            let Some(instr) = trace.next() else {
+                self.exhausted = true;
+                break;
+            };
+            let flag = instr.op == Op::Branch
+                && self
+                    .bpred
+                    .predict_kind(instr.kind, instr.pc, instr.taken, instr.target);
+            let fwd = match instr.op {
+                Op::Load => self
+                    .store_last
+                    .get(&(instr.mem_addr >> 3))
+                    .copied()
+                    .unwrap_or(u64::MAX),
+                Op::Store => {
+                    let seq = (self.win_start + self.window.len()) as u64;
+                    self.store_last.insert(instr.mem_addr >> 3, seq);
+                    u64::MAX
+                }
+                _ => u64::MAX,
+            };
+            self.window.push(instr);
+            self.flags.push(flag);
+            self.fwd.push(fwd);
+        }
+    }
+
+    fn run(&mut self, trace: impl TraceSource) {
+        let mut trace = trace;
+        self.refill(&mut trace);
+        let lane_count = self.lanes.scalars.len();
+        loop {
+            let window = Window {
+                instrs: &self.window,
+                flags: &self.flags,
+                fwd: &self.fwd,
+                start: self.win_start,
+            };
+            if self.exhausted {
+                // Drain: the window is the whole remaining trace.
+                let total = self.win_start + self.window.len();
+                for l in 0..lane_count {
+                    if self.lanes.done[l] {
+                        continue;
+                    }
+                    let mut lane = self.lanes.view(l);
+                    while !(lane.s.pos == total
+                        && lane.rob.is_empty()
+                        && lane.fetch_queue.is_empty())
+                    {
+                        step(&mut lane, &self.shared, &window);
+                    }
+                    let s = lane.s;
+                    self.lanes.store(l, s);
+                    self.lanes.done[l] = true;
+                }
+                return;
+            }
+            // Chunked phase: run every lane up to the barrier, then
+            // slide. The chunk before the current one stays resident
+            // for in-flight fetch-queue entries; older ones drop.
+            let limit = self.cur_start + CHUNK;
+            for l in 0..lane_count {
+                let mut lane = self.lanes.view(l);
+                while lane.s.pos < limit {
+                    step(&mut lane, &self.shared, &window);
+                }
+                let s = lane.s;
+                self.lanes.store(l, s);
+            }
+            self.cur_start = limit;
+            if self.cur_start - self.win_start >= 2 * CHUNK {
+                self.window.drain(..CHUNK);
+                self.flags.drain(..CHUNK);
+                self.fwd.drain(..CHUNK);
+                self.win_start += CHUNK;
+            }
+            self.refill(&mut trace);
+        }
+    }
+
+    fn finalize(mut self) -> Vec<SimStats> {
+        for l in 0..self.lanes.scalars.len() {
+            let stats = &mut self.lanes.stats[l];
+            let counts = self.lanes.op_counts[l];
+            stats.int_ops = counts[Op::IntAlu as usize];
+            stats.mul_ops = counts[Op::IntMul as usize];
+            stats.fp_ops = counts[Op::FpAlu as usize];
+            stats.fp_mul_ops = counts[Op::FpMul as usize];
+            stats.loads = counts[Op::Load as usize];
+            stats.stores = counts[Op::Store as usize];
+            stats.branches = counts[Op::Branch as usize];
+            stats.instructions = counts.iter().sum();
+            stats.cycles = self.lanes.scalars[l].now;
+            stats.il1 = self.lanes.hierarchy[l].il1().stats();
+            stats.dl1 = self.lanes.hierarchy[l].dl1().stats();
+            stats.l2 = self.lanes.hierarchy[l].l2().stats();
+            stats.dram_accesses = self.lanes.hierarchy[l].memory().dram_accesses;
+            stats.mshr_wait_cycles = self.lanes.hierarchy[l].memory().mshr_wait_cycles;
+            // Every lane fetches every branch exactly once, so the
+            // shared predictor's total is each lane's total.
+            stats.mispredicts = self.bpred.mispredictions;
+            record_run_telemetry(stats);
+        }
+        // Skip-effectiveness diagnostics: how many simulated cycles were
+        // actually stepped versus jumped over.
+        let executed: u64 = self.lanes.scalars.iter().map(|s| s.executed).sum();
+        let total: u64 = self.lanes.scalars.iter().map(|s| s.now).sum();
+        ppm_telemetry::counter("sim.batch_cycles_executed").add(executed);
+        ppm_telemetry::counter("sim.batch_cycles_skipped").add(total - executed);
+        self.lanes.stats
+    }
+}
+
+/// Advances one lane by one *productive* step: either a full simulated
+/// cycle, or a jump over a span of provable no-op cycles with the span's
+/// statistics charged in closed form.
+#[inline(always)]
+fn step(lane: &mut LaneView<'_>, shared: &Shared, window: &Window<'_>) {
+    if !try_skip(lane, window) {
+        cycle(lane, shared, window);
+    }
+}
+
+/// One simulated cycle, stage for stage identical to the serial engine.
+#[inline(always)]
+fn cycle(lane: &mut LaneView<'_>, shared: &Shared, window: &Window<'_>) {
+    process_completions(lane);
+    commit(lane, shared, window);
+    issue(lane, shared, window);
+    dispatch(lane, shared, window);
+    fetch(lane, shared, window);
+    lane.stats.rob_occupancy_sum += lane.rob.len() as u64;
+    lane.s.now += 1;
+    lane.s.executed += 1;
+}
+
+/// Detects a span of cycles in which *no* pipeline stage can make
+/// progress, and charges it wholesale: ROB occupancy accrues at the
+/// current level and exactly one dispatch stall counter (or none) ticks
+/// per cycle — precisely what the serial engine would have recorded
+/// cycle by cycle.
+///
+/// The jump additionally retires *pure* completions en route: a
+/// completion that wakes no registered dependent, is not the ROB head,
+/// and does not restart fetch flips one slot from Issued to Done and
+/// changes nothing any stage can observe — dispatch's producer check
+/// and commit's head check read the same answer either way — so the
+/// serial engine's cycle at that point records exactly the occupancy
+/// and stall charge the span accounting already applies. The first
+/// *impure* completion (or the dispatch/fetch wake-up, whichever is
+/// sooner) ends the jump with a real cycle executed there.
+#[inline(always)]
+fn try_skip(lane: &mut LaneView<'_>, window: &Window<'_>) -> bool {
+    let now0 = lane.s.now;
+    // A due completion makes this cycle productive.
+    if lane.completions.min_cycle() <= now0 {
+        return false;
+    }
+    // A Done head is committable (Done is only set once `done_cycle`
+    // has passed), and a ready entry is issuable: both are progress.
+    if !lane.ready.is_empty()
+        || lane
+            .rob
+            .front(lane.s.head_seq)
+            .is_some_and(|e| e.state == EntryState::Done)
+    {
+        return false;
+    }
+    // Dispatch: replicate the serial gate order exactly. A front that
+    // is past rename with free structures would dispatch — no skip. A
+    // structurally stalled front charges its stall counter every
+    // skipped cycle; a pre-rename front wakes the lane when it matures.
+    let mut stall = None;
+    let mut wake = u64::MAX;
+    if let Some(front) = lane.fetch_queue.front() {
+        if front.rename_ready > now0 {
+            wake = front.rename_ready;
+        } else if lane.rob.len() >= lane.rob_size {
+            stall = Some(Stall::Rob);
+        } else if lane.s.iq_count >= lane.iq_size {
+            stall = Some(Stall::Iq);
+        } else if window.instrs[front.seq as usize - window.start].op.is_mem()
+            && lane.s.lsq_count >= lane.lsq_size
+        {
+            stall = Some(Stall::Lsq);
+        } else {
+            return false;
+        }
+    }
+    // Fetch: blocked on a mispredicted branch, gated until
+    // `fetch_available`, out of queue space, or out of trace — anything
+    // else would fetch (or at least probe the I-cache) this cycle.
+    let can_fetch_later = lane.s.pos - window.start < window.instrs.len()
+        && lane.fetch_queue.len() < lane.fq_capacity;
+    if lane.s.fetch_blocked_on.is_none() {
+        if now0 < lane.s.fetch_available {
+            if can_fetch_later {
+                wake = wake.min(lane.s.fetch_available);
+            }
+        } else if can_fetch_later {
+            return false;
+        }
+    }
+    let mut now = now0;
+    loop {
+        let cmin = lane.completions.min_cycle();
+        let target = cmin.min(wake);
+        if target == u64::MAX {
+            // Nothing scheduled to change the lane's state: either the
+            // lane is finished (the caller's loop condition catches that
+            // after one cycle) or the serial engine would spin here too.
+            // Run a real cycle rather than guessing.
+            break;
+        }
+        debug_assert!(target > now);
+        let skipped = target - now;
+        lane.stats.rob_occupancy_sum += lane.rob.len() as u64 * skipped;
+        match stall {
+            Some(Stall::Rob) => lane.stats.rob_full_cycles += skipped,
+            Some(Stall::Iq) => lane.stats.iq_full_cycles += skipped,
+            Some(Stall::Lsq) => lane.stats.lsq_full_cycles += skipped,
+            None => {}
+        }
+        now = target;
+        lane.s.now = target;
+        if cmin >= wake {
+            // Arrived where dispatch or fetch becomes able to progress
+            // (their gates cannot close during a skip); completions due
+            // at this same cycle are drained by the executed cycle.
+            return true;
+        }
+        // Retire the completions due at `cmin`. An impure one makes
+        // this cycle productive — execute it (the records are already
+        // applied, exactly as the serial engine's completion stage
+        // would have at the top of this cycle).
+        if drain_completions(lane, cmin) {
+            return true;
+        }
+        // A completion may have restarted fetch: the gate reopens at
+        // `cmin + 1` (never at `cmin` itself), so fold the new
+        // `fetch_available` into the wake-up instead of executing here.
+        if lane.s.fetch_blocked_on.is_none() && lane.s.fetch_available > now && can_fetch_later {
+            wake = wake.min(lane.s.fetch_available);
+        }
+    }
+    now > now0
+}
+
+/// Marks finished executions done and wakes their dependents.
+#[inline(always)]
+fn process_completions(lane: &mut LaneView<'_>) {
+    if lane.completions.min_cycle() > lane.s.now {
+        return;
+    }
+    let now = lane.s.now;
+    drain_completions(lane, now);
+}
+
+/// Drains every completion due at `now`, marking slots Done, restarting
+/// fetch after resolved mispredicts, and waking registered dependents.
+///
+/// Returns whether any drained completion was *impure* — it readied a
+/// dependent or completed the ROB head — i.e. whether the serial engine
+/// could make stage progress in this cycle because of it. (A fetch
+/// restart is pure on its own: fetching resumes no earlier than the
+/// next cycle.)
+#[inline(always)]
+fn drain_completions(lane: &mut LaneView<'_>, now: u64) -> bool {
+    let mut due = std::mem::take(lane.due);
+    lane.completions.drain_due(now, &mut due);
+    let mask = lane.rob.mask;
+    let mut impure = false;
+    for &seq in &due {
+        let idx = (seq & mask) as usize;
+        {
+            // A completing seq is always still in flight: nothing
+            // squashes in a trace-driven model, and commit never
+            // retires an entry that has not completed.
+            let e = &mut lane.rob.slots[idx];
+            debug_assert!(e.seq == seq && e.state == EntryState::Issued);
+            e.state = EntryState::Done;
+        }
+        impure |= seq == lane.s.head_seq;
+        // A resolved mispredicted branch restarts fetch.
+        if lane.s.fetch_blocked_on == Some(seq) {
+            lane.s.fetch_blocked_on = None;
+            lane.s.fetch_available = (lane.s.fetch_available).max(now + 1);
+            lane.s.last_fetch_line = u64::MAX; // redirect: new line
+        }
+        // `slots` and `waiters` are distinct fields, so the wake loop
+        // reads one while mutating the other without moving either.
+        let Rob { slots, waiters, .. } = &mut *lane.rob;
+        for &w in &waiters[idx] {
+            // A dependent can neither issue nor retire before its
+            // producer completes, so it is still in flight too.
+            let dep = &mut slots[(w & mask) as usize];
+            debug_assert_eq!(dep.seq, w);
+            dep.pending_deps -= 1;
+            if dep.pending_deps == 0 && dep.state == EntryState::Waiting {
+                lane.ready.insert(w);
+                impure = true;
+            }
+        }
+        waiters[idx].clear();
+    }
+    due.clear();
+    *lane.due = due;
+    impure
+}
+
+/// Retires completed instructions in order.
+#[inline(always)]
+fn commit(lane: &mut LaneView<'_>, shared: &Shared, window: &Window<'_>) {
+    let now = lane.s.now;
+    for _ in 0..shared.width {
+        let head_seq = lane.s.head_seq;
+        let Some(head) = lane.rob.front(head_seq) else {
+            break;
+        };
+        if head.state != EntryState::Done || head.done_cycle > now {
+            break;
+        }
+        // In-flight seqs always sit inside the resident window (the
+        // previous chunk is kept for exactly this reason).
+        debug_assert!(head_seq as usize >= window.start);
+        let instr = &window.instrs[head_seq as usize - window.start];
+        let op = instr.op;
+        // Retire: advance the head; the slot stays resident. The
+        // per-class tally is a branchless array bump, folded into the
+        // named counters at finalize.
+        lane.rob.len -= 1;
+        lane.s.head_seq += 1;
+        lane.op_counts[op as usize] += 1;
+        if op.is_mem() {
+            lane.s.lsq_count -= 1;
+            if op == Op::Store {
+                // The store writes its line at commit; this updates
+                // cache state and charges bank/bus occupancy, but
+                // does not stall commit (write buffering).
+                let _ = lane.hierarchy.data_access(now, instr.mem_addr);
+            }
+        }
+    }
+}
+
+/// Wakeup-select: issues ready instructions oldest-first, subject to
+/// issue width and per-class functional-unit quotas.
+///
+/// Walks the ready bitset in sequence order from the ROB head, so
+/// selection order matches the serial engine's min-heap; an entry whose
+/// functional-unit class is already saturated simply stays set.
+#[inline(always)]
+fn issue(lane: &mut LaneView<'_>, shared: &Shared, window: &Window<'_>) {
+    if lane.ready.is_empty() {
+        return;
+    }
+    let mut quotas = shared.quotas;
+    let mut issued = 0;
+    let head_seq = lane.s.head_seq;
+    let mask = lane.rob.mask;
+    let len = lane.rob.len as u64;
+    let mut offset = 0u64;
+    'scan: while offset < len && !lane.ready.is_empty() {
+        // One bitset word's worth of in-flight slots, oldest first,
+        // clamped to the ring's wrap point (rings smaller than a word
+        // wrap mid-word).
+        let seq0 = head_seq + offset;
+        let p = (seq0 & mask) as usize;
+        let span = (64 - (p & 63) as u64)
+            .min(len - offset)
+            .min(mask + 1 - (p as u64));
+        let mut word = lane.ready.words[p >> 6] >> (p & 63);
+        if span < 64 {
+            word &= (1u64 << span) - 1;
+        }
+        while word != 0 {
+            let seq = seq0 + u64::from(word.trailing_zeros());
+            word &= word - 1; // clear lowest candidate bit (local copy)
+            let idx = (seq & mask) as usize;
+            let fwd_src = {
+                let e = &lane.rob.slots[idx];
+                debug_assert!(
+                    e.seq == seq && e.state == EntryState::Waiting && e.pending_deps == 0
+                );
+                e.fwd_src
+            };
+            let instr = &window.instrs[seq as usize - window.start];
+            let (op, addr) = (instr.op, instr.mem_addr);
+            let class = class_of(op);
+            if quotas[class] == 0 {
+                continue; // deferred: the ready bit stays set
+            }
+            quotas[class] -= 1;
+            issued += 1;
+            lane.ready.remove(seq);
+
+            let now = lane.s.now;
+            let done_cycle = match op {
+                Op::IntAlu | Op::Branch | Op::Store => now + 1,
+                Op::IntMul => now + shared.int_mul_lat,
+                Op::FpAlu => now + shared.fp_alu_lat,
+                Op::FpMul => now + shared.fp_mul_lat,
+                Op::Load => {
+                    if fwd_src != u64::MAX {
+                        // The producing store has executed (we depended
+                        // on it); forward at L1 latency without a cache
+                        // port round trip.
+                        debug_assert!(lane
+                            .rob
+                            .get(head_seq, fwd_src)
+                            .is_none_or(|s| s.state != EntryState::Waiting));
+                        lane.stats.forwarded_loads += 1;
+                        now + lane.dl1_lat
+                    } else {
+                        lane.hierarchy.data_access(now, addr).complete
+                    }
+                }
+            };
+            let e = &mut lane.rob.slots[idx];
+            e.state = EntryState::Issued;
+            e.done_cycle = done_cycle;
+            lane.s.iq_count -= 1;
+            lane.completions.push(now, done_cycle, seq);
+            if issued == shared.width {
+                break 'scan;
+            }
+        }
+        offset += span;
+    }
+}
+
+/// Renames and dispatches fetched instructions into the window.
+#[inline(always)]
+fn dispatch(lane: &mut LaneView<'_>, shared: &Shared, window: &Window<'_>) {
+    let now = lane.s.now;
+    for _ in 0..shared.width {
+        let Some(front) = lane.fetch_queue.front() else {
+            break;
+        };
+        if front.rename_ready > now {
+            break;
+        }
+        if lane.rob.len() >= lane.rob_size {
+            lane.stats.rob_full_cycles += 1;
+            break;
+        }
+        if lane.s.iq_count >= lane.iq_size {
+            lane.stats.iq_full_cycles += 1;
+            break;
+        }
+        // The window keeps the previous chunk resident, so every queued
+        // seq is still addressable here (fq_capacity << CHUNK).
+        let idx = front.seq as usize - window.start;
+        let instr = &window.instrs[idx];
+        let fwd = window.fwd[idx];
+        let is_mem = instr.op.is_mem();
+        if is_mem && lane.s.lsq_count >= lane.lsq_size {
+            lane.stats.lsq_full_cycles += 1;
+            break;
+        }
+        // lint:allow(panic-path): front() was checked non-empty above.
+        let f = lane.fetch_queue.pop_front().expect("checked front");
+        let head_seq = lane.s.head_seq;
+        debug_assert_eq!(f.seq, head_seq + lane.rob.len() as u64);
+
+        // Register dependences via producer distance.
+        let mut pending_deps: u8 = 0;
+        for dist in [instr.src1_dist, instr.src2_dist] {
+            if dist == 0 {
+                continue;
+            }
+            let Some(producer) = f.seq.checked_sub(u64::from(dist)) else {
+                continue;
+            };
+            if lane
+                .rob
+                .get(head_seq, producer)
+                .is_some_and(|p| p.state != EntryState::Done)
+            {
+                lane.rob.waiters[(producer & lane.rob.mask) as usize].push(f.seq);
+                pending_deps += 1;
+            }
+        }
+
+        // Memory dependence: loads wait for the youngest older store to
+        // the same word (precomputed by the shared pass) and forward
+        // from it — iff that store is still in flight, which is exactly
+        // when the serial engine's store map would still hold it.
+        let mut fwd_src = u64::MAX;
+        if instr.op == Op::Load && fwd >= head_seq && fwd != u64::MAX {
+            fwd_src = fwd;
+            // Older than the load and uncommitted, so in the ROB.
+            let p = lane.rob.slot_mut(fwd);
+            debug_assert_eq!(p.seq, fwd);
+            if p.state != EntryState::Done {
+                lane.rob.waiters[(fwd & lane.rob.mask) as usize].push(f.seq);
+                pending_deps += 1;
+            }
+        }
+
+        if is_mem {
+            lane.s.lsq_count += 1;
+        }
+        lane.s.iq_count += 1;
+        let idx = (f.seq & lane.rob.mask) as usize;
+        debug_assert!(lane.rob.waiters[idx].is_empty());
+        lane.rob.slots[idx] = Slot {
+            seq: f.seq,
+            done_cycle: 0,
+            fwd_src,
+            state: EntryState::Waiting,
+            pending_deps,
+        };
+        lane.rob.len += 1;
+        if pending_deps == 0 {
+            lane.ready.insert(f.seq);
+        }
+    }
+}
+
+/// Brings instructions from the shared window into the front end.
+#[inline(always)]
+fn fetch(lane: &mut LaneView<'_>, shared: &Shared, window: &Window<'_>) {
+    if lane.s.fetch_blocked_on.is_some() || lane.s.now < lane.s.fetch_available {
+        return;
+    }
+    let now = lane.s.now;
+    for _ in 0..shared.width {
+        if lane.fetch_queue.len() >= lane.fq_capacity {
+            break;
+        }
+        let idx = lane.s.pos - window.start;
+        let Some(instr) = window.instrs.get(idx) else {
+            break;
+        };
+        // Instruction cache: one lookup per new line.
+        let line = instr.pc >> shared.line_bits;
+        if line != lane.s.last_fetch_line {
+            let outcome = lane.hierarchy.inst_access(now, instr.pc);
+            lane.s.last_fetch_line = line;
+            if !outcome.l1_hit {
+                // Fetch stalls until the line arrives; retry then.
+                lane.s.fetch_available = outcome.complete;
+                break;
+            }
+        }
+        let seq = lane.s.pos as u64;
+        lane.s.pos += 1;
+        // The shared pass computed this branch's outcome (and this
+        // load's forwarding source) already.
+        let mispredicted = window.flags[idx];
+        lane.fetch_queue.push_back(Fetched {
+            seq,
+            rename_ready: now + lane.front_depth,
+        });
+        if mispredicted {
+            // Stop fetching until the branch resolves.
+            lane.s.fetch_blocked_on = Some(seq);
+            break;
+        }
+        if instr.op == Op::Branch && instr.taken {
+            // Cannot fetch past a taken branch in the same cycle;
+            // the next fetch starts at the target's line.
+            lane.s.last_fetch_line = u64::MAX;
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Processor;
+
+    fn loop_pc(i: u64) -> u64 {
+        0x1000 + (i % 256) * 4
+    }
+
+    /// A trace mixing every op class with branches and memory traffic.
+    fn mixed_trace(len: u64) -> Vec<Instr> {
+        let mut rng = ppm_rng::Rng::seed_from_u64(99);
+        (0..len)
+            .map(|i| {
+                let pc = loop_pc(i);
+                let s1 = rng.below(8) as u32;
+                let s2 = rng.below(4) as u32;
+                match rng.below(10) {
+                    0..=2 => Instr::load(pc, rng.below(1 << 22) & !7, s1, s2),
+                    3 => Instr::store(pc, rng.below(1 << 22) & !7, s1, s2),
+                    4 => Instr::branch(pc, rng.chance(0.6), 0x1000 + rng.below(256) * 4, s1),
+                    5 => Instr::alu(Op::IntMul, pc, s1, s2),
+                    6 => Instr::alu(Op::FpAlu, pc, s1, s2),
+                    7 => Instr::alu(Op::FpMul, pc, s1, s2),
+                    _ => Instr::alu(Op::IntAlu, pc, s1, s2),
+                }
+            })
+            .collect()
+    }
+
+    fn serial(config: &SimConfig, trace: &[Instr]) -> SimStats {
+        Processor::new(config.clone()).run(trace.iter().copied())
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        assert!(matches!(
+            BatchProcessor::new(vec![]),
+            Err(BatchError::Empty)
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_with_its_index() {
+        let bad = SimConfig {
+            rob_size: 1,
+            ..SimConfig::default()
+        };
+        let err = BatchProcessor::new(vec![SimConfig::default(), bad]).unwrap_err();
+        match err {
+            BatchError::InvalidConfig { index, .. } => assert_eq!(index, 1),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        assert!(err.to_string().contains("configuration 1"));
+    }
+
+    #[test]
+    fn heterogeneous_fixed_machines_are_rejected() {
+        let mut other = SimConfig::default();
+        other.fixed.width = 8;
+        let err = BatchProcessor::new(vec![SimConfig::default(), other]).unwrap_err();
+        assert!(matches!(
+            err,
+            BatchError::HeterogeneousFixedMachine { index: 1 }
+        ));
+        assert!(err.to_string().contains("fixed machine"));
+    }
+
+    #[test]
+    fn single_lane_matches_serial() {
+        let trace = mixed_trace(8_000);
+        let config = SimConfig::default();
+        let batched = BatchProcessor::new(vec![config.clone()])
+            .unwrap()
+            .run(trace.iter().copied());
+        assert_eq!(batched[0], serial(&config, &trace));
+    }
+
+    #[test]
+    fn empty_trace_finishes_every_lane_immediately() {
+        let configs = vec![SimConfig::default(); 3];
+        let batched = BatchProcessor::new(configs)
+            .unwrap()
+            .run(std::iter::empty());
+        for stats in batched {
+            assert_eq!(stats.instructions, 0);
+            assert_eq!(stats.cycles, 0);
+        }
+    }
+
+    #[test]
+    fn divergent_design_points_match_their_serial_runs() {
+        // Configurations chosen to maximize lane divergence: tiny vs
+        // huge windows, shallow vs deep pipes, cold vs warm caches.
+        let trace = mixed_trace(20_000);
+        let configs: Vec<SimConfig> = [
+            (7u32, 24u32, 8u32, 1u32),
+            (14, 76, 32, 2),
+            (24, 128, 64, 4),
+            (10, 48, 16, 3),
+        ]
+        .iter()
+        .map(|&(depth, rob, dl1, lat)| {
+            SimConfig::builder()
+                .pipe_depth(depth)
+                .rob_size(rob)
+                .dl1_size_kb(dl1)
+                .dl1_lat(lat)
+                .build()
+                .unwrap()
+        })
+        .collect();
+        let batched = BatchProcessor::new(configs.clone())
+            .unwrap()
+            .run(trace.iter().copied());
+        for (l, config) in configs.iter().enumerate() {
+            assert_eq!(batched[l], serial(config, &trace), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_leak_into_timing() {
+        // A trace a little over one chunk forces a window slide right
+        // where a fetch group can straddle the barrier.
+        let trace = mixed_trace(CHUNK as u64 + 37);
+        let configs = vec![
+            SimConfig::builder().rob_size(24).build().unwrap(),
+            SimConfig::builder().rob_size(128).build().unwrap(),
+        ];
+        let batched = BatchProcessor::new(configs.clone())
+            .unwrap()
+            .run(trace.iter().copied());
+        for (l, config) in configs.iter().enumerate() {
+            assert_eq!(batched[l], serial(config, &trace), "lane {l}");
+        }
+    }
+}

@@ -305,6 +305,16 @@ impl SimConfig {
             "power of two",
         )?;
         check(self.fixed.mshrs >= 1, "mshrs", "at least 1")?;
+        check(
+            self.fixed.gshare_history <= 32,
+            "gshare_history",
+            "at most 32 bits",
+        )?;
+        check(
+            self.fixed.predictor == PredictorKind::Bimodal || self.fixed.gshare_history >= 1,
+            "gshare_history",
+            "at least 1 bit for history-based predictors",
+        )?;
         Ok(())
     }
 }
@@ -447,6 +457,43 @@ mod tests {
     #[test]
     fn dl1_lat_must_be_below_l2_lat() {
         assert!(SimConfig::builder().dl1_lat(6).l2_lat(5).build().is_err());
+    }
+
+    #[test]
+    fn gshare_history_bounds_are_validated() {
+        // Bimodal never consults the history register, so zero bits is
+        // fine there — the default machine relies on it.
+        let bimodal = FixedMachine {
+            predictor: PredictorKind::Bimodal,
+            gshare_history: 0,
+            ..FixedMachine::default()
+        };
+        assert!(SimConfig::builder().fixed(bimodal).build().is_ok());
+        // History-based predictors need at least one bit: a zero-history
+        // gshare silently degenerates to bimodal, which is exactly the
+        // misconfiguration validate exists to reject.
+        for kind in [PredictorKind::Gshare, PredictorKind::Tournament] {
+            let zero = FixedMachine {
+                predictor: kind,
+                gshare_history: 0,
+                ..FixedMachine::default()
+            };
+            let err = SimConfig::builder().fixed(zero).build().unwrap_err();
+            assert!(err.to_string().contains("gshare_history"), "{err}");
+            let one = FixedMachine {
+                predictor: kind,
+                gshare_history: 1,
+                ..FixedMachine::default()
+            };
+            assert!(SimConfig::builder().fixed(one).build().is_ok());
+        }
+        // The history register is 64-bit but capped at 32 bits of use.
+        let oversized = FixedMachine {
+            predictor: PredictorKind::Gshare,
+            gshare_history: 33,
+            ..FixedMachine::default()
+        };
+        assert!(SimConfig::builder().fixed(oversized).build().is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! assert!(stats.cpi() < 1.0); // superscalar issue beats 1 IPC
 //! ```
 
+mod batch;
 mod bpred;
 mod cache;
 mod config;
@@ -46,6 +47,7 @@ mod pipeline;
 mod stats;
 mod trace;
 
+pub use batch::{BatchError, BatchProcessor};
 pub use bpred::{BranchPredictor, Btb, Gshare, PredictorKind};
 pub use cache::{Cache, CacheStats, ReplacementPolicy};
 pub use config::{ConfigError, FixedMachine, SimConfig, SimConfigBuilder};

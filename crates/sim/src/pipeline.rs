@@ -18,8 +18,10 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::{BranchPredictor, CpiError, Hierarchy, Instr, Op, SimConfig, SimStats, TraceSource};
 
+/// Execution state of a ROB entry. Shared with the batched engine
+/// (`crate::batch`) so both kernels agree on the state machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EntryState {
+pub(crate) enum EntryState {
     /// Waiting for operands or not yet picked.
     Waiting,
     /// Executing; `done_cycle` is set.
@@ -28,24 +30,27 @@ enum EntryState {
     Done,
 }
 
+/// One in-flight instruction in the reorder buffer. Shared with the
+/// batched engine so per-lane windows carry identical state.
 #[derive(Debug)]
-struct RobEntry {
-    instr: Instr,
-    seq: u64,
-    state: EntryState,
-    pending_deps: u8,
-    done_cycle: u64,
+pub(crate) struct RobEntry {
+    pub(crate) instr: Instr,
+    pub(crate) seq: u64,
+    pub(crate) state: EntryState,
+    pub(crate) pending_deps: u8,
+    pub(crate) done_cycle: u64,
     /// For loads: the store seq to forward from, if any.
-    forward_from: Option<u64>,
+    pub(crate) forward_from: Option<u64>,
     /// Dependents to wake when this entry completes.
-    waiters: Vec<u64>,
+    pub(crate) waiters: Vec<u64>,
 }
 
+/// A fetched-but-not-dispatched instruction in the front-end queue.
 #[derive(Debug)]
-struct FetchedInstr {
-    seq: u64,
-    instr: Instr,
-    rename_ready: u64,
+pub(crate) struct FetchedInstr {
+    pub(crate) seq: u64,
+    pub(crate) instr: Instr,
+    pub(crate) rename_ready: u64,
 }
 
 /// The processor: couples the execution engine with a memory hierarchy
@@ -82,10 +87,12 @@ impl Processor {
             // at the API boundary. lint:allow(panic-path)
             .expect("Processor::new requires a valid configuration");
         let hierarchy = Hierarchy::new(&config);
+        // `gshare_history` is bounds-checked by `validate` above (>= 1
+        // for history-based predictors), so no clamp is needed here.
         let bpred = BranchPredictor::with_kind(
             config.fixed.predictor,
             config.fixed.gshare_entries,
-            config.fixed.gshare_history.max(1),
+            config.fixed.gshare_history,
             config.fixed.btb_entries,
         );
         Processor {
@@ -139,8 +146,10 @@ impl Processor {
 }
 
 /// Adds one finished run's statistics to the global telemetry counters,
-/// in bulk so the per-cycle loop stays untouched.
-fn record_run_telemetry(stats: &SimStats) {
+/// in bulk so the per-cycle loop stays untouched. The batched engine
+/// calls this once per lane, keeping `sim.*` counters identical to N
+/// serial runs.
+pub(crate) fn record_run_telemetry(stats: &SimStats) {
     ppm_telemetry::counter("sim.runs").inc();
     ppm_telemetry::counter("sim.instructions").add(stats.instructions);
     ppm_telemetry::counter("sim.cycles").add(stats.cycles);
@@ -188,7 +197,9 @@ struct Engine {
     fixed_lat: (u64, u64, u64, u64),
 }
 
-fn class_of(op: Op) -> usize {
+/// Functional-unit class of an op, indexing the per-cycle issue quotas
+/// `[int_alu, int_mul, fp_alu, fp_mul, mem]`.
+pub(crate) fn class_of(op: Op) -> usize {
     match op {
         Op::IntAlu | Op::Branch => 0,
         Op::IntMul => 1,

@@ -52,6 +52,22 @@ target/release/ppm bench-export --ledger "$smoke_dir/ledger.json" \
 target/release/ppm bench-export --ledger "$smoke_dir/ledger.json" \
   --stage total --bench build_total --out results/BENCH_build_total.json
 
+echo "== batched simulation: equivalence smoke + perf history =="
+# `ppm simulate --batch` runs a 32-point design sample in one batched
+# trace pass, then cross-checks every lane against a serial run of the
+# same configuration and exits 3 on any divergence — so this one
+# invocation is the byte-identity gate. Its ledger carries both wall
+# times; exporting them refreshes the batched-vs-serial perf history
+# (the speedup is the quotient of the two records).
+target/release/ppm simulate --benchmark mcf --batch 32 --seed 7 --quiet \
+  --ledger-out "$smoke_dir/batch-ledger.json" > "$smoke_dir/batch.out"
+grep -q "identical" "$smoke_dir/batch.out" \
+  || { echo "batched simulate reported no cross-check"; exit 1; }
+target/release/ppm bench-export --ledger "$smoke_dir/batch-ledger.json" \
+  --stage stage.simulate_batch --bench sim_batch --out results/BENCH_sim_batch.json
+target/release/ppm bench-export --ledger "$smoke_dir/batch-ledger.json" \
+  --stage stage.simulate_serial --bench sim_serial --out results/BENCH_sim_serial.json
+
 echo "== serving plane: publish + serve smoke + loadtest SLO gate =="
 # Publish the smoke model into a scratch registry and prove the serving
 # behaviours end to end against a real `ppm serve` process: one
@@ -103,6 +119,26 @@ target/release/ppm loadtest "$addr" --requests 200 --concurrency 4 \
 
 http_request POST /quitz "$addr" > /dev/null
 wait "$serve_pid"
+
+# SLO honesty drill: a shed-everything server (--queue 0) refuses every
+# request in microseconds. The gate must FAIL (exit 5) because there are
+# zero successful samples — not pass on a vacuous p99 of 0 ms.
+target/release/ppm serve 127.0.0.1:0 --registry "$smoke_dir/registry" \
+  --queue 0 2> "$smoke_dir/serve-shed.log" &
+serve_pid=$!
+addr=$(serve_addr "$smoke_dir/serve-shed.log")
+[ -n "$addr" ] || { echo "shed-all serve never announced an address"; exit 1; }
+if target/release/ppm loadtest "$addr" --requests 40 --concurrency 2 \
+  --slo-p99-ms 500 --quiet > "$smoke_dir/shed-loadtest.out" 2>&1; then
+  echo "SLO gate passed vacuously against a shed-all server"; exit 1
+else
+  code=$?
+  [ "$code" -eq 5 ] || { echo "SLO drill: expected exit 5, got $code"; \
+    cat "$smoke_dir/shed-loadtest.out"; exit 1; }
+fi
+# /quitz is shed like everything else in drill mode; stop it directly.
+kill "$serve_pid"
+wait "$serve_pid" || true
 
 # Overload drill: --degrade-depth 0 forces every prediction through the
 # analytical estimator, flagged as degraded.

@@ -364,10 +364,18 @@ fn loadtest(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
     writeln!(out, "errors             {}", report.errors).map_err(msg)?;
     writeln!(
         out,
-        "latency ms         p50 {:.2}  p95 {:.2}  p99 {:.2}  mean {:.2}",
+        "ok latency ms      p50 {:.2}  p95 {:.2}  p99 {:.2}  mean {:.2}",
         report.p50_ms, report.p95_ms, report.p99_ms, report.mean_ms
     )
     .map_err(msg)?;
+    if report.shed + report.deadline_exceeded > 0 {
+        writeln!(
+            out,
+            "refusal latency ms p50 {:.2}  p99 {:.2}  mean {:.2}",
+            report.refusal_p50_ms, report.refusal_p99_ms, report.refusal_mean_ms
+        )
+        .map_err(msg)?;
+    }
     writeln!(
         out,
         "wall               {:.0} ms ({:.0} req/s)",
@@ -383,6 +391,18 @@ fn loadtest(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         let slo: f64 = slo
             .parse()
             .map_err(|_| CliError::Usage(format!("--slo-p99-ms wants a number, got {slo:?}")))?;
+        // The SLO is a claim about successful answers. With zero of
+        // them there is no p99 to compare — a service shedding
+        // everything in microseconds must fail the gate, not pass it
+        // with a vacuous 0 ms.
+        if report.ok == 0 {
+            return Err(CliError::Regression(format!(
+                "SLO gate has no evidence: 0 of {} requests succeeded \
+                 ({} shed, {} deadline-exceeded, {} errors); refusing to \
+                 pass on an unmeasurable p99",
+                report.sent, report.shed, report.deadline_exceeded, report.errors
+            )));
+        }
         if report.p99_ms > slo {
             return Err(CliError::Regression(format!(
                 "p99 latency {:.2} ms exceeds the {slo} ms SLO",
@@ -455,6 +475,9 @@ fn benchmarks(out: &mut dyn fmt::Write) -> Result<(), CliError> {
 }
 
 fn simulate(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    if parsed.get("--batch").is_some() {
+        return simulate_batch(parsed, out);
+    }
     let bench = benchmark_arg(parsed)?;
     let config = config_from(parsed)?;
     let instructions: usize = parsed.num("--instructions", 100_000)?;
@@ -480,6 +503,93 @@ fn simulate(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         writeln!(out, "EPI            {:.4}", e.epi()).map_err(msg)?;
         writeln!(out, "EDP            {:.4}", e.edp()).map_err(msg)?;
     }
+    Ok(())
+}
+
+/// `ppm simulate --batch <n>`: simulate an n-point Latin-hypercube
+/// sample of the Table 1 design space in one batched trace pass, then
+/// cross-check every lane against a serial run of the same
+/// configuration. A statistics mismatch is a simulation fault (exit
+/// code 3) — the batched engine's contract is byte-identical results,
+/// not approximately-equal ones. Both wall times land in the run ledger
+/// (`stage.simulate_batch` / `stage.simulate_serial`) so the speedup is
+/// diffable by the regression sentry.
+fn simulate_batch(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let bench = benchmark_arg(parsed)?;
+    let lanes: usize = parsed.num("--batch", 0usize)?;
+    if lanes == 0 {
+        return Err(CliError::Usage(
+            "--batch wants at least one configuration".to_string(),
+        ));
+    }
+    let instructions: usize = parsed.num("--instructions", 100_000)?;
+    let seed: u64 = parsed.num("--seed", 1u64)?;
+    let space = DesignSpace::paper_table1();
+    let mut rng = ppm_rng::Rng::seed_from_u64(seed);
+    let design = ppm_sampling::lhs::LatinHypercube::new(space.params(), lanes).generate(&mut rng);
+    let configs: Vec<SimConfig> = design.iter().map(|u| space.to_config(u)).collect();
+    let batch = ppm_sim::BatchProcessor::new(configs.clone())
+        .map_err(|e| CliError::Simulation(BuildError::InvalidConfig(e.to_string())))?;
+
+    let wall = std::time::Instant::now();
+    let batched = {
+        let _span = ppm_telemetry::span("stage.simulate_batch");
+        batch.run(TraceGenerator::new(bench, seed).take(instructions))
+    };
+    let batch_ms = wall.elapsed().as_secs_f64() * 1000.0;
+
+    let wall = std::time::Instant::now();
+    let serial: Vec<_> = {
+        let _span = ppm_telemetry::span("stage.simulate_serial");
+        configs
+            .iter()
+            .map(|c| {
+                Processor::new(c.clone()).run(TraceGenerator::new(bench, seed).take(instructions))
+            })
+            .collect()
+    };
+    let serial_ms = wall.elapsed().as_secs_f64() * 1000.0;
+
+    for (lane, (b, s)) in batched.iter().zip(&serial).enumerate() {
+        if b != s {
+            return Err(CliError::Simulation(BuildError::InvalidConfig(format!(
+                "batched lane {lane} diverged from its serial run \
+                 (batched CPI {:.6}, serial CPI {:.6}): the shared-trace \
+                 invariant is broken",
+                b.cpi(),
+                s.cpi()
+            ))));
+        }
+    }
+
+    writeln!(out, "benchmark      {bench}").map_err(msg)?;
+    writeln!(out, "lanes          {lanes}").map_err(msg)?;
+    writeln!(out, "instructions   {instructions}").map_err(msg)?;
+    writeln!(
+        out,
+        "{:<5} {:>6} {:>5} {:>7} {:>8} {:>8} {:>9}",
+        "lane", "depth", "rob", "dl1_kb", "CPI", "IPC", "identical"
+    )
+    .map_err(msg)?;
+    for (lane, (config, stats)) in configs.iter().zip(&batched).enumerate() {
+        writeln!(
+            out,
+            "{lane:<5} {:>6} {:>5} {:>7} {:>8.4} {:>8.4} {:>9}",
+            config.pipe_depth,
+            config.rob_size,
+            config.dl1_size_kb,
+            stats.cpi(),
+            stats.ipc(),
+            "yes"
+        )
+        .map_err(msg)?;
+    }
+    writeln!(
+        out,
+        "wall           batch {batch_ms:.0} ms, serial {serial_ms:.0} ms ({:.2}x)",
+        serial_ms / batch_ms
+    )
+    .map_err(msg)?;
     Ok(())
 }
 

@@ -65,7 +65,10 @@ USAGE:
 
 COMMANDS:
   benchmarks                     list available workload surrogates
-  simulate    --benchmark <b>    run one detailed simulation
+  simulate    --benchmark <b>    run one detailed simulation, or a whole
+              [--batch <n>]      design-space sample in one trace pass
+                                 (each lane cross-checked against a
+                                 serial run of the same configuration)
   build       --benchmark <b> --out <file>
                                  build an RBF model (simulates a sample)
   predict     --model <file>     evaluate a saved model at a configuration
@@ -113,6 +116,8 @@ OTHER FLAGS:
                       (default: PPM_THREADS or machine parallelism; the
                       built model is identical for any value)
   --energy            also report the energy estimate (simulate)
+  --batch <n>         simulate an n-point Latin-hypercube sample of the
+                      Table 1 space in one batched trace pass (simulate)
 
 FAULT-TOLERANCE FLAGS (`build`):
   --checkpoint <f>    journal completed simulations to <f> (crash-safe)
@@ -129,7 +134,8 @@ SERVING FLAGS (`serve`):
   --registry <dir>    model registry (default registry/)
   --benchmark <b>     serve analytically when no model loads (degraded)
   --workers <n>       prediction workers (default 4)
-  --queue <n>         queue slots per worker; full queues shed (default 8)
+  --queue <n>         queue slots per worker; full queues shed (default 8;
+                      0 = shed-all drill mode: every request refused)
   --deadline-ms <n>   default request deadline (default 250)
   --max-deadline-ms <n>  cap on client ?deadline_ms= requests (default 5000)
   --degrade-depth <n> queue depth that degrades predictions to the

@@ -1,0 +1,196 @@
+//! Acceptance tests for batched multi-config simulation.
+//!
+//! The batched engine's whole contract is *byte-identical* statistics:
+//! `BatchProcessor` must produce exactly the `SimStats` that N serial
+//! `Processor` runs would, for any lane count, any workload profile,
+//! and any valid configuration mix — sharing the trace pass is an
+//! execution strategy, never a semantic change. These tests sweep that
+//! contract across every benchmark surrogate and random design points,
+//! and pin the CLI surfaces that ride on it: `ppm simulate --batch`
+//! cross-checks lanes against serial runs, and the loadtest SLO gate
+//! refuses to pass vacuously against a shed-everything service (a storm
+//! of fast 503s is not a met latency objective).
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use ppm_core::space::DesignSpace;
+use ppm_rng::Rng;
+use ppm_sim::{BatchProcessor, Processor, SimConfig};
+use ppm_workload::{Benchmark, TraceGenerator};
+
+const TRACE_LEN: usize = 12_000;
+
+/// A random unit point in the 9-dimensional Table 1 space.
+fn random_unit(rng: &mut Rng, dim: usize) -> Vec<f64> {
+    (0..dim).map(|_| rng.unit_f64()).collect()
+}
+
+/// Serial reference: one `Processor` per configuration, regenerating
+/// the trace each time, exactly as `SimulatorResponse::eval` does.
+fn serial_stats(configs: &[SimConfig], bench: Benchmark, seed: u64) -> Vec<ppm_sim::SimStats> {
+    configs
+        .iter()
+        .map(|c| Processor::new(c.clone()).run(TraceGenerator::new(bench, seed).take(TRACE_LEN)))
+        .collect()
+}
+
+#[test]
+fn batched_stats_are_byte_identical_across_all_profiles_and_lane_counts() {
+    let space = DesignSpace::paper_table1();
+    let mut rng = Rng::seed_from_u64(0xBA7C4);
+    for (b, &bench) in Benchmark::all().iter().enumerate() {
+        let seed = 1 + b as u64;
+        let configs: Vec<SimConfig> = (0..8)
+            .map(|_| space.to_config(&random_unit(&mut rng, space.dim())))
+            .collect();
+        let serial = serial_stats(&configs, bench, seed);
+        for lanes in [1usize, 2, 8] {
+            let batch = BatchProcessor::new(configs[..lanes].to_vec()).unwrap();
+            let batched = batch.run(TraceGenerator::new(bench, seed).take(TRACE_LEN));
+            assert_eq!(batched.len(), lanes);
+            for (lane, (got, want)) in batched.iter().zip(&serial[..lanes]).enumerate() {
+                assert_eq!(
+                    got, want,
+                    "{bench} lane {lane} of {lanes} diverged from serial \
+                     (config {:?})",
+                    configs[lane]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_handles_duplicate_and_extreme_configs() {
+    let space = DesignSpace::paper_table1();
+    // Corners of the space plus a duplicated mid-point: duplicate lanes
+    // must not share or interfere with each other's state.
+    let mid = space.to_config(&[0.5; 9]);
+    let configs = vec![
+        space.to_config(&[0.0; 9]),
+        space.to_config(&[1.0; 9]),
+        mid.clone(),
+        mid,
+    ];
+    let serial = serial_stats(&configs, Benchmark::Twolf, 3);
+    let batched = BatchProcessor::new(configs)
+        .unwrap()
+        .run(TraceGenerator::new(Benchmark::Twolf, 3).take(TRACE_LEN));
+    assert_eq!(batched, serial);
+    assert_eq!(batched[2], batched[3], "identical lanes, identical stats");
+}
+
+#[test]
+fn simulate_batch_cli_reports_identical_lanes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ppm"))
+        .args([
+            "simulate",
+            "--benchmark",
+            "mcf",
+            "--batch",
+            "3",
+            "--instructions",
+            "20000",
+            "--no-ledger",
+            "--quiet",
+        ])
+        .output()
+        .expect("ppm simulate --batch runs");
+    assert!(
+        out.status.success(),
+        "simulate --batch failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lanes          3"), "{stdout}");
+    // One cross-checked row per lane.
+    assert_eq!(stdout.matches("yes").count(), 3, "{stdout}");
+    assert!(stdout.contains("wall"), "{stdout}");
+}
+
+/// Kills the serve child on drop so a failing assertion cannot leak a
+/// running service.
+struct Reaped(Child);
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns a shed-everything service (`--queue 0`) and returns the child
+/// plus its bound address, parsed from the stderr banner.
+fn spawn_shed_all_serve() -> (Reaped, String) {
+    let registry = std::env::temp_dir()
+        .join(format!("ppm-simbatch-shed-{}", std::process::id()))
+        .join("registry");
+    let child = Command::new(env!("CARGO_BIN_EXE_ppm"))
+        .args([
+            "serve",
+            "127.0.0.1:0",
+            "--queue",
+            "0",
+            "--benchmark",
+            "ammp",
+            "--registry",
+        ])
+        .arg(&registry)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("ppm serve spawns");
+    let mut child = Reaped(child);
+    let stderr = child.0.stderr.take().expect("stderr piped");
+    let lines = BufReader::new(stderr).lines();
+    // Skip warnings (e.g. the analytical-only registry notice) until
+    // the listening banner names the bound address.
+    for line in lines {
+        let line = line.expect("stderr reads");
+        if let Some(addr) = line.strip_prefix("[ppm serve] listening on http://") {
+            return (child, addr.trim().to_string());
+        }
+    }
+    panic!("serve never printed its listening banner");
+}
+
+#[test]
+fn slo_gate_fails_loud_against_a_fully_shedding_service() {
+    let (_serve, addr) = spawn_shed_all_serve();
+    // Give the accept loop a beat to come up.
+    std::thread::sleep(Duration::from_millis(50));
+    let out = Command::new(env!("CARGO_BIN_EXE_ppm"))
+        .args([
+            "loadtest",
+            &addr,
+            "--requests",
+            "20",
+            "--concurrency",
+            "2",
+            "--slo-p99-ms",
+            "1000",
+            "--no-ledger",
+            "--quiet",
+        ])
+        .output()
+        .expect("ppm loadtest runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // Every request is refused fast — well under the 1000ms SLO — and
+    // that must FAIL the gate (exit 5), not pass it with p99 = 0 ms.
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("no evidence") && stderr.contains("0 of 20"),
+        "the refusal must say why:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    // The report still separates refusal latency from (absent) OK
+    // latency instead of blending them.
+    assert!(stdout.contains("refusal latency"), "{stdout}");
+    assert!(stdout.contains("ok                 0"), "{stdout}");
+}
