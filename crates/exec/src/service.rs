@@ -102,6 +102,27 @@ impl<T: Send + 'static> ServicePool<T> {
     where
         F: Fn(T) + Send + Clone + 'static,
     {
+        Self::with_worker_ids(label, workers, queue_per_worker, move |_w, item| {
+            handler(item)
+        })
+    }
+
+    /// Like [`ServicePool::new`], but the handler also receives the
+    /// worker's shard index (`0..workers`) with each item — request
+    /// tracing uses it to record which lane served a request.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ServicePool::new`].
+    pub fn with_worker_ids<F>(
+        label: &str,
+        workers: usize,
+        queue_per_worker: usize,
+        handler: F,
+    ) -> Result<Self, ExecError>
+    where
+        F: Fn(usize, T) + Send + Clone + 'static,
+    {
         if workers == 0 || queue_per_worker == 0 {
             return Err(ExecError::ZeroThreads);
         }
@@ -128,7 +149,7 @@ impl<T: Send + 'static> ServicePool<T> {
                         // worker: catch it, count it, keep serving. The
                         // handler owns its item, so no shared state can
                         // be observed mid-unwind.
-                        if catch_unwind(AssertUnwindSafe(|| handler(item))).is_err() {
+                        if catch_unwind(AssertUnwindSafe(|| handler(w, item))).is_err() {
                             panics.inc();
                         }
                     }
@@ -300,6 +321,29 @@ mod tests {
             .counter("exec.t_panic.worker_panics")
             .get();
         assert_eq!(after, before + 1);
+    }
+
+    #[test]
+    fn worker_ids_are_in_range_and_stable_per_shard() {
+        let (tx, rx) = channel();
+        let pool = ServicePool::with_worker_ids("t_ids", 3, 8, move |w, n: u64| {
+            tx.send((w, n)).unwrap();
+        })
+        .unwrap();
+        for i in 0..24u64 {
+            let mut item = i;
+            while let Err(SubmitError::Saturated(back)) = pool.try_submit(item) {
+                item = back;
+                std::thread::yield_now();
+            }
+        }
+        drop(pool);
+        let seen: Vec<(usize, u64)> = rx.try_iter().collect();
+        assert_eq!(seen.len(), 24);
+        assert!(seen.iter().all(|(w, _)| *w < 3), "{seen:?}");
+        // Round-robin across 3 live shards must touch more than one.
+        let distinct: std::collections::BTreeSet<usize> = seen.iter().map(|(w, _)| *w).collect();
+        assert!(distinct.len() > 1, "{distinct:?}");
     }
 
     #[test]

@@ -31,23 +31,63 @@ pub fn http_post(addr: &str, path: &str, timeout: Duration) -> Result<(u16, Stri
     request(addr, "POST", path, timeout)
 }
 
-fn request(
+/// A full client-side view of an HTTP response: status, the header
+/// fields (names lowercased), and the body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Numeric status code from the status line.
+    pub status: u16,
+    /// Response header fields in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Everything after the blank line.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Returns the value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Like [`http_get`] but with caller-supplied request headers and full
+/// response-header capture — the trace-aware request path (`ppm
+/// loadtest` sending `X-Ppm-Trace`, checking the echo).
+///
+/// # Errors
+///
+/// Same contract as [`http_get`].
+pub fn http_request_full(
     addr: &str,
     method: &str,
     path: &str,
+    extra_headers: &[(&str, &str)],
     timeout: Duration,
-) -> Result<(u16, String), LiveError> {
+) -> Result<HttpResponse, LiveError> {
     let mut last_io = LiveError::Io(format!("no usable address for {addr}"));
     let targets = addr
         .to_socket_addrs()
         .map_err(|e| LiveError::Io(format!("cannot resolve {addr}: {e}")))?;
     for target in targets {
         match TcpStream::connect_timeout(&target, timeout) {
-            Ok(stream) => return fetch(stream, addr, method, path, timeout),
+            Ok(stream) => return fetch(stream, addr, method, path, extra_headers, timeout),
             Err(e) => last_io = LiveError::Io(format!("cannot connect to {target}: {e}")),
         }
     }
     Err(last_io)
+}
+
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    timeout: Duration,
+) -> Result<(u16, String), LiveError> {
+    http_request_full(addr, method, path, &[], timeout).map(|r| (r.status, r.body))
 }
 
 fn fetch(
@@ -55,13 +95,21 @@ fn fetch(
     addr: &str,
     method: &str,
     path: &str,
+    extra_headers: &[(&str, &str)],
     timeout: Duration,
-) -> Result<(u16, String), LiveError> {
+) -> Result<HttpResponse, LiveError> {
     stream
         .set_read_timeout(Some(timeout))
         .and_then(|()| stream.set_write_timeout(Some(timeout)))
         .map_err(|e| LiveError::Io(e.to_string()))?;
-    let request = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    let mut request = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    for (name, value) in extra_headers {
+        request.push_str(name);
+        request.push_str(": ");
+        request.push_str(value);
+        request.push_str("\r\n");
+    }
+    request.push_str("\r\n");
     stream
         .write_all(request.as_bytes())
         .map_err(|e| LiveError::Io(format!("request write failed: {e}")))?;
@@ -72,8 +120,8 @@ fn fetch(
     parse_response(&raw)
 }
 
-/// Splits a raw HTTP/1.1 response into `(status, body)`.
-fn parse_response(raw: &str) -> Result<(u16, String), LiveError> {
+/// Splits a raw HTTP/1.1 response into status, headers, and body.
+fn parse_response(raw: &str) -> Result<HttpResponse, LiveError> {
     let status_line = raw
         .lines()
         .next()
@@ -83,14 +131,27 @@ fn parse_response(raw: &str) -> Result<(u16, String), LiveError> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| LiveError::Malformed(format!("bad status line: {status_line}")))?;
-    let body = match raw.find("\r\n\r\n") {
-        Some(at) => &raw[at + 4..],
-        None => raw
-            .find("\n\n")
-            .map(|at| &raw[at + 2..])
-            .unwrap_or_default(),
+    let (head, body) = match raw.find("\r\n\r\n") {
+        Some(at) => (&raw[..at], &raw[at + 4..]),
+        None => match raw.find("\n\n") {
+            Some(at) => (&raw[..at], &raw[at + 2..]),
+            None => (raw, ""),
+        },
     };
-    Ok((status, body.to_string()))
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let line = line.trim_end_matches('\r');
+            line.split_once(':')
+                .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -98,11 +159,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_status_and_body() {
-        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nhello\nworld\n";
-        let (status, body) = parse_response(raw).expect("valid response");
-        assert_eq!(status, 200);
-        assert_eq!(body, "hello\nworld\n");
+    fn parses_status_headers_and_body() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\
+                   X-Ppm-Trace: t-9\r\n\r\nhello\nworld\n";
+        let resp = parse_response(raw).expect("valid response");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "hello\nworld\n");
+        assert_eq!(resp.header("x-ppm-trace"), Some("t-9"));
+        assert_eq!(resp.header("Content-Type"), Some("text/plain"));
     }
 
     #[test]

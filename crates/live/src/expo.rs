@@ -19,37 +19,105 @@ pub fn prometheus_name(name: &str) -> String {
     out
 }
 
+/// Splits a registry name carrying the label convention
+/// `base|key=value|key2=value2` into the base name and its label pairs.
+/// Plain names come back with no labels. `|` sorts after every ASCII
+/// alphanumeric, so in a sorted snapshot the unlabeled aggregate
+/// (`serve.shed`) always precedes its labeled variants
+/// (`serve.shed|reason=...`) — one `# HELP`/`# TYPE` header covers the
+/// family.
+pub fn split_labels(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let mut parts = name.split('|');
+    let base = parts.next().unwrap_or(name);
+    let labels = parts
+        .filter_map(|kv| kv.split_once('='))
+        .collect::<Vec<_>>();
+    (base, labels)
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_label_set(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}=\"{}\"",
+                prometheus_name(k).trim_start_matches("ppm_"),
+                escape_label_value(v)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}")
+}
+
 /// Renders a snapshot as Prometheus text exposition (version 0.0.4):
 /// `# HELP` / `# TYPE` headers, counters and gauges as single samples,
 /// histograms as cumulative `_bucket{le=...}` series plus `_sum` and
 /// `_count`, with a final `+Inf` bucket. Quantiles ride along as
 /// `{quantile="..."}`-labelled gauges of the base name, the classic
 /// summary-style rendering scrape consumers understand.
+///
+/// Registry names using the `base|key=value` convention render as
+/// labeled series of the base family (`serve.shed|reason=deadline` →
+/// `ppm_serve_shed{reason="deadline"}`), sharing one header with the
+/// unlabeled aggregate. Histogram exemplars (see
+/// [`ppm_telemetry::Histogram::record_tagged`]) render as `# EXEMPLAR`
+/// comment lines — parser-safe for consumers that only understand
+/// 0.0.4, still greppable for the trace ID of the window's worst
+/// request.
 pub fn render_prometheus(snapshot: &[MetricRecord]) -> String {
     let mut out = String::with_capacity(snapshot.len() * 96 + 64);
+    let mut last_family: Option<(MetricKind, String)> = None;
     for m in snapshot {
-        let name = prometheus_name(&m.name);
+        let (base, labels) = split_labels(&m.name);
+        let name = prometheus_name(base);
+        let label_set = render_label_set(&labels);
+        let family = (m.kind, name.clone());
+        let new_family = last_family.as_ref() != Some(&family);
+        last_family = Some(family);
         match m.kind {
             MetricKind::Counter => {
-                out.push_str(&format!("# HELP {name} ppm counter {}\n", m.name));
-                out.push_str(&format!("# TYPE {name} counter\n"));
-                out.push_str(&format!("{name} {}\n", m.value.unwrap_or(0)));
+                if new_family {
+                    out.push_str(&format!("# HELP {name} ppm counter {base}\n"));
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                }
+                out.push_str(&format!("{name}{label_set} {}\n", m.value.unwrap_or(0)));
             }
             MetricKind::Gauge => {
-                out.push_str(&format!("# HELP {name} ppm gauge {}\n", m.name));
-                out.push_str(&format!("# TYPE {name} gauge\n"));
+                if new_family {
+                    out.push_str(&format!("# HELP {name} ppm gauge {base}\n"));
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                }
                 let v = m.gauge.unwrap_or(0.0);
                 if v.is_finite() {
-                    out.push_str(&format!("{name} {v}\n"));
+                    out.push_str(&format!("{name}{label_set} {v}\n"));
                 } else {
-                    out.push_str(&format!("{name} NaN\n"));
+                    out.push_str(&format!("{name}{label_set} NaN\n"));
                 }
             }
             MetricKind::Histogram => {
                 let (count, sum, _min, _max, p50, p95, p99) =
                     m.hist.unwrap_or((0, 0, 0, 0, 0, 0, 0));
-                out.push_str(&format!("# HELP {name} ppm histogram {}\n", m.name));
-                out.push_str(&format!("# TYPE {name} histogram\n"));
+                if new_family {
+                    out.push_str(&format!("# HELP {name} ppm histogram {base}\n"));
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                }
                 if let Some(buckets) = &m.buckets {
                     for (le, cum) in buckets {
                         out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
@@ -60,6 +128,12 @@ pub fn render_prometheus(snapshot: &[MetricRecord]) -> String {
                 out.push_str(&format!("{name}_count {count}\n"));
                 for (q, v) in [("0.5", p50), ("0.95", p95), ("0.99", p99)] {
                     out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                }
+                if let Some((v, tag)) = &m.exemplar {
+                    out.push_str(&format!(
+                        "# EXEMPLAR {name} trace_id=\"{}\" value={v}\n",
+                        escape_label_value(tag)
+                    ));
                 }
             }
         }
@@ -79,6 +153,19 @@ mod tests {
             "ppm_span_stage_simulation_us"
         );
         assert_eq!(prometheus_name("exec.rbf-grid.ms"), "ppm_exec_rbf_grid_ms");
+    }
+
+    #[test]
+    fn split_labels_decodes_the_pipe_convention() {
+        assert_eq!(split_labels("serve.shed"), ("serve.shed", vec![]));
+        assert_eq!(
+            split_labels("serve.shed|reason=queue_full"),
+            ("serve.shed", vec![("reason", "queue_full")])
+        );
+        assert_eq!(
+            split_labels("x|a=1|b=2"),
+            ("x", vec![("a", "1"), ("b", "2")])
+        );
     }
 
     #[test]
@@ -107,6 +194,47 @@ mod tests {
                 "unparseable value in line: {line}"
             );
             assert!(parts.next().unwrap().starts_with("ppm_"), "{line}");
+        }
+    }
+
+    #[test]
+    fn labeled_series_share_one_header_with_the_aggregate() {
+        let r = ppm_telemetry::Registry::new();
+        r.counter("serve.shed").add(5);
+        r.counter("serve.shed|reason=deadline").add(2);
+        r.counter("serve.shed|reason=queue_full").add(3);
+        let text = render_prometheus(&r.snapshot());
+        // One header for the family, aggregate first, then labeled.
+        assert_eq!(text.matches("# TYPE ppm_serve_shed counter").count(), 1);
+        let agg = text.find("ppm_serve_shed 5\n").expect("aggregate");
+        let lab = text
+            .find("ppm_serve_shed{reason=\"deadline\"} 2\n")
+            .expect("labeled");
+        assert!(agg < lab, "aggregate must precede labeled series");
+        assert!(text.contains("ppm_serve_shed{reason=\"queue_full\"} 3\n"));
+        // Labeled lines still parse as `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn exemplars_render_as_comment_lines() {
+        let r = ppm_telemetry::Registry::new();
+        r.histogram("serve.latency.us")
+            .record_tagged(950, "ppm-00000000002a");
+        let text = render_prometheus(&r.snapshot());
+        assert!(
+            text.contains(
+                "# EXEMPLAR ppm_serve_latency_us trace_id=\"ppm-00000000002a\" value=950\n"
+            ),
+            "{text}"
+        );
+        // Exemplars never break the `name value` sample grammar.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "{line}");
         }
     }
 

@@ -15,6 +15,28 @@ use std::net::TcpStream;
 /// Default upper bound on the request head either server will buffer.
 pub const MAX_HEAD: usize = 8 * 1024;
 
+/// A parsed request head: the request line plus the header fields that
+/// followed it, kept as `(lowercased-name, value)` pairs so lookups are
+/// case-insensitive without allocating per query.
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// The trimmed request line, e.g. `GET /predict?rob=64 HTTP/1.1`.
+    pub line: String,
+    /// Header fields in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// Returns the value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
 /// Reads the request head (everything up to the blank line), bounding
 /// the buffered size by `max_head`; the caller bounds time via the
 /// stream's read timeout. Returns the first line (the request line).
@@ -25,6 +47,17 @@ pub const MAX_HEAD: usize = 8 * 1024;
 /// the socket timeout, sends an oversized head, or sends an empty
 /// request line.
 pub fn read_head(stream: &mut TcpStream, max_head: usize) -> Result<String, String> {
+    read_request_head(stream, max_head).map(|head| head.line)
+}
+
+/// Like [`read_head`] but keeps the header fields too, for servers that
+/// honor request metadata such as the `X-Ppm-Trace` trace-context
+/// header. Same bounds and error contract as [`read_head`].
+///
+/// # Errors
+///
+/// Same contract as [`read_head`].
+pub fn read_request_head(stream: &mut TcpStream, max_head: usize) -> Result<RequestHead, String> {
     let mut buf = Vec::with_capacity(256);
     let mut chunk = [0u8; 512];
     loop {
@@ -41,10 +74,22 @@ pub fn read_head(stream: &mut TcpStream, max_head: usize) -> Result<String, Stri
         }
     }
     let text = String::from_utf8_lossy(&buf);
-    match text.lines().next() {
-        Some(line) if !line.trim().is_empty() => Ok(line.trim().to_string()),
-        _ => Err("empty request line".to_string()),
+    let mut lines = text.lines();
+    let line = match lines.next() {
+        Some(line) if !line.trim().is_empty() => line.trim().to_string(),
+        _ => return Err("empty request line".to_string()),
+    };
+    let mut headers = Vec::new();
+    for raw in lines {
+        let raw = raw.trim_end_matches('\r');
+        if raw.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = raw.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
     }
+    Ok(RequestHead { line, headers })
 }
 
 /// The standard reason phrase for the status codes these servers emit.
@@ -72,12 +117,35 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> Result<(), String> {
-    let head = format!(
+    write_response_with_headers(stream, status, content_type, &[], body)
+}
+
+/// Like [`write_response`] but with extra response headers (name, value)
+/// ahead of the body — used to echo the `X-Ppm-Trace` trace context.
+///
+/// # Errors
+///
+/// Same contract as [`write_response`].
+pub fn write_response_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> Result<(), String> {
+    let mut head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
+         Content-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len()
     );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream
         .write_all(head.as_bytes())
         .map_err(|e| e.to_string())?;
@@ -115,6 +183,37 @@ mod tests {
         let (route, pairs) = split_query("/predict?rob=64&flag&x=");
         assert_eq!(route, "/predict");
         assert_eq!(pairs, vec![("rob", "64"), ("flag", ""), ("x", "")]);
+    }
+
+    #[test]
+    fn request_head_lookup_is_case_insensitive() {
+        let head = RequestHead {
+            line: "GET /predict HTTP/1.1".to_string(),
+            headers: vec![
+                ("host".to_string(), "ppm".to_string()),
+                ("x-ppm-trace".to_string(), "abc-7".to_string()),
+            ],
+        };
+        assert_eq!(head.header("X-Ppm-Trace"), Some("abc-7"));
+        assert_eq!(head.header("HOST"), Some("ppm"));
+        assert_eq!(head.header("x-missing"), None);
+    }
+
+    #[test]
+    fn full_head_reader_captures_headers() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"GET /p?x=1 HTTP/1.1\r\nHost: ppm\r\nX-Ppm-Trace: t-42\r\n\r\n")
+                .expect("write");
+            s
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let head = read_request_head(&mut stream, MAX_HEAD).expect("head");
+        assert_eq!(head.line, "GET /p?x=1 HTTP/1.1");
+        assert_eq!(head.header("x-ppm-trace"), Some("t-42"));
+        drop(writer.join());
     }
 
     #[test]

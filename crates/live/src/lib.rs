@@ -37,10 +37,10 @@ mod server;
 mod top;
 
 pub use buildz::render_buildz;
-pub use client::{http_get, http_post};
-pub use expo::render_prometheus;
+pub use client::{http_get, http_post, http_request_full, HttpResponse};
+pub use expo::{render_prometheus, split_labels};
 pub use server::LiveServer;
-pub use top::{fetch_top, render_frame, TopSnapshot, TopState};
+pub use top::{fetch_top, render_frame, ServeView, SloWindowView, TopSnapshot, TopState};
 
 use std::fmt;
 use std::sync::Arc;

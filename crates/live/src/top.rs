@@ -32,6 +32,57 @@ pub struct TopSnapshot {
     pub eta_ms: Option<u64>,
     /// Human-readable recent quarantine descriptions, oldest first.
     pub quarantine_log: Vec<String>,
+    /// Populated instead of the build fields when the polled endpoint
+    /// is a serving plane (`/buildz` 404s but `/statusz` answers).
+    pub serve: Option<ServeView>,
+}
+
+/// One SLO burn-rate window as reported by the serving plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloWindowView {
+    /// Window length in seconds (5, 60, or 300).
+    pub window_s: u64,
+    /// Requests observed inside the window.
+    pub total: u64,
+    /// Availability error-budget burn rate (1.0 = burning exactly at
+    /// the objective; above 1.0 the budget shrinks).
+    pub availability_burn: f64,
+    /// Latency error-budget burn rate.
+    pub latency_burn: f64,
+}
+
+/// The serving plane's `/statusz` condensed for a `ppm top` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeView {
+    /// Version string of the model currently answering `/predict`.
+    pub model_version: String,
+    /// Lifetime request count.
+    pub requests: u64,
+    /// Lifetime 200s.
+    pub ok: u64,
+    /// Lifetime sheds (queue-full refusals).
+    pub shed: u64,
+    /// Lifetime degraded (analytical-fallback) answers.
+    pub degraded: u64,
+    /// Lifetime deadline expiries.
+    pub deadline_exceeded: u64,
+    /// Requests queued right now.
+    pub queued: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Whether the service is sticky-degraded (model failing).
+    pub sticky_degraded: bool,
+    /// Whether request tracing is on.
+    pub trace_enabled: bool,
+    /// Trace records currently retained in the ring.
+    pub trace_retained: u64,
+    /// Fraction of the 5-minute availability error budget left
+    /// (negative when overspent).
+    pub availability_budget_remaining: f64,
+    /// Fraction of the 5-minute latency error budget left.
+    pub latency_budget_remaining: f64,
+    /// Burn-rate windows, shortest first.
+    pub windows: Vec<SloWindowView>,
 }
 
 fn u64_field(doc: &Json, key: &str) -> u64 {
@@ -51,6 +102,11 @@ fn u64_field(doc: &Json, key: &str) -> u64 {
 /// not parse as the expected schema.
 pub fn fetch_top(addr: &str, timeout: Duration) -> Result<TopSnapshot, LiveError> {
     let (status, body) = http_get(addr, "/buildz", timeout)?;
+    if status == 404 {
+        // Not a build plane. A serving plane has no /buildz but does
+        // have /statusz — fall back to the serve view.
+        return fetch_serve_top(addr, timeout);
+    }
     if status != 200 {
         return Err(LiveError::Http {
             status,
@@ -82,6 +138,7 @@ pub fn fetch_top(addr: &str, timeout: Duration) -> Result<TopSnapshot, LiveError
             .unwrap_or(0.0),
         eta_ms: doc.get("eta_ms").and_then(Json::as_i64).map(|v| v as u64),
         quarantine_log: Vec::new(),
+        serve: None,
     };
     // The quarantine list is best-effort colour: a failed /eventz fetch
     // must not blank the whole view.
@@ -105,6 +162,86 @@ pub fn fetch_top(addr: &str, timeout: Duration) -> Result<TopSnapshot, LiveError
         }
     }
     Ok(snap)
+}
+
+/// Polls a serving plane's `/statusz` and assembles the serve-flavored
+/// [`TopSnapshot`] (build fields zeroed, `serve` populated).
+fn fetch_serve_top(addr: &str, timeout: Duration) -> Result<TopSnapshot, LiveError> {
+    let (status, body) = http_get(addr, "/statusz", timeout)?;
+    if status != 200 {
+        return Err(LiveError::Http {
+            status,
+            detail: body,
+        });
+    }
+    let doc = Json::parse(&body)
+        .map_err(|e| LiveError::Malformed(format!("/statusz is not JSON: {e}")))?;
+    if doc.get("schema").and_then(Json::as_str) != Some("ppm-statusz v1") {
+        return Err(LiveError::Malformed(
+            "/statusz missing `ppm-statusz v1` schema header".to_string(),
+        ));
+    }
+    let trace = doc.get("trace").cloned().unwrap_or(Json::Null);
+    let slo = doc.get("slo").cloned().unwrap_or(Json::Null);
+    let mut windows = Vec::new();
+    if let Some(arr) = slo.get("windows").and_then(Json::as_arr) {
+        for w in arr {
+            windows.push(SloWindowView {
+                window_s: u64_field(w, "window_s"),
+                total: u64_field(w, "total"),
+                availability_burn: w
+                    .get("availability_burn")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                latency_burn: w.get("latency_burn").and_then(Json::as_f64).unwrap_or(0.0),
+            });
+        }
+    }
+    let view = ServeView {
+        model_version: doc
+            .get("model_version")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string(),
+        requests: u64_field(&doc, "requests"),
+        ok: u64_field(&doc, "ok"),
+        shed: u64_field(&doc, "shed"),
+        degraded: u64_field(&doc, "degraded"),
+        deadline_exceeded: u64_field(&doc, "deadline_exceeded"),
+        queued: u64_field(&doc, "queued"),
+        workers: u64_field(&doc, "workers"),
+        sticky_degraded: doc
+            .get("sticky_degraded")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        trace_enabled: trace
+            .get("enabled")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+        trace_retained: u64_field(&trace, "retained"),
+        availability_budget_remaining: slo
+            .get("availability_budget_remaining")
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0),
+        latency_budget_remaining: slo
+            .get("latency_budget_remaining")
+            .and_then(Json::as_f64)
+            .unwrap_or(1.0),
+        windows,
+    };
+    Ok(TopSnapshot {
+        stage: Some("serving".to_string()),
+        elapsed_ms: 0,
+        planned: 0,
+        done: 0,
+        resumed: 0,
+        retries: 0,
+        quarantined: 0,
+        workers_live: view.workers as f64,
+        eta_ms: None,
+        quarantine_log: Vec::new(),
+        serve: Some(view),
+    })
 }
 
 /// Carries the previous poll across frames so the completion rate is a
@@ -141,6 +278,9 @@ fn fmt_secs(ms: u64) -> String {
 /// line, and recent quarantines. Pure string assembly — the CLI decides
 /// whether to print it once (`--once`) or redraw in a loop.
 pub fn render_frame(addr: &str, snap: &TopSnapshot, qps: Option<f64>) -> String {
+    if let Some(serve) = &snap.serve {
+        return render_serve_frame(addr, serve);
+    }
     let mut out = String::with_capacity(512);
     out.push_str(&format!("ppm top — {addr}\n"));
     let stage = snap.stage.as_deref().unwrap_or("idle");
@@ -184,6 +324,45 @@ pub fn render_frame(addr: &str, snap: &TopSnapshot, qps: Option<f64>) -> String 
     out
 }
 
+/// Draws one `ppm top` frame for a serving plane: traffic counters,
+/// trace-ring occupancy, and the multi-window SLO burn rates.
+fn render_serve_frame(addr: &str, serve: &ServeView) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!("ppm top — {addr} (serving)\n"));
+    out.push_str(&format!(
+        "model {}   workers {}   queued {}{}\n",
+        serve.model_version,
+        serve.workers,
+        serve.queued,
+        if serve.sticky_degraded {
+            "   STICKY-DEGRADED"
+        } else {
+            ""
+        }
+    ));
+    out.push_str(&format!(
+        "requests {}   ok {}   shed {}   degraded {}   deadline {}\n",
+        serve.requests, serve.ok, serve.shed, serve.degraded, serve.deadline_exceeded
+    ));
+    out.push_str(&format!(
+        "trace {}   retained {}\n",
+        if serve.trace_enabled { "on" } else { "off" },
+        serve.trace_retained
+    ));
+    for w in &serve.windows {
+        out.push_str(&format!(
+            "slo {:>4}s  n {:<7} avail burn {:.2}   latency burn {:.2}\n",
+            w.window_s, w.total, w.availability_burn, w.latency_burn
+        ));
+    }
+    out.push_str(&format!(
+        "budget remaining  availability {:.1}%   latency {:.1}%\n",
+        serve.availability_budget_remaining * 100.0,
+        serve.latency_budget_remaining * 100.0
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +379,7 @@ mod tests {
             workers_live: 2.0,
             eta_ms: Some(12_000),
             quarantine_log: vec!["point 7: panicked: injected".to_string()],
+            serve: None,
         }
     }
 
@@ -235,11 +415,47 @@ mod tests {
             workers_live: 0.0,
             eta_ms: None,
             quarantine_log: Vec::new(),
+            serve: None,
         };
         let frame = render_frame("x", &empty, None);
         assert!(frame.contains("stage idle"));
         assert!(frame.contains("0/0 (0.0%)"));
         assert!(frame.contains("eta --"));
+    }
+
+    #[test]
+    fn serve_frames_show_slo_and_trace_state() {
+        let mut s = snap();
+        s.serve = Some(ServeView {
+            model_version: "v3".to_string(),
+            requests: 100,
+            ok: 90,
+            shed: 4,
+            degraded: 5,
+            deadline_exceeded: 1,
+            queued: 2,
+            workers: 4,
+            sticky_degraded: true,
+            trace_enabled: true,
+            trace_retained: 37,
+            availability_budget_remaining: 0.5,
+            latency_budget_remaining: -0.25,
+            windows: vec![SloWindowView {
+                window_s: 5,
+                total: 12,
+                availability_burn: 1.5,
+                latency_burn: 0.0,
+            }],
+        });
+        let frame = render_frame("127.0.0.1:1", &s, None);
+        assert!(frame.contains("(serving)"), "{frame}");
+        assert!(frame.contains("model v3"), "{frame}");
+        assert!(frame.contains("STICKY-DEGRADED"), "{frame}");
+        assert!(frame.contains("shed 4"), "{frame}");
+        assert!(frame.contains("retained 37"), "{frame}");
+        assert!(frame.contains("avail burn 1.50"), "{frame}");
+        assert!(frame.contains("availability 50.0%"), "{frame}");
+        assert!(frame.contains("latency -25.0%"), "{frame}");
     }
 
     #[test]

@@ -367,6 +367,7 @@ mod tests {
                     gauge: None,
                     hist: None,
                     buckets: None,
+                    exemplar: None,
                 },
                 MetricRecord {
                     name: "span.stage.tree.us".to_string(),
@@ -375,6 +376,7 @@ mod tests {
                     gauge: None,
                     hist: Some((1, 100, 100, 100, 100, 100, 100)),
                     buckets: Some(vec![(100, 1)]),
+                    exemplar: None,
                 },
                 MetricRecord {
                     name: "exec.rbf_grid.ms".to_string(),
@@ -383,6 +385,7 @@ mod tests {
                     gauge: Some(139.0),
                     hist: None,
                     buckets: None,
+                    exemplar: None,
                 },
                 MetricRecord {
                     name: "exec.idle".to_string(),
@@ -391,6 +394,7 @@ mod tests {
                     gauge: None,
                     hist: None,
                     buckets: None,
+                    exemplar: None,
                 },
             ],
             diagnostics: Some(Json::Obj(vec![("mean_pct".to_string(), Json::Float(2.1))])),

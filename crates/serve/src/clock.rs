@@ -50,6 +50,15 @@ pub fn unix_now_ms() -> u64 {
         .unwrap_or(0)
 }
 
+/// Unix wall-clock seconds — the slot key for the SLO tracker's
+/// one-second accounting ring (`trace::SloTracker`). Trace and SLO code
+/// never reads the clock itself: this module is the wall-clock lint's
+/// single sanctioned exemption in ppm-serve, and every trace timestamp
+/// flows outward from here.
+pub fn unix_now_sec() -> u64 {
+    unix_now_ms() / 1000
+}
+
 /// Measures elapsed real time from its creation — request latency,
 /// queueing delay.
 #[derive(Debug, Clone, Copy)]

@@ -31,11 +31,20 @@ mod clock;
 mod loadtest;
 mod server;
 mod store;
+mod tail;
+pub mod trace;
 
-pub use clock::{unix_now_ms, Deadline, Stopwatch};
-pub use loadtest::{run_loadtest, LoadtestConfig, LoadtestReport};
+pub use clock::{unix_now_ms, unix_now_sec, Deadline, Stopwatch};
+pub use loadtest::{
+    run_ab, run_loadtest, AbReport, LoadtestConfig, LoadtestReport, TraceCheckReport,
+};
 pub use server::{ServeConfig, ServeServer};
 pub use store::{publish, ModelStore, ReloadOutcome, ServingModel, CURRENT_FILE};
+pub use tail::{run_tail, TailConfig};
+pub use trace::{
+    SloTracker, SloWindow, SpanRec, TraceConfig, TraceContext, TraceFilter, TraceOutcome,
+    TraceRecord, TraceRing, TRACEZ_SCHEMA,
+};
 
 use std::error::Error;
 use std::fmt;

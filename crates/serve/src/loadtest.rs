@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use ppm_live::http_get;
+use ppm_live::{http_get, http_request_full};
 use ppm_obs::{BenchRecord, Json};
 use ppm_telemetry::Registry;
 
@@ -40,6 +40,14 @@ pub struct LoadtestConfig {
     pub deadline_ms: Option<u64>,
     /// Socket budget per request (connect + read).
     pub timeout: Duration,
+    /// Send a client-chosen `X-Ppm-Trace` ID with every request and
+    /// cross-check client outcome counts against the server's
+    /// `/statusz` counters and `/tracez` retained records afterwards.
+    /// Skipped gracefully when the server has tracing disabled or its
+    /// control routes are unreachable.
+    pub trace_check: bool,
+    /// Base of the client trace-ID prefix (`{prefix}-{start}-{k}`).
+    pub trace_prefix: String,
 }
 
 impl Default for LoadtestConfig {
@@ -51,6 +59,8 @@ impl Default for LoadtestConfig {
             rate: 0.0,
             deadline_ms: None,
             timeout: Duration::from_secs(5),
+            trace_check: true,
+            trace_prefix: "lt".to_string(),
         }
     }
 }
@@ -100,6 +110,62 @@ pub struct LoadtestReport {
     pub wall_ms: f64,
     /// Achieved throughput in requests/second.
     pub rps: f64,
+    /// End-to-end accounting cross-check, when one was run.
+    pub trace_check: Option<TraceCheckReport>,
+}
+
+/// What the end-to-end accounting cross-check found: did the server's
+/// own books (counter deltas on `/statusz`, retained records on
+/// `/tracez`) agree with what this client observed?
+#[derive(Debug, Clone)]
+pub struct TraceCheckReport {
+    /// The trace-ID prefix this run stamped on its requests.
+    pub prefix: String,
+    /// False when the check could not run (tracing disabled on the
+    /// server, or its control routes were unreachable) — `mismatches`
+    /// then holds the reason, not discrepancies.
+    pub checked: bool,
+    /// Retained `/tracez` records carrying this run's prefix.
+    pub matched_traces: u64,
+    /// Human-readable discrepancies; empty means the books balance.
+    pub mismatches: Vec<String>,
+}
+
+impl TraceCheckReport {
+    /// True when the check ran and found no discrepancies.
+    pub fn passed(&self) -> bool {
+        self.checked && self.mismatches.is_empty()
+    }
+
+    fn skipped(prefix: String, reason: String) -> Self {
+        TraceCheckReport {
+            prefix,
+            checked: false,
+            matched_traces: 0,
+            mismatches: vec![reason],
+        }
+    }
+
+    /// The check as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("prefix".to_string(), Json::Str(self.prefix.clone())),
+            ("checked".to_string(), Json::Bool(self.checked)),
+            (
+                "matched_traces".to_string(),
+                Json::from(self.matched_traces),
+            ),
+            (
+                "mismatches".to_string(),
+                Json::Arr(
+                    self.mismatches
+                        .iter()
+                        .map(|m| Json::Str(m.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 impl LoadtestReport {
@@ -137,6 +203,13 @@ impl LoadtestReport {
             ),
             ("wall_ms".to_string(), Json::Float(self.wall_ms)),
             ("rps".to_string(), Json::Float(self.rps)),
+            (
+                "trace_check".to_string(),
+                match &self.trace_check {
+                    Some(check) => check.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -185,12 +258,32 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
     let registry = Registry::new();
     let ok_latency_us = registry.histogram("loadtest.latency.ok.us");
     let refusal_latency_us = registry.histogram("loadtest.latency.refused.us");
+    // The accounting cross-check brackets the run with /statusz
+    // snapshots; the "before" counters also make the trace-ID prefix
+    // unique across consecutive runs against the same server.
+    let before = if config.trace_check {
+        // A failed snapshot (e.g. the shed-all drill refuses control
+        // routes too) downgrades the check to "skipped", never the
+        // whole loadtest.
+        Some(statusz_counters(config))
+    } else {
+        None
+    };
+    let prefix = match &before {
+        Some(Ok(b)) => Some(format!(
+            "{}-{}",
+            config.trace_prefix,
+            b.get("requests").copied().unwrap_or(0)
+        )),
+        _ => None,
+    };
     let wall = Stopwatch::start();
     std::thread::scope(|scope| {
         for worker in 0..config.concurrency {
             let tallies = &tallies;
             let ok_latency_us = &ok_latency_us;
             let refusal_latency_us = &refusal_latency_us;
+            let prefix = prefix.as_deref();
             scope.spawn(move || {
                 let mut k = worker;
                 while k < config.requests {
@@ -210,7 +303,17 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
                         None => format!("/predict?rob={rob}"),
                     };
                     let request = Stopwatch::start();
-                    let outcome = http_get(&config.addr, &path, config.timeout);
+                    let outcome = match prefix {
+                        Some(prefix) => http_request_full(
+                            &config.addr,
+                            "GET",
+                            &path,
+                            &[("X-Ppm-Trace", &format!("{prefix}-{k}"))],
+                            config.timeout,
+                        )
+                        .map(|r| (r.status, r.body)),
+                        None => http_get(&config.addr, &path, config.timeout),
+                    };
                     let elapsed_us = request.elapsed_us();
                     match classify(tallies, &outcome) {
                         Outcome::Ok => ok_latency_us.record(elapsed_us),
@@ -233,6 +336,19 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
     }
     let q = |p: f64| ok_latency_us.quantile(p).unwrap_or(0) as f64 / 1000.0;
     let rq = |p: f64| refusal_latency_us.quantile(p).unwrap_or(0) as f64 / 1000.0;
+    let trace_check = match before {
+        None => None,
+        Some(Err(reason)) => Some(TraceCheckReport::skipped(
+            prefix.unwrap_or_default(),
+            reason,
+        )),
+        Some(Ok(before)) => Some(cross_check(
+            config,
+            &tallies,
+            &before,
+            prefix.unwrap_or_default(),
+        )),
+    };
     Ok(LoadtestReport {
         sent,
         ok: tallies.ok.load(Ordering::Relaxed),
@@ -253,6 +369,214 @@ pub fn run_loadtest(config: &LoadtestConfig) -> Result<LoadtestReport, ServeErro
         } else {
             0.0
         },
+        trace_check,
+    })
+}
+
+/// Fetches `/statusz` and flattens the counters the accounting check
+/// compares: top-level request-outcome totals plus `trace.enabled`.
+fn statusz_counters(
+    config: &LoadtestConfig,
+) -> Result<std::collections::BTreeMap<&'static str, u64>, String> {
+    let (status, body) = http_get(&config.addr, "/statusz", config.timeout)
+        .map_err(|e| format!("/statusz unreachable: {e}"))?;
+    if status != 200 {
+        return Err(format!("/statusz answered {status}"));
+    }
+    let doc = Json::parse(&body).map_err(|e| format!("/statusz is not JSON: {e}"))?;
+    let field = |key: &str| {
+        doc.get(key)
+            .and_then(Json::as_i64)
+            .map(|v| v.max(0) as u64)
+            .unwrap_or(0)
+    };
+    let mut out = std::collections::BTreeMap::new();
+    out.insert("requests", field("requests"));
+    out.insert("ok", field("ok"));
+    out.insert("shed", field("shed"));
+    out.insert("degraded", field("degraded"));
+    out.insert("deadline_exceeded", field("deadline_exceeded"));
+    out.insert(
+        "trace_enabled",
+        u64::from(
+            doc.get("trace")
+                .and_then(|t| t.get("enabled"))
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        ),
+    );
+    Ok(out)
+}
+
+/// Balances the books after a run: server-side counter deltas must
+/// equal this client's tallies, and `/tracez` must have retained a
+/// record for every deadline refusal this client was handed (those are
+/// never sampled out and carry the client's own trace IDs).
+fn cross_check(
+    config: &LoadtestConfig,
+    tallies: &Tallies,
+    before: &std::collections::BTreeMap<&'static str, u64>,
+    prefix: String,
+) -> TraceCheckReport {
+    // The server offers a request's trace record (and bumps SLO slots)
+    // *after* writing the response, so the instant the client sees its
+    // last answer the server-side books may still be settling. Give
+    // them a beat.
+    std::thread::sleep(Duration::from_millis(50));
+    let after = match statusz_counters(config) {
+        Ok(after) => after,
+        Err(reason) => {
+            return TraceCheckReport::skipped(prefix, format!("post-run {reason}"));
+        }
+    };
+    let mut mismatches = Vec::new();
+    let errors = tallies.errors.load(Ordering::Relaxed);
+    if errors > 0 {
+        // A transport error leaves the client blind to what the server
+        // recorded (it may have answered after our timeout), so exact
+        // accounting is impossible — don't pretend otherwise.
+        return TraceCheckReport::skipped(
+            prefix,
+            format!("{errors} transport errors make exact accounting impossible"),
+        );
+    }
+    let delta = |key: &str| {
+        after
+            .get(key)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(before.get(key).copied().unwrap_or(0))
+    };
+    for (key, client) in [
+        ("ok", tallies.ok.load(Ordering::Relaxed)),
+        ("shed", tallies.shed.load(Ordering::Relaxed)),
+        ("degraded", tallies.degraded.load(Ordering::Relaxed)),
+        (
+            "deadline_exceeded",
+            tallies.deadline_exceeded.load(Ordering::Relaxed),
+        ),
+    ] {
+        let server = delta(key);
+        if server != client {
+            mismatches.push(format!(
+                "{key}: client saw {client}, server counted {server}"
+            ));
+        }
+    }
+    if before.get("trace_enabled").copied().unwrap_or(0) == 0 {
+        return TraceCheckReport {
+            prefix,
+            checked: true,
+            matched_traces: 0,
+            mismatches,
+        };
+    }
+    // Tracing is on: every deadline refusal the client saw must be
+    // retrievable by the client's own trace ID.
+    let path = format!("/tracez?id_prefix={prefix}&limit={}", config.requests);
+    let mut matched_traces = 0;
+    match http_get(&config.addr, &path, config.timeout) {
+        Ok((200, body)) => match Json::parse(&body) {
+            Ok(doc) => {
+                let records = doc
+                    .get("records")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .to_vec();
+                matched_traces = records.len() as u64;
+                let deadline_traces = records
+                    .iter()
+                    .filter(|r| r.get("outcome").and_then(Json::as_str) == Some("deadline_expired"))
+                    .count() as u64;
+                let client_deadline = tallies.deadline_exceeded.load(Ordering::Relaxed);
+                if deadline_traces != client_deadline {
+                    mismatches.push(format!(
+                        "deadline traces: client saw {client_deadline} refusals, \
+                         /tracez retained {deadline_traces} with prefix {prefix}"
+                    ));
+                }
+            }
+            Err(e) => mismatches.push(format!("/tracez is not JSON: {e}")),
+        },
+        Ok((status, _)) => mismatches.push(format!("/tracez answered {status}")),
+        Err(e) => mismatches.push(format!("/tracez unreachable: {e}")),
+    }
+    TraceCheckReport {
+        prefix,
+        checked: true,
+        matched_traces,
+        mismatches,
+    }
+}
+
+/// What an A/B overhead measurement produced: the same loadtest shape
+/// against a traced and an untraced server, and the relative p99 cost.
+#[derive(Debug, Clone)]
+pub struct AbReport {
+    /// The run against the traced server (`config.addr`).
+    pub traced: LoadtestReport,
+    /// The run against the baseline (`--no-trace`) server.
+    pub baseline: LoadtestReport,
+    /// `(traced p99 − baseline p99) / baseline p99`, in percent.
+    /// Negative when the traced run was (noise) faster.
+    pub overhead_pct: f64,
+}
+
+impl AbReport {
+    /// A `ppm-bench v1` record carrying the measured p99 overhead.
+    pub fn bench_record(&self) -> BenchRecord {
+        BenchRecord {
+            bench: "serve_trace_overhead_p99".to_string(),
+            unit: "pct".to_string(),
+            wall_ms: self.overhead_pct,
+            source_run: "loadtest-ab".to_string(),
+            created_unix_ms: unix_now_ms(),
+        }
+    }
+
+    /// The A/B comparison as a JSON document (`ppm-loadtest-ab v1`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::Str("ppm-loadtest-ab v1".to_string()),
+            ),
+            ("traced_p99_ms".to_string(), Json::Float(self.traced.p99_ms)),
+            (
+                "baseline_p99_ms".to_string(),
+                Json::Float(self.baseline.p99_ms),
+            ),
+            ("overhead_pct".to_string(), Json::Float(self.overhead_pct)),
+            ("traced".to_string(), self.traced.to_json()),
+            ("baseline".to_string(), self.baseline.to_json()),
+        ])
+    }
+}
+
+/// Measures tracing overhead: runs `config` against its (traced)
+/// address, then the identical shape against `baseline_addr` (expected
+/// to be the same model served with `--no-trace`), and compares p99s.
+///
+/// # Errors
+///
+/// Whatever [`run_loadtest`] reports for either leg.
+pub fn run_ab(config: &LoadtestConfig, baseline_addr: &str) -> Result<AbReport, ServeError> {
+    let traced = run_loadtest(config)?;
+    let mut baseline_config = config.clone();
+    baseline_config.addr = baseline_addr.to_string();
+    // The baseline leg has tracing off by definition; checking would
+    // only report "skipped" noise.
+    baseline_config.trace_check = false;
+    let baseline = run_loadtest(&baseline_config)?;
+    let overhead_pct = if baseline.p99_ms > 0.0 {
+        (traced.p99_ms - baseline.p99_ms) / baseline.p99_ms * 100.0
+    } else {
+        0.0
+    };
+    Ok(AbReport {
+        traced,
+        baseline,
+        overhead_pct,
     })
 }
 
@@ -341,11 +665,16 @@ mod tests {
         let bench = report.bench_record();
         assert_eq!(bench.bench, "serve_latency_p99");
         assert_eq!(bench.wall_ms, report.p99_ms);
+        // The accounting cross-check ran against the (traced) server
+        // and the books balanced.
+        let check = report.trace_check.as_ref().expect("check ran");
+        assert!(check.passed(), "{check:?}");
         let doc = report.to_json();
         assert_eq!(
             doc.get("schema").and_then(Json::as_str),
             Some("ppm-loadtest v1")
         );
+        assert!(doc.get("trace_check").is_some());
     }
 
     #[test]
@@ -391,6 +720,10 @@ mod tests {
         .unwrap();
         assert_eq!(report.ok, 0, "{report:?}");
         assert_eq!(report.shed, 16, "{report:?}");
+        // Control routes are shed too, so the accounting check must
+        // downgrade itself to "skipped" rather than failing the run.
+        let check = report.trace_check.as_ref().expect("check attempted");
+        assert!(!check.checked, "{check:?}");
         // No successful sample: the OK quantiles have no evidence and
         // must stay empty instead of being filled by fast 503s.
         assert_eq!(report.p99_ms, 0.0, "{report:?}");

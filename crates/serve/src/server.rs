@@ -43,14 +43,20 @@ use std::time::Duration;
 use ppm_core::fault::{FaultPlan, InjectedFault};
 use ppm_core::space::DesignSpace;
 use ppm_exec::{ServicePool, SubmitError};
-use ppm_live::http::{read_head, split_query, write_response, MAX_HEAD};
+use ppm_live::http::{
+    read_request_head, split_query, write_response, write_response_with_headers, MAX_HEAD,
+};
 use ppm_sim::SimConfig;
-use ppm_telemetry::{json_string, Counter, Histogram, Level};
+use ppm_telemetry::{json_string, Counter, Histogram, Level, Record};
 use ppm_workload::Benchmark;
 
 use crate::chaos::ChaosClients;
-use crate::clock::Stopwatch;
+use crate::clock::{unix_now_ms, unix_now_sec, Stopwatch};
 use crate::store::{ModelStore, ServingModel};
+use crate::trace::{
+    render_tracez_disabled, SloTracker, SpanRec, TraceConfig, TraceContext, TraceFilter,
+    TraceOutcome, TraceRecord, TraceRing,
+};
 use crate::ServeError;
 
 /// Per-connection socket budget (same rationale as the live plane): a
@@ -95,6 +101,21 @@ pub struct ServeConfig {
     pub fallback_benchmark: Option<Benchmark>,
     /// Chaos-mode seed: injects worker faults and misbehaving clients.
     pub chaos: Option<u64>,
+    /// Per-request tracing (`--no-trace` turns it off): span timelines
+    /// in a tail-sampled ring, served at `GET /tracez`.
+    pub trace: bool,
+    /// Total trace-ring capacity across shards (`--trace-ring`).
+    pub trace_ring: usize,
+    /// Tail-sampling lottery for plain-OK traffic: keep 1 in this many.
+    pub trace_sample: u64,
+    /// Always keep the slowest N requests by total latency.
+    pub trace_slow_keep: usize,
+    /// Availability objective for the SLO tracker (`--slo-availability`),
+    /// also the compliance fraction for the latency objective.
+    pub slo_availability: f64,
+    /// Latency objective (`--slo-latency-ms`): answered requests slower
+    /// than this spend latency error budget.
+    pub slo_latency: Duration,
 }
 
 impl Default for ServeConfig {
@@ -111,15 +132,23 @@ impl Default for ServeConfig {
             registry: PathBuf::from("registry"),
             fallback_benchmark: None,
             chaos: None,
+            trace: true,
+            trace_ring: 4096,
+            trace_sample: 64,
+            trace_slow_keep: 32,
+            slo_availability: 0.999,
+            slo_latency: Duration::from_millis(100),
         }
     }
 }
 
 /// One accepted connection, stamped at accept so queueing time counts
-/// against its deadline.
+/// against its deadline, and numbered at accept so shed requests have
+/// a trace identity too.
 struct Conn {
     stream: TcpStream,
     accepted: Stopwatch,
+    seq: u64,
 }
 
 /// Pre-resolved counter handles: the hot path must not take the
@@ -135,6 +164,17 @@ struct Counters {
     reload_failures: Arc<Counter>,
     model_failures: Arc<Counter>,
     latency_us: Arc<Histogram>,
+    // Labeled refusal/degradation series (the `base|key=value` registry
+    // convention renders as `ppm_serve_shed{reason="..."}` on /metrics).
+    // Aggregates above keep their historical meaning; these split them
+    // by cause so saturation is distinguishable from deadline expiry
+    // without reading logs.
+    shed_queue_full: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
+    degraded_no_model: Arc<Counter>,
+    degraded_depth: Arc<Counter>,
+    degraded_fail_streak: Arc<Counter>,
+    degraded_eval_failure: Arc<Counter>,
 }
 
 impl Counters {
@@ -150,6 +190,12 @@ impl Counters {
             reload_failures: ppm_telemetry::counter("serve.reload_failures"),
             model_failures: ppm_telemetry::counter("serve.model_failures"),
             latency_us: ppm_telemetry::histogram("serve.latency.us"),
+            shed_queue_full: ppm_telemetry::counter("serve.shed|reason=queue_full"),
+            shed_deadline: ppm_telemetry::counter("serve.shed|reason=deadline"),
+            degraded_no_model: ppm_telemetry::counter("serve.degraded|reason=no_model"),
+            degraded_depth: ppm_telemetry::counter("serve.degraded|reason=degrade_depth"),
+            degraded_fail_streak: ppm_telemetry::counter("serve.degraded|reason=fail_streak"),
+            degraded_eval_failure: ppm_telemetry::counter("serve.degraded|reason=eval_failure"),
         }
     }
 }
@@ -182,6 +228,10 @@ struct ServeState {
     /// Counts predictions taken while sticky, to pace probes.
     probe_tick: AtomicU64,
     counters: Counters,
+    /// The tail-sampled request-trace ring; `None` under `--no-trace`.
+    trace: Option<TraceRing>,
+    /// Multi-window SLO accounting (always on — it is a few atomics).
+    slo: SloTracker,
 }
 
 /// A running prediction service. [`ServeServer::wait`] blocks until the
@@ -235,6 +285,17 @@ impl ServeServer {
             sticky: AtomicBool::new(false),
             probe_tick: AtomicU64::new(0),
             counters: Counters::resolve(),
+            trace: (config.trace && config.trace_ring > 0).then(|| {
+                TraceRing::new(TraceConfig {
+                    capacity: config.trace_ring,
+                    sample_one_in: config.trace_sample,
+                    slow_keep: config.trace_slow_keep,
+                })
+            }),
+            slo: SloTracker::new(
+                config.slo_availability.clamp(0.0, 1.0 - 1e-9),
+                u64::try_from(config.slo_latency.as_micros()).unwrap_or(u64::MAX),
+            ),
         });
         // `queue_per_worker == 0` means shed-all: no pool at all, the
         // accept loop refuses everything. Going through ServicePool
@@ -245,13 +306,46 @@ impl ServeServer {
         } else {
             let worker_state = Arc::clone(&state);
             Some(
-                ServicePool::new(
+                ServicePool::with_worker_ids(
                     "serve",
                     config.workers,
                     config.queue_per_worker,
-                    move |conn: Conn| {
+                    move |worker, conn: Conn| {
                         worker_state.queued.fetch_sub(1, Ordering::SeqCst);
-                        handle_connection(&worker_state, conn);
+                        // Panic containment with a paper trail: the pool
+                        // already catches handler panics, but a request
+                        // lost to one would vanish from the trace ring.
+                        // Pre-copy the identity, catch, record, and
+                        // re-raise so `exec.serve.worker_panics` still
+                        // counts it.
+                        let (seq, accepted) = (conn.seq, conn.accepted);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(&worker_state, conn, worker);
+                        }));
+                        if let Err(panic) = outcome {
+                            if let Some(ring) = &worker_state.trace {
+                                ring.offer(TraceRecord {
+                                    id: TraceContext::new(seq, None).id,
+                                    seq,
+                                    route: "(worker panic)".to_string(),
+                                    outcome: TraceOutcome::PanicContained,
+                                    status: 0,
+                                    detail: "request handler panicked".to_string(),
+                                    worker: Some(worker),
+                                    total_us: accepted.elapsed_us(),
+                                    spans: vec![SpanRec {
+                                        name: "accept",
+                                        start_us: 0,
+                                        dur_us: accepted.elapsed_us(),
+                                    }],
+                                    unix_ms: unix_now_ms(),
+                                });
+                            }
+                            worker_state
+                                .slo
+                                .observe(unix_now_sec(), false, accepted.elapsed_us());
+                            std::panic::resume_unwind(panic);
+                        }
                     },
                 )
                 .map_err(|e| ServeError::Pool(e.to_string()))?,
@@ -329,6 +423,10 @@ fn accept_loop(listener: &TcpListener, pool: Option<&ServicePool<Conn>>, state: 
         let mut conn = Conn {
             stream,
             accepted: Stopwatch::start(),
+            // Numbered at accept so every request — shed ones included —
+            // has a deterministic trace identity, and so the chaos plan
+            // keys faults off the true arrival order.
+            seq: state.seq.fetch_add(1, Ordering::Relaxed),
         };
         let Some(pool) = pool else {
             // Shed-all drill mode: refuse without a pool to queue into.
@@ -363,15 +461,59 @@ fn accept_loop(listener: &TcpListener, pool: Option<&ServicePool<Conn>>, state: 
 /// Sheds an accepted connection: an immediate 503 without reading the
 /// request head. Control routes shed too under saturation — a deliberate
 /// tradeoff: reading heads on the accept thread would let one slowloris
-/// stall every queue decision.
+/// stall every queue decision. Because the head stays unread, a shed
+/// request's trace record carries the seq-derived ID, never a
+/// client-supplied one — clients correlate sheds by count, not by ID.
 fn shed(state: &ServeState, conn: Conn) {
     state.counters.shed.inc();
-    let mut stream = conn.stream;
+    state.counters.shed_queue_full.inc();
+    let Conn {
+        mut stream,
+        accepted,
+        seq,
+    } = conn;
+    let ctx = TraceContext::new(seq, None);
     let body = format!(
-        "{{\"error\":\"shed: request queue full\",\"queued\":{}}}\n",
-        state.queued.load(Ordering::SeqCst)
+        "{{\"error\":\"shed: request queue full\",\"queued\":{},\"trace_id\":{}}}\n",
+        state.queued.load(Ordering::SeqCst),
+        json_string(&ctx.id)
     );
-    let _ = write_response(&mut stream, 503, JSON, &body);
+    let write_start = accepted.elapsed_us();
+    let write_ok = write_response_with_headers(
+        &mut stream,
+        503,
+        JSON,
+        &[("X-Ppm-Trace", ctx.id.as_str())],
+        &body,
+    )
+    .is_ok();
+    let total_us = accepted.elapsed_us();
+    if let Some(ring) = &state.trace {
+        ring.offer(TraceRecord {
+            id: ctx.id,
+            seq,
+            route: "(shed)".to_string(),
+            outcome: TraceOutcome::Shed,
+            status: if write_ok { 503 } else { 0 },
+            detail: "request queue full".to_string(),
+            worker: None,
+            total_us,
+            spans: vec![
+                SpanRec {
+                    name: "accept",
+                    start_us: 0,
+                    dur_us: 0,
+                },
+                SpanRec {
+                    name: "write",
+                    start_us: write_start,
+                    dur_us: total_us.saturating_sub(write_start),
+                },
+            ],
+            unix_ms: unix_now_ms(),
+        });
+    }
+    state.slo.observe(unix_now_sec(), false, total_us);
 }
 
 /// Records a client-side failure: counter plus a `Warn` event. Client
@@ -386,59 +528,325 @@ fn client_error(state: &ServeState, op: &str, detail: &str) {
     );
 }
 
-fn handle_connection(state: &Arc<ServeState>, conn: Conn) {
+/// Records a finished request into the trace ring and — for the
+/// prediction surface — the SLO tracker.
+#[allow(clippy::too_many_arguments)]
+fn finish_request(
+    state: &ServeState,
+    ctx: TraceContext,
+    route: &str,
+    outcome: TraceOutcome,
+    status: u16,
+    detail: String,
+    worker: usize,
+    spans: Vec<SpanRec>,
+    total_us: u64,
+) {
+    if route == "/predict" {
+        // Availability budget: a 200 (full-fidelity or degraded) is an
+        // answer; sheds, deadline misses, and 5xx spend budget. Client
+        // errors (4xx) spend nothing — the request was never servable.
+        if status == 200 || status >= 500 {
+            state.slo.observe(unix_now_sec(), status == 200, total_us);
+        }
+        if status == 200 {
+            // Exemplar hook: the latency histogram remembers the trace
+            // ID of the worst request this scrape window.
+            state.counters.latency_us.record_tagged(total_us, &ctx.id);
+        }
+    }
+    if let Some(ring) = &state.trace {
+        ring.offer(TraceRecord {
+            id: ctx.id,
+            seq: ctx.seq,
+            route: route.to_string(),
+            outcome,
+            status,
+            detail,
+            worker: Some(worker),
+            total_us,
+            spans,
+            unix_ms: unix_now_ms(),
+        });
+    }
+}
+
+fn handle_connection(state: &Arc<ServeState>, conn: Conn, worker: usize) {
     let Conn {
         mut stream,
         accepted,
+        seq,
     } = conn;
-    let head = match read_head(&mut stream, MAX_HEAD) {
+    let picked_up_us = accepted.elapsed_us();
+    let head = match read_request_head(&mut stream, MAX_HEAD) {
         Ok(head) => head,
         Err(detail) => {
             client_error(state, "read", &detail);
             let _ = write_response(&mut stream, 400, TEXT, "bad request\n");
+            finish_request(
+                state,
+                TraceContext::new(seq, None),
+                "(unreadable)",
+                TraceOutcome::Ok,
+                400,
+                detail,
+                worker,
+                vec![SpanRec {
+                    name: "queue_wait",
+                    start_us: 0,
+                    dur_us: picked_up_us,
+                }],
+                accepted.elapsed_us(),
+            );
             return;
         }
     };
-    let mut parts = head.split_whitespace();
+    let ctx = TraceContext::new(seq, head.header("x-ppm-trace"));
+    let mut parts = head.line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
     let (route, pairs) = split_query(target);
-    let (status, content_type, body) = match (method, route) {
-        ("GET", "/predict") => predict(state, &accepted, &pairs),
-        ("GET", "/healthz") => (200, TEXT, "ok\n".to_string()),
-        ("GET", "/readyz") => readyz(state),
-        ("GET", "/metrics") => (
-            200,
-            "text/plain; version=0.0.4",
-            ppm_live::render_prometheus(&ppm_telemetry::snapshot()),
-        ),
-        ("GET", "/statusz") => (200, JSON, statusz(state)),
-        ("GET", "/") => (
+    let eval_start_us = accepted.elapsed_us();
+    let (status, content_type, body, outcome, detail) = match (method, route) {
+        ("GET", "/predict") => predict(state, &accepted, &pairs, seq, &ctx.id),
+        ("GET", "/healthz") => plain(200, TEXT, "ok\n".to_string()),
+        ("GET", "/readyz") => {
+            let (status, ct, body) = readyz(state);
+            plain(status, ct, body)
+        }
+        ("GET", "/metrics") => {
+            state.slo.publish_gauges(unix_now_sec());
+            let text = ppm_live::render_prometheus(&ppm_telemetry::snapshot());
+            // The scrape closes this exemplar window: the next one
+            // tracks the worst request *since this scrape*.
+            let _ = state.counters.latency_us.take_exemplar();
+            plain(200, "text/plain; version=0.0.4", text)
+        }
+        ("GET", "/statusz") => plain(200, JSON, statusz(state)),
+        ("GET", "/tracez") => tracez(state, &pairs),
+        ("GET", "/") => plain(
             200,
             TEXT,
-            "ppm serve: GET /predict /healthz /readyz /metrics /statusz; POST /reloadz /quitz\n"
+            "ppm serve: GET /predict /healthz /readyz /metrics /statusz /tracez; \
+             POST /reloadz /quitz\n"
                 .to_string(),
         ),
-        ("POST", "/reloadz") => reloadz(state),
+        ("POST", "/reloadz") => {
+            let (status, ct, body) = reloadz(state);
+            plain(status, ct, body)
+        }
         ("POST", "/quitz") => {
-            let _ = write_response(&mut stream, 200, TEXT, "stopping\n");
+            let write_start = accepted.elapsed_us();
+            let _ = write_response_with_headers(
+                &mut stream,
+                200,
+                TEXT,
+                &[("X-Ppm-Trace", ctx.id.as_str())],
+                "stopping\n",
+            );
             drop(stream);
+            finish_request(
+                state,
+                ctx,
+                route,
+                TraceOutcome::Ok,
+                200,
+                String::new(),
+                worker,
+                request_spans(picked_up_us, eval_start_us, write_start, write_start),
+                accepted.elapsed_us(),
+            );
             state.stop.store(true, Ordering::Release);
             // Wake the blocking accept so it observes the stop flag.
             let _ = TcpStream::connect_timeout(&state.addr, IO_TIMEOUT);
             return;
         }
-        (_, "/predict" | "/healthz" | "/readyz" | "/metrics" | "/statusz" | "/") => (
-            405,
-            TEXT,
-            format!("method {method} not allowed on {route}\n"),
-        ),
-        (_, "/reloadz" | "/quitz") => (405, TEXT, format!("{route} is POST-only (got {method})\n")),
-        _ => (404, TEXT, format!("no route {route}\n")),
+        (_, "/predict" | "/healthz" | "/readyz" | "/metrics" | "/statusz" | "/tracez" | "/") => {
+            plain(
+                405,
+                TEXT,
+                format!("method {method} not allowed on {route}\n"),
+            )
+        }
+        (_, "/reloadz" | "/quitz") => {
+            plain(405, TEXT, format!("{route} is POST-only (got {method})\n"))
+        }
+        _ => plain(404, TEXT, format!("no route {route}\n")),
     };
-    if let Err(detail) = write_response(&mut stream, status, content_type, &body) {
+    let write_start_us = accepted.elapsed_us();
+    if let Err(detail) = write_response_with_headers(
+        &mut stream,
+        status,
+        content_type,
+        &[("X-Ppm-Trace", ctx.id.as_str())],
+        &body,
+    ) {
         client_error(state, "write", &detail);
     }
+    let total_us = accepted.elapsed_us();
+    finish_request(
+        state,
+        ctx,
+        route,
+        outcome,
+        status,
+        detail,
+        worker,
+        request_spans(picked_up_us, eval_start_us, write_start_us, total_us),
+        total_us,
+    );
+}
+
+/// The standard four-step request timeline, as offsets from accept.
+fn request_spans(
+    picked_up_us: u64,
+    eval_start_us: u64,
+    write_start_us: u64,
+    total_us: u64,
+) -> Vec<SpanRec> {
+    vec![
+        SpanRec {
+            name: "accept",
+            start_us: 0,
+            dur_us: 0,
+        },
+        SpanRec {
+            name: "queue_wait",
+            start_us: 0,
+            dur_us: picked_up_us,
+        },
+        SpanRec {
+            name: "eval",
+            start_us: eval_start_us,
+            dur_us: write_start_us.saturating_sub(eval_start_us),
+        },
+        SpanRec {
+            name: "write",
+            start_us: write_start_us,
+            dur_us: total_us.saturating_sub(write_start_us),
+        },
+    ]
+}
+
+/// Wraps a non-prediction response in the uniform (status, content
+/// type, body, outcome, detail) shape the trace layer consumes.
+fn plain(
+    status: u16,
+    content_type: &'static str,
+    body: String,
+) -> (u16, &'static str, String, TraceOutcome, String) {
+    (status, content_type, body, TraceOutcome::Ok, String::new())
+}
+
+/// `GET /tracez`: the tail-sampled request feed. Query surface:
+/// `?outcome=shed|deadline_expired|degraded|panic_contained|ok`,
+/// `min_ms=`/`min_us=`, `id_prefix=`, `since_seq=`, `limit=`, and
+/// `format=chrome` for a Perfetto-loadable export of the (filtered)
+/// records.
+fn tracez(
+    state: &ServeState,
+    pairs: &[(&str, &str)],
+) -> (u16, &'static str, String, TraceOutcome, String) {
+    let Some(ring) = &state.trace else {
+        return plain(200, JSON, render_tracez_disabled());
+    };
+    let mut filter = TraceFilter::default();
+    let mut chrome = false;
+    for (key, value) in pairs {
+        match *key {
+            "outcome" => match TraceOutcome::parse(value) {
+                Some(o) => filter.outcome = Some(o),
+                None => {
+                    let (s, ct, b) = bad_request(&format!("unknown outcome {value:?}"));
+                    return (s, ct, b, TraceOutcome::Ok, String::new());
+                }
+            },
+            "min_ms" => match value.parse::<u64>() {
+                Ok(ms) => filter.min_us = Some(ms.saturating_mul(1000)),
+                Err(_) => {
+                    let (s, ct, b) =
+                        bad_request(&format!("min_ms wants an integer, got {value:?}"));
+                    return (s, ct, b, TraceOutcome::Ok, String::new());
+                }
+            },
+            "min_us" => match value.parse::<u64>() {
+                Ok(us) => filter.min_us = Some(us),
+                Err(_) => {
+                    let (s, ct, b) =
+                        bad_request(&format!("min_us wants an integer, got {value:?}"));
+                    return (s, ct, b, TraceOutcome::Ok, String::new());
+                }
+            },
+            "id_prefix" => filter.id_prefix = Some((*value).to_string()),
+            "since_seq" => match value.parse::<u64>() {
+                Ok(seq) => filter.since_seq = Some(seq),
+                Err(_) => {
+                    let (s, ct, b) =
+                        bad_request(&format!("since_seq wants an integer, got {value:?}"));
+                    return (s, ct, b, TraceOutcome::Ok, String::new());
+                }
+            },
+            "limit" => match value.parse::<usize>() {
+                Ok(n) => filter.limit = Some(n),
+                Err(_) => {
+                    let (s, ct, b) = bad_request(&format!("limit wants an integer, got {value:?}"));
+                    return (s, ct, b, TraceOutcome::Ok, String::new());
+                }
+            },
+            "format" => match *value {
+                "chrome" => chrome = true,
+                "json" => chrome = false,
+                other => {
+                    let (s, ct, b) =
+                        bad_request(&format!("format wants json or chrome, got {other:?}"));
+                    return (s, ct, b, TraceOutcome::Ok, String::new());
+                }
+            },
+            other => {
+                let (s, ct, b) = bad_request(&format!("unknown parameter {other:?}"));
+                return (s, ct, b, TraceOutcome::Ok, String::new());
+            }
+        }
+    }
+    if chrome {
+        plain(200, JSON, chrome_export(&ring.snapshot(&filter)))
+    } else {
+        plain(200, JSON, ring.render_tracez(&filter))
+    }
+}
+
+/// Renders trace records through the `ppm-obs` Chrome-trace writer:
+/// one lane (tid) per request, the request's trace ID as the top-level
+/// slice, span steps nested under it — drop the JSON into Perfetto and
+/// a single bad request becomes a picture.
+fn chrome_export(records: &[TraceRecord]) -> String {
+    let recorder = ppm_obs::FlightRecorder::new();
+    let mut sink = recorder.sink();
+    for (lane, rec) in records.iter().enumerate() {
+        let tid = lane as u64;
+        let label = format!("{} [{}]", rec.id, rec.outcome.as_str());
+        sink.record(&Record::Span {
+            name: label.clone(),
+            us: rec.total_us.max(1),
+            start_us: 0,
+            tid,
+            cpu_us: None,
+            depth: 0,
+            parent: None,
+        });
+        for span in &rec.spans {
+            sink.record(&Record::Span {
+                name: span.name.to_string(),
+                us: span.dur_us.max(1),
+                start_us: span.start_us,
+                tid,
+                cpu_us: None,
+                depth: 1,
+                parent: Some(label.clone()),
+            });
+        }
+    }
+    recorder.chrome_trace_json()
 }
 
 /// Why a model evaluation did not produce a usable prediction.
@@ -579,12 +987,80 @@ fn bad_request(detail: &str) -> (u16, &'static str, String) {
     )
 }
 
+/// Why this prediction fell back to the analytical estimator — each
+/// variant maps onto a labeled `serve.degraded|reason=...` series.
+enum DegradeCause {
+    NoModel,
+    QueueDepth(usize),
+    FailStreak,
+    Eval(EvalFailure),
+}
+
+impl DegradeCause {
+    fn describe(&self, state: &ServeState) -> String {
+        match self {
+            DegradeCause::NoModel => "no model loaded (analytical-only)".to_string(),
+            DegradeCause::QueueDepth(queued) => format!(
+                "queue depth {queued} at degrade threshold {}",
+                state.degrade_depth
+            ),
+            DegradeCause::FailStreak => format!(
+                "model failing (streak {}); probing every {} requests",
+                state.streak.load(Ordering::Relaxed),
+                state.probe_every
+            ),
+            DegradeCause::Eval(failure) => failure.to_string(),
+        }
+    }
+
+    fn count(&self, state: &ServeState) {
+        match self {
+            DegradeCause::NoModel => state.counters.degraded_no_model.inc(),
+            DegradeCause::QueueDepth(_) => state.counters.degraded_depth.inc(),
+            DegradeCause::FailStreak => state.counters.degraded_fail_streak.inc(),
+            DegradeCause::Eval(_) => state.counters.degraded_eval_failure.inc(),
+        }
+    }
+
+    fn outcome(&self) -> TraceOutcome {
+        match self {
+            DegradeCause::Eval(EvalFailure::Panicked) => TraceOutcome::PanicContained,
+            _ => TraceOutcome::Degraded,
+        }
+    }
+}
+
+fn deadline_exceeded(
+    state: &ServeState,
+    accepted: &Stopwatch,
+    phase: &str,
+    budget_ms: u128,
+    trace_id: &str,
+) -> (u16, &'static str, String, TraceOutcome, String) {
+    state.counters.deadline_exceeded.inc();
+    state.counters.shed_deadline.inc();
+    let detail = format!("deadline exceeded {phase}");
+    (
+        503,
+        JSON,
+        format!(
+            "{{\"error\":{},\"deadline_ms\":{budget_ms},\"elapsed_ms\":{},\"trace_id\":{}}}\n",
+            json_string(&detail),
+            accepted.elapsed_ms(),
+            json_string(trace_id)
+        ),
+        TraceOutcome::DeadlineExpired,
+        detail,
+    )
+}
+
 fn predict(
     state: &ServeState,
     accepted: &Stopwatch,
     pairs: &[(&str, &str)],
-) -> (u16, &'static str, String) {
-    let seq = state.seq.fetch_add(1, Ordering::Relaxed);
+    seq: u64,
+    trace_id: &str,
+) -> (u16, &'static str, String, TraceOutcome, String) {
     let mut budget = state.default_deadline;
     for (key, value) in pairs {
         if *key == "deadline_ms" {
@@ -593,9 +1069,10 @@ fn predict(
                     budget = Duration::from_millis(ms).min(state.max_deadline);
                 }
                 _ => {
-                    return bad_request(&format!(
+                    let (s, ct, b) = bad_request(&format!(
                         "deadline_ms wants a positive integer, got {value:?}"
-                    ))
+                    ));
+                    return (s, ct, b, TraceOutcome::Ok, String::new());
                 }
             }
         }
@@ -603,19 +1080,14 @@ fn predict(
     let deadline = accepted.deadline_after(budget);
     let budget_ms = budget.as_millis();
     if deadline.expired() {
-        state.counters.deadline_exceeded.inc();
-        return (
-            503,
-            JSON,
-            format!(
-                "{{\"error\":\"deadline exceeded while queued\",\"deadline_ms\":{budget_ms},\"elapsed_ms\":{}}}\n",
-                accepted.elapsed_ms()
-            ),
-        );
+        return deadline_exceeded(state, accepted, "while queued", budget_ms, trace_id);
     }
     let config = match config_from_pairs(pairs) {
         Ok(config) => config,
-        Err(detail) => return bad_request(&detail),
+        Err(detail) => {
+            let (s, ct, b) = bad_request(&detail);
+            return (s, ct, b, TraceOutcome::Ok, detail);
+        }
     };
     let model = state.store.active();
     // The analytical answer is a closed-form formula — cheap enough to
@@ -624,39 +1096,36 @@ fn predict(
     let analytical = match model.fallback.try_predict(&config) {
         Ok(value) if value.is_finite() => value,
         Ok(value) => {
+            let detail = format!("analytical estimate was {value}");
             return (
                 500,
                 JSON,
-                format!(
-                    "{{\"error\":{}}}\n",
-                    json_string(&format!("analytical estimate was {value}"))
-                ),
-            )
+                format!("{{\"error\":{}}}\n", json_string(&detail)),
+                TraceOutcome::Ok,
+                detail,
+            );
         }
-        Err(e) => return bad_request(&e.to_string()),
+        Err(e) => {
+            let detail = e.to_string();
+            let (s, ct, b) = bad_request(&detail);
+            return (s, ct, b, TraceOutcome::Ok, detail);
+        }
     };
     let queued = state.queued.load(Ordering::SeqCst);
-    let mut degraded_reason: Option<String> = None;
+    let mut cause: Option<DegradeCause> = None;
     if model.network.is_none() {
-        degraded_reason = Some("no model loaded (analytical-only)".to_string());
+        cause = Some(DegradeCause::NoModel);
     } else if queued >= state.degrade_depth {
-        degraded_reason = Some(format!(
-            "queue depth {queued} at degrade threshold {}",
-            state.degrade_depth
-        ));
+        cause = Some(DegradeCause::QueueDepth(queued));
     } else if state.sticky.load(Ordering::Acquire)
         && !state
             .probe_tick
             .fetch_add(1, Ordering::Relaxed)
             .is_multiple_of(state.probe_every)
     {
-        degraded_reason = Some(format!(
-            "model failing (streak {}); probing every {} requests",
-            state.streak.load(Ordering::Relaxed),
-            state.probe_every
-        ));
+        cause = Some(DegradeCause::FailStreak);
     }
-    let prediction = if degraded_reason.is_some() {
+    let prediction = if cause.is_some() {
         analytical
     } else {
         match evaluate_real(state, &model, &config, seq) {
@@ -682,28 +1151,24 @@ fn predict(
                         "detail" => failure.to_string(),
                     );
                 }
-                degraded_reason = Some(failure.to_string());
+                cause = Some(DegradeCause::Eval(failure));
                 analytical
             }
         }
     };
     if deadline.expired() {
-        state.counters.deadline_exceeded.inc();
-        return (
-            503,
-            JSON,
-            format!(
-                "{{\"error\":\"deadline exceeded during evaluation\",\"deadline_ms\":{budget_ms},\"elapsed_ms\":{}}}\n",
-                accepted.elapsed_ms()
-            ),
-        );
+        return deadline_exceeded(state, accepted, "during evaluation", budget_ms, trace_id);
     }
-    let degraded = degraded_reason.is_some();
-    if degraded {
-        state.counters.degraded.inc();
-    }
+    let degraded = cause.is_some();
+    let (outcome, degraded_reason) = match &cause {
+        Some(cause) => {
+            state.counters.degraded.inc();
+            cause.count(state);
+            (cause.outcome(), Some(cause.describe(state)))
+        }
+        None => (TraceOutcome::Ok, None),
+    };
     state.counters.ok.inc();
-    state.counters.latency_us.record(accepted.elapsed_us());
     let reason_json = match &degraded_reason {
         Some(reason) => json_string(reason),
         None => "null".to_string(),
@@ -714,12 +1179,15 @@ fn predict(
         format!(
             "{{\"schema\":\"ppm-serve v1\",\"benchmark\":{},\"metric\":{},\"prediction\":{prediction},\
              \"degraded\":{degraded},\"degraded_reason\":{reason_json},\"model_version\":{},\
-             \"deadline_ms\":{budget_ms},\"elapsed_ms\":{}}}\n",
+             \"deadline_ms\":{budget_ms},\"elapsed_ms\":{},\"trace_id\":{}}}\n",
             json_string(&model.benchmark.to_string()),
             json_string(&model.metric),
             json_string(&model.version),
-            accepted.elapsed_ms()
+            accepted.elapsed_ms(),
+            json_string(trace_id)
         ),
+        outcome,
+        degraded_reason.unwrap_or_default(),
     )
 }
 
@@ -740,12 +1208,23 @@ fn readyz(state: &ServeState) -> (u16, &'static str, String) {
 
 fn statusz(state: &ServeState) -> String {
     let model = state.store.active();
+    let trace_json = match &state.trace {
+        Some(ring) => format!(
+            "{{\"enabled\":true,\"retained\":{},\"capacity\":{}}}",
+            ring.retained_len(),
+            ring.capacity()
+        ),
+        None => "{\"enabled\":false,\"retained\":0,\"capacity\":0}".to_string(),
+    };
     format!(
         "{{\"schema\":\"ppm-statusz v1\",\"model_version\":{},\"benchmark\":{},\"metric\":{},\
          \"workers\":{},\"queue_capacity\":{},\"queued\":{},\"degrade_depth\":{},\
          \"sticky_degraded\":{},\"fail_streak\":{},\"chaos\":{},\
          \"requests\":{},\"ok\":{},\"shed\":{},\"degraded\":{},\"deadline_exceeded\":{},\
-         \"model_failures\":{},\"reloads\":{},\"reload_failures\":{}}}\n",
+         \"model_failures\":{},\"reloads\":{},\"reload_failures\":{},\
+         \"shed_by_reason\":{{\"queue_full\":{},\"deadline\":{}}},\
+         \"degraded_by_reason\":{{\"no_model\":{},\"degrade_depth\":{},\"fail_streak\":{},\"eval_failure\":{}}},\
+         \"trace\":{},\"slo\":{}}}\n",
         json_string(&model.version),
         json_string(&model.benchmark.to_string()),
         json_string(&model.metric),
@@ -764,6 +1243,14 @@ fn statusz(state: &ServeState) -> String {
         state.counters.model_failures.get(),
         state.counters.reloads.get(),
         state.counters.reload_failures.get(),
+        state.counters.shed_queue_full.get(),
+        state.counters.shed_deadline.get(),
+        state.counters.degraded_no_model.get(),
+        state.counters.degraded_depth.get(),
+        state.counters.degraded_fail_streak.get(),
+        state.counters.degraded_eval_failure.get(),
+        trace_json,
+        state.slo.to_json(unix_now_sec()),
     )
 }
 

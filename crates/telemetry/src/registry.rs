@@ -106,6 +106,10 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Worst tagged sample since the last [`Histogram::take_exemplar`]:
+    /// `(value, tag)`. The tag is typically a trace ID, so a scrape can
+    /// jump from "p99 spiked" straight to the worst request's timeline.
+    exemplar: Mutex<Option<(u64, String)>>,
 }
 
 impl Default for Histogram {
@@ -123,6 +127,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplar: Mutex::new(None),
         }
     }
 
@@ -157,6 +162,41 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one observation and tags it: if `v` is the worst value
+    /// seen since the last [`Histogram::take_exemplar`], the `(v, tag)`
+    /// pair is retained as this window's exemplar. One short mutex
+    /// critical section per call — meant for request-grained paths
+    /// (serving latency), not inner simulation loops.
+    pub fn record_tagged(&self, v: u64, tag: &str) {
+        self.record(v);
+        let mut ex = self
+            .exemplar
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match ex.as_ref() {
+            Some((worst, _)) if *worst >= v => {}
+            _ => *ex = Some((v, tag.to_string())),
+        }
+    }
+
+    /// Takes (and clears) the worst tagged sample since the previous
+    /// call, starting a fresh exemplar window. `None` when nothing was
+    /// recorded via [`Histogram::record_tagged`] this window.
+    pub fn take_exemplar(&self) -> Option<(u64, String)> {
+        self.exemplar
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+
+    /// The current window's worst tagged sample without clearing it.
+    pub fn peek_exemplar(&self) -> Option<(u64, String)> {
+        self.exemplar
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of observations.
@@ -270,6 +310,12 @@ pub struct MetricRecord {
     /// part of the JSONL line — consumed by the live plane's
     /// Prometheus exposition.
     pub buckets: Option<Vec<(u64, u64)>>,
+    /// The current window's worst tagged sample `(value, tag)`
+    /// (histograms only; see [`Histogram::record_tagged`]). Snapshots
+    /// peek without clearing — the owner of the window (e.g. the serve
+    /// `/metrics` handler) decides when to call
+    /// [`Histogram::take_exemplar`]. Not part of the JSONL line.
+    pub exemplar: Option<(u64, String)>,
 }
 
 impl MetricRecord {
@@ -390,6 +436,7 @@ impl Registry {
                 gauge: None,
                 hist: None,
                 buckets: None,
+                exemplar: None,
             });
         }
         for (name, g) in self
@@ -405,6 +452,7 @@ impl Registry {
                 gauge: Some(g.get()),
                 hist: None,
                 buckets: None,
+                exemplar: None,
             });
         }
         for (name, h) in self
@@ -428,6 +476,7 @@ impl Registry {
                     h.quantile(0.99).unwrap_or(0),
                 )),
                 buckets: Some(h.cumulative_buckets()),
+                exemplar: h.peek_exemplar(),
             });
         }
         out
@@ -715,6 +764,34 @@ mod tests {
         assert_eq!(hist.1, 7); // sum
         r.reset();
         assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn exemplar_keeps_worst_tagged_sample_per_window() {
+        let h = Histogram::new();
+        assert_eq!(h.peek_exemplar(), None);
+        h.record_tagged(100, "t-a");
+        h.record_tagged(50, "t-b"); // not worse: ignored
+        h.record_tagged(200, "t-c");
+        assert_eq!(h.peek_exemplar(), Some((200, "t-c".to_string())));
+        // Snapshots carry the exemplar without clearing the window.
+        let r = Registry::new();
+        r.histogram("lat").record_tagged(7, "t-z");
+        let snap = r.snapshot();
+        assert_eq!(snap[0].exemplar, Some((7, "t-z".to_string())));
+        assert_eq!(
+            r.histogram("lat").peek_exemplar(),
+            Some((7, "t-z".to_string()))
+        );
+        // take starts a fresh window.
+        assert_eq!(h.take_exemplar(), Some((200, "t-c".to_string())));
+        assert_eq!(h.peek_exemplar(), None);
+        h.record_tagged(1, "t-d");
+        assert_eq!(h.peek_exemplar(), Some((1, "t-d".to_string())));
+        // Untagged recording never creates an exemplar.
+        let plain = Histogram::new();
+        plain.record(9);
+        assert_eq!(plain.peek_exemplar(), None);
     }
 
     #[test]

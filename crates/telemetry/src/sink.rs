@@ -423,6 +423,7 @@ mod tests {
             gauge: None,
             hist: None,
             buckets: None,
+            exemplar: None,
         }));
         let text = String::from_utf8(sink.writer).unwrap();
         let lines: Vec<&str> = text.lines().collect();

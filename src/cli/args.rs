@@ -59,20 +59,22 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 6] = [
+const SWITCHES: [&str; 8] = [
     "--energy",
     "--trace",
     "--quiet",
     "--resume",
     "--no-ledger",
     "--once",
+    "--no-trace",
+    "--no-trace-check",
 ];
 
 /// Commands that accept bare positional arguments after the command
 /// word (`ppm top 127.0.0.1:9090`, `ppm serve 127.0.0.1:8080`).
 /// Everything else treats a stray positional as an error, preserving
 /// the strict historical surface.
-const POSITIONAL_COMMANDS: [&str; 3] = ["top", "serve", "loadtest"];
+const POSITIONAL_COMMANDS: [&str; 4] = ["top", "serve", "loadtest", "tail"];
 
 impl Parsed {
     /// Parses raw arguments (excluding the program name).

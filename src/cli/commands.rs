@@ -173,6 +173,7 @@ pub fn run_with_artifacts(
         "bench-export" => flight::bench_export(parsed, out),
         "lint" => lint(parsed, out),
         "top" => top(parsed, out),
+        "tail" => tail(parsed, out),
         "serve" => serve(parsed, out),
         "publish" => publish(parsed, out),
         "loadtest" => loadtest(parsed, out),
@@ -304,6 +305,15 @@ fn serve(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         registry: std::path::PathBuf::from(parsed.get("--registry").unwrap_or("registry")),
         fallback_benchmark,
         chaos,
+        trace: !parsed.switch("--no-trace"),
+        trace_ring: parsed.num("--trace-ring", defaults.trace_ring)?,
+        trace_sample: parsed.num("--trace-sample", defaults.trace_sample)?,
+        trace_slow_keep: parsed.num("--trace-slow-keep", defaults.trace_slow_keep)?,
+        slo_availability: parsed.num("--slo-availability", defaults.slo_availability)?,
+        slo_latency: std::time::Duration::from_millis(parsed.num(
+            "--slo-latency-ms",
+            u64::try_from(defaults.slo_latency.as_millis()).unwrap_or(100),
+        )?),
     };
     let server = ppm_serve::ServeServer::start(config)?;
     if !parsed.switch("--quiet") {
@@ -343,6 +353,7 @@ fn loadtest(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         }
     };
     let deadline_ms: u64 = parsed.num("--deadline-ms", 0u64)?;
+    let defaults = ppm_serve::LoadtestConfig::default();
     let config = ppm_serve::LoadtestConfig {
         addr,
         requests: parsed.num("--requests", 200usize)?,
@@ -350,7 +361,44 @@ fn loadtest(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         rate: parsed.num("--rate", 0.0f64)?,
         deadline_ms: (deadline_ms > 0).then_some(deadline_ms),
         timeout: std::time::Duration::from_secs(5),
+        trace_check: !parsed.switch("--no-trace-check"),
+        trace_prefix: defaults.trace_prefix,
     };
+    // A/B overhead mode: the positional address is the traced server,
+    // --ab names the identical server started with --no-trace.
+    if let Some(baseline_addr) = parsed.get("--ab") {
+        let ab = ppm_serve::run_ab(&config, baseline_addr)?;
+        writeln!(
+            out,
+            "traced   p99 {:.3} ms  (ok {}, shed {}, deadline {}, errors {})",
+            ab.traced.p99_ms,
+            ab.traced.ok,
+            ab.traced.shed,
+            ab.traced.deadline_exceeded,
+            ab.traced.errors
+        )
+        .map_err(msg)?;
+        writeln!(
+            out,
+            "baseline p99 {:.3} ms  (ok {}, shed {}, deadline {}, errors {})",
+            ab.baseline.p99_ms,
+            ab.baseline.ok,
+            ab.baseline.shed,
+            ab.baseline.deadline_exceeded,
+            ab.baseline.errors
+        )
+        .map_err(msg)?;
+        writeln!(out, "tracing p99 overhead {:+.2}%", ab.overhead_pct).map_err(msg)?;
+        if let Some(check) = &ab.traced.trace_check {
+            report_trace_check(out, check)?;
+        }
+        if let Some(path) = parsed.get("--ab-out") {
+            ppm_obs::write_bench(Path::new(path), &ab.bench_record())
+                .map_err(|e| CliError::Persistence(format!("cannot write bench {path}: {e}")))?;
+            writeln!(out, "overhead bench record written to {path}").map_err(msg)?;
+        }
+        return Ok(());
+    }
     let report = ppm_serve::run_loadtest(&config)?;
     writeln!(out, "sent               {}", report.sent).map_err(msg)?;
     writeln!(
@@ -382,6 +430,9 @@ fn loadtest(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         report.wall_ms, report.rps
     )
     .map_err(msg)?;
+    if let Some(check) = &report.trace_check {
+        report_trace_check(out, check)?;
+    }
     if let Some(path) = parsed.get("--out") {
         ppm_obs::write_bench(Path::new(path), &report.bench_record())
             .map_err(|e| CliError::Persistence(format!("cannot write bench {path}: {e}")))?;
@@ -410,6 +461,74 @@ fn loadtest(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
             )));
         }
     }
+    Ok(())
+}
+
+/// Prints the end-to-end accounting cross-check outcome: one line when
+/// the books balance, the discrepancy list when they don't.
+fn report_trace_check(
+    out: &mut dyn fmt::Write,
+    check: &ppm_serve::TraceCheckReport,
+) -> Result<(), CliError> {
+    if check.passed() {
+        writeln!(
+            out,
+            "accounting         balanced (prefix {}, {} traces retained)",
+            check.prefix, check.matched_traces
+        )
+        .map_err(msg)?;
+    } else if !check.checked {
+        writeln!(
+            out,
+            "accounting         skipped: {}",
+            check.mismatches.join("; ")
+        )
+        .map_err(msg)?;
+    } else {
+        for m in &check.mismatches {
+            writeln!(out, "accounting MISMATCH {m}").map_err(msg)?;
+        }
+    }
+    Ok(())
+}
+
+/// `ppm tail <addr>`: stream the serving plane's retained trace feed
+/// as a table. `--once` prints the current ring contents and exits;
+/// otherwise polls every `--interval-ms` until interrupted. A failed
+/// first poll (no server, tracing disabled) exits with code 8.
+fn tail(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let addr = match parsed.positionals().first() {
+        Some(a) => a.clone(),
+        None => {
+            return Err(CliError::Usage(
+                "usage: ppm tail <addr> [--once] [--interval-ms <n>] [--limit <n>] \
+                 [--outcome <o>] [--min-ms <n>]"
+                    .to_string(),
+            ))
+        }
+    };
+    let min_ms: u64 = parsed.num("--min-ms", 0u64)?;
+    let defaults = ppm_serve::TailConfig::default();
+    let config = ppm_serve::TailConfig {
+        addr,
+        interval: std::time::Duration::from_millis(parsed.num("--interval-ms", 1000u64)?),
+        once: parsed.switch("--once"),
+        limit: parsed.num("--limit", defaults.limit)?,
+        outcome: parsed.get("--outcome").map(str::to_string),
+        min_ms: (min_ms > 0).then_some(min_ms),
+    };
+    if config.once {
+        let mut lines = String::new();
+        ppm_serve::run_tail(&config, &mut |line| {
+            lines.push_str(line);
+            lines.push('\n');
+        })?;
+        out.write_str(&lines).map_err(msg)?;
+        return Ok(());
+    }
+    // Streaming mode writes straight to stdout as records arrive —
+    // buffering through `out` would hold lines until the (never) end.
+    ppm_serve::run_tail(&config, &mut |line| println!("{line}"))?;
     Ok(())
 }
 

@@ -86,17 +86,25 @@ COMMANDS:
                                  sources (exit code 6 on findings)
   top         <addr> [--once] [--interval-ms <n>]
                                  terminal dashboard for a --live endpoint
+                                 or a serving plane (SLO burn rates)
+  tail        <addr> [--once] [--interval-ms <n>] [--limit <n>]
+              [--outcome <o>] [--min-ms <n>]
+                                 stream the serving plane's retained
+                                 request traces (/tracez) as a table
   serve       <addr> [--registry <dir>] [--benchmark <b>] [--chaos <seed>]
                                  fault-hardened CPI-prediction service:
                                  GET /predict /healthz /readyz /metrics
-                                 /statusz, POST /reloadz /quitz
+                                 /statusz /tracez, POST /reloadz /quitz
   publish     --model <file> --registry <dir>
                                  install a model in the serving registry
                                  (content-hash versioned, updates CURRENT)
   loadtest    <addr> [--requests <n>] [--concurrency <n>] [--rate <r>]
               [--slo-p99-ms <ms>] [--out <bench.json>]
+              [--ab <addr> [--ab-out <bench.json>]] [--no-trace-check]
                                  drive a running service, report latency
-                                 quantiles, optionally gate on a p99 SLO
+                                 quantiles, cross-check request accounting
+                                 against the server, optionally gate on a
+                                 p99 SLO or measure tracing overhead (--ab)
   help                           print this text
 
 CONFIGURATION FLAGS (defaults: the mid-range machine):
@@ -127,7 +135,8 @@ EXIT CODES:
   0 success    2 usage error    3 simulation fault    4 persistence failure
   5 regression (`report`, `loadtest --slo-p99-ms`)    6 lint findings (`lint`)
   7 live-plane failure (`--live` bind, `ppm top` endpoint)
-  8 serve failure (`serve` bind/registry, `publish`, `loadtest` transport)
+  8 serve failure (`serve` bind/registry, `publish`, `loadtest` transport,
+    `ppm tail` first poll)
   1 other errors
 
 SERVING FLAGS (`serve`):
@@ -143,6 +152,12 @@ SERVING FLAGS (`serve`):
   --fail-streak <n>   consecutive model failures before sticky degradation
   --probe-every <n>   probe cadence while sticky-degraded (default 16)
   --chaos <seed>      inject worker faults and misbehaving clients
+  --no-trace          disable per-request tracing and /tracez
+  --trace-ring <n>    retained trace records across shards (default 4096)
+  --trace-sample <n>  keep 1-in-n plain-OK requests (default 64)
+  --trace-slow-keep <n>  always keep the slowest n requests (default 32)
+  --slo-availability <f>  availability objective (default 0.999)
+  --slo-latency-ms <n>    latency objective for the SLO tracker (default 100)
 
 OBSERVABILITY FLAGS (any command):
   --quiet             suppress progress output on stderr
