@@ -1,0 +1,264 @@
+//! ppm-analyze: cross-crate semantic analysis for this workspace.
+//!
+//! `ppm lint` checks token-local invariants (a stray `unwrap`, a
+//! `HashMap` in a deterministic crate). This crate answers the
+//! questions a single token window cannot: *is the lock graph acyclic?
+//! does every `Ordering::` use match a declared policy? can a worker
+//! thread reach a panic outside `catch_unwind`? does every emitted
+//! wire-format string have a parser and a golden test? do the CLI's
+//! exit codes, usage text, and README agree?*
+//!
+//! It is built on the `ppm-lint` lexer: [`items`] runs one item-level
+//! pass per file — function bodies, call edges, spawn-closure roots,
+//! `.lock()` held regions, atomic-ordering sites, version strings —
+//! and the five analyses ([`lockorder`], [`atomics`], [`panics`],
+//! [`wire`], [`exitcode`]) consume those owned indices. No AST crate,
+//! no dependencies: the workspace's own style discipline keeps the
+//! token-level approximation honest, and the false-positive escape
+//! hatch is the same allowlist machinery lint uses —
+//! `analyze:allow(<rule>)` inline comments and `scripts/lint.conf`
+//! entries (both tools share one rule namespace; see
+//! [`ppm_lint::rules::ANALYZE_RULE_NAMES`]).
+//!
+//! Scope: everything `ppm lint` scans **plus** the `tests/` tree (wire
+//! formats live in golden tests by design) and `README.md` (the
+//! exit-code table is part of the CLI contract).
+
+pub mod atomics;
+pub mod exitcode;
+pub mod items;
+pub mod lockorder;
+pub mod panics;
+pub mod report;
+pub mod wire;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use ppm_lint::{Config, Diagnostic};
+pub use report::{Report, RULES, SCHEMA};
+
+use items::FileIndex;
+
+/// Errors from walking and reading workspace sources.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AnalyzeError {
+    /// A directory or file could not be read.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The underlying failure.
+        error: std::io::Error,
+    },
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Io { path, error } => {
+                write!(f, "cannot read {}: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Io { error, .. } => Some(error),
+        }
+    }
+}
+
+impl From<ppm_lint::LintError> for AnalyzeError {
+    fn from(e: ppm_lint::LintError) -> Self {
+        match e {
+            ppm_lint::LintError::Io { path, error } => AnalyzeError::Io { path, error },
+            // LintError is #[non_exhaustive]; any future variant still
+            // reads best as an I/O-shaped walk failure here.
+            other => AnalyzeError::Io {
+                path: PathBuf::new(),
+                error: std::io::Error::other(other.to_string()),
+            },
+        }
+    }
+}
+
+/// Enumerates the files this tool scans: everything
+/// [`ppm_lint::workspace_files`] covers plus `tests/*.rs`, as sorted
+/// workspace-relative `/`-separated paths.
+///
+/// # Errors
+///
+/// [`AnalyzeError::Io`] when a directory listing fails.
+pub fn analyze_files(root: &Path) -> Result<Vec<String>, AnalyzeError> {
+    let mut rels = ppm_lint::workspace_files(root)?;
+    let tests = root.join("tests");
+    if tests.is_dir() {
+        collect_rs(root, "tests", &mut rels)?;
+    }
+    rels.sort();
+    rels.dedup();
+    Ok(rels)
+}
+
+/// Recursively collects `.rs` files under `root/rel_dir` into `out`,
+/// in sorted order.
+fn collect_rs(root: &Path, rel_dir: &str, out: &mut Vec<String>) -> Result<(), AnalyzeError> {
+    let dir = root.join(rel_dir);
+    let io = |error: std::io::Error| AnalyzeError::Io {
+        path: dir.clone(),
+        error,
+    };
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(&dir).map_err(io)? {
+        names.push(
+            entry
+                .map_err(io)?
+                .file_name()
+                .to_string_lossy()
+                .into_owned(),
+        );
+    }
+    names.sort();
+    for name in names {
+        let rel = format!("{rel_dir}/{name}");
+        if root.join(&rel).is_dir() {
+            collect_rs(root, &rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs all five analyses over the workspace at `root`, honoring the
+/// shared allowlist `conf` and inline `analyze:allow(<rule>)` comments.
+/// Diagnostics are sorted by `(path, line, rule, col)`.
+///
+/// # Errors
+///
+/// [`AnalyzeError::Io`] when a scanned directory or file cannot be
+/// read.
+pub fn analyze_workspace(root: &Path, conf: &Config) -> Result<Report, AnalyzeError> {
+    let rels = analyze_files(root)?;
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in &rels {
+        let full = root.join(rel);
+        let source = std::fs::read_to_string(&full).map_err(|error| AnalyzeError::Io {
+            path: full.clone(),
+            error,
+        })?;
+        files.push(items::index_file(rel, &source));
+    }
+    let readme = std::fs::read_to_string(root.join("README.md")).ok();
+
+    let mut diagnostics = Vec::new();
+    diagnostics.extend(lockorder::check(&files));
+    diagnostics.extend(atomics::check(&files));
+    diagnostics.extend(panics::check(&files));
+    diagnostics.extend(wire::check(&files));
+    diagnostics.extend(exitcode::check(&files, readme.as_deref()));
+
+    // Suppression: an inline `analyze:allow(<rule>)` on or above the
+    // line, or a `lint.conf` entry whose substring matches the line.
+    let by_rel: BTreeMap<&str, &FileIndex> = files.iter().map(|f| (f.rel.as_str(), f)).collect();
+    let readme_lines: Vec<&str> = readme
+        .as_deref()
+        .map(|r| r.lines().collect())
+        .unwrap_or_default();
+    diagnostics.retain(|d| {
+        let idx = by_rel.get(d.path.as_str());
+        if let Some(f) = idx {
+            if f.allows.contains(&(d.rule.to_string(), d.line)) {
+                return false;
+            }
+        }
+        let line_text = if d.path == "README.md" {
+            readme_lines
+                .get(d.line.saturating_sub(1) as usize)
+                .copied()
+                .unwrap_or("")
+        } else {
+            idx.and_then(|f| f.lines.get(d.line.saturating_sub(1) as usize))
+                .map(String::as_str)
+                .unwrap_or("")
+        };
+        !conf.allows(d.rule, line_text)
+    });
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
+    });
+    Ok(Report {
+        files_scanned: files.len(),
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(root: &Path, rel: &str, text: &str) {
+        let full = root.join(rel);
+        std::fs::create_dir_all(full.parent().expect("parent")).expect("mkdir");
+        std::fs::write(full, text).expect("write fixture");
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ppm-analyze-{tag}-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).expect("clean temp root");
+        }
+        std::fs::create_dir_all(&dir).expect("mkdir temp root");
+        dir
+    }
+
+    #[test]
+    fn walker_includes_tests_tree() {
+        let root = temp_root("walk");
+        write(&root, "src/main.rs", "fn main() {}");
+        write(&root, "crates/core/src/lib.rs", "pub fn f() {}");
+        write(&root, "tests/it.rs", "fn t() {}");
+        let files = analyze_files(&root).expect("walk");
+        assert_eq!(
+            files,
+            vec!["crates/core/src/lib.rs", "src/main.rs", "tests/it.rs"]
+        );
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn findings_sort_and_inline_allows_suppress() {
+        let root = temp_root("allows");
+        write(
+            &root,
+            "crates/serve/src/a.rs",
+            "fn f(s: &S) {\n    // analyze:allow(atomic-ordering) gauge pairs with recv\n    s.q.store(1, Ordering::SeqCst);\n    s.r.store(1, Ordering::SeqCst);\n}\n",
+        );
+        let report = analyze_workspace(&root, &Config::empty()).expect("analyze");
+        assert_eq!(report.diagnostics.len(), 1, "{:?}", report.diagnostics);
+        assert!(
+            report.diagnostics[0].message.contains('r'),
+            "{:?}",
+            report.diagnostics
+        );
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn conf_allowlist_suppresses_by_substring() {
+        let root = temp_root("conf");
+        write(
+            &root,
+            "crates/serve/src/a.rs",
+            "fn f(s: &S) {\n    s.q.store(1, Ordering::SeqCst);\n}\n",
+        );
+        let conf = Config::parse("allow atomic-ordering s.q.store(1\n").expect("conf");
+        let report = analyze_workspace(&root, &conf).expect("analyze");
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+}

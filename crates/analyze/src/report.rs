@@ -1,0 +1,178 @@
+//! Findings and their human / JSON renderings.
+//!
+//! Reuses [`ppm_lint::Diagnostic`] — a semantic finding is still a
+//! `(rule, path, line, col, message)` tuple — and mirrors the lint
+//! report's shape so `ppm analyze --format json` (schema
+//! `ppm-analyze v1`) drops into the same verify.sh / results-archive
+//! plumbing as `ppm lint --format json`.
+
+use ppm_lint::Diagnostic;
+use ppm_obs::Json;
+
+/// An analyze rule's name and one-line description.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable kebab-case rule name (used in `analyze:allow` and
+    /// `scripts/lint.conf`).
+    pub name: &'static str,
+    /// What the rule enforces, for `--format json` consumers and docs.
+    pub summary: &'static str,
+}
+
+/// All five analyses, in reporting order.
+pub const RULES: [RuleInfo; 5] = [
+    RuleInfo {
+        name: "lock-order",
+        summary: "acquired-while-held mutex graph must be acyclic, and no blocking \
+                  I/O or channel op may run under a lock",
+    },
+    RuleInfo {
+        name: "atomic-ordering",
+        summary: "every non-Relaxed Ordering:: use needs a declared \
+                  atomic-policy(<name>) comment; mixed orderings must be declared",
+    },
+    RuleInfo {
+        name: "panic-reachability",
+        summary: "unwrap/expect/slice-index reachable from worker or accept threads \
+                  must sit under catch_unwind or carry a justified allow",
+    },
+    RuleInfo {
+        name: "wire-format",
+        summary: "every emitted `ppm-* vN` version string must be registered, \
+                  parsed somewhere, and pinned by a golden test",
+    },
+    RuleInfo {
+        name: "exit-code",
+        summary: "CliError::exit_code(), the usage text, and README's exit-code \
+                  table must agree on the full code set",
+    },
+];
+
+/// The result of analyzing a file set.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// How many files were scanned (workspace sources plus `tests/`).
+    pub files_scanned: usize,
+    /// All findings, sorted by `(path, line, rule, col)`.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when no analysis fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the human form: one `file:line:col: rule: message` line
+    /// per finding plus a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "ppm-analyze: {} file(s) scanned, {} finding(s)\n",
+            self.files_scanned,
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Renders the JSON form (schema `ppm-analyze v1`), including the
+    /// rule table so consumers can map names to descriptions.
+    pub fn render_json(&self) -> String {
+        let diags = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Json::Obj(vec![
+                    ("rule".to_string(), Json::Str(d.rule.to_string())),
+                    ("path".to_string(), Json::Str(d.path.clone())),
+                    ("line".to_string(), Json::Int(i64::from(d.line))),
+                    ("col".to_string(), Json::Int(i64::from(d.col))),
+                    ("message".to_string(), Json::Str(d.message.clone())),
+                ])
+            })
+            .collect();
+        let rules = RULES
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(r.name.to_string())),
+                    ("summary".to_string(), Json::Str(r.summary.to_string())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            (
+                "files_scanned".to_string(),
+                Json::Int(self.files_scanned as i64),
+            ),
+            ("clean".to_string(), Json::Bool(self.is_clean())),
+            ("diagnostics".to_string(), Json::Arr(diags)),
+            ("rules".to_string(), Json::Arr(rules)),
+        ])
+        .dump()
+    }
+}
+
+/// The JSON schema version string emitted by [`Report::render_json`].
+pub const SCHEMA: &str = "ppm-analyze v1";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files_scanned: 40,
+            diagnostics: vec![Diagnostic {
+                rule: "lock-order",
+                path: "crates/serve/src/x.rs".to_string(),
+                line: 12,
+                col: 9,
+                message: "`send` called while holding `serve:records`".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn human_form_is_compiler_style() {
+        let text = sample().render_human();
+        assert!(
+            text.contains("crates/serve/src/x.rs:12:9: lock-order:"),
+            "{text}"
+        );
+        assert!(text.contains("40 file(s) scanned, 1 finding(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_form_round_trips_with_schema_and_rule_table() {
+        let json = Json::parse(&sample().render_json()).expect("valid JSON");
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some("ppm-analyze v1")
+        );
+        assert_eq!(json.get("clean"), Some(&Json::Bool(false)));
+        let rules_arr = match json.get("rules") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("rules not an array: {other:?}"),
+        };
+        assert_eq!(rules_arr.len(), 5);
+        assert_eq!(
+            rules_arr[0].get("name").and_then(Json::as_str),
+            Some("lock-order")
+        );
+    }
+
+    #[test]
+    fn rule_table_matches_the_shared_registry() {
+        // The allowlist layer (ppm-lint) must know exactly the rules
+        // this crate reports, or `analyze:allow(...)` entries would be
+        // rejected as typos.
+        let ours: Vec<&str> = RULES.iter().map(|r| r.name).collect();
+        assert_eq!(ours, ppm_lint::rules::ANALYZE_RULE_NAMES.to_vec());
+    }
+}

@@ -78,6 +78,10 @@ impl<T> SubmitError<T> {
 pub struct ServicePool<T: Send + 'static> {
     shards: Vec<SyncSender<T>>,
     handles: Vec<JoinHandle<()>>,
+    // atomic-policy(depth): SeqCst — the queued-depth gauge is counted
+    // *before* the send and uncounted on the failure path; a single
+    // total order across submitters and workers keeps the gauge from
+    // going transiently negative under contention.
     depth: Arc<AtomicUsize>,
     next: AtomicUsize,
     label: String,

@@ -135,11 +135,14 @@ impl Config {
                 return Err((idx + 1, format!("allow entry without a pattern: {line:?}")));
             };
             if !rules::is_known_rule(rule) {
+                // The full valid set — lint and analyze rules — so a
+                // typo'd entry tells the user every name it could have
+                // meant, not just the offender.
                 return Err((
                     idx + 1,
                     format!(
                         "unknown rule {rule:?} (known: {})",
-                        rules::rule_names().join(", ")
+                        rules::all_rule_names().join(", ")
                     ),
                 ));
             }
@@ -183,6 +186,22 @@ mod tests {
     fn unknown_rule_is_rejected() {
         let err = Config::parse("allow not-a-rule x\n").expect_err("bad rule");
         assert!(err.1.contains("unknown rule"), "{}", err.1);
+    }
+
+    #[test]
+    fn unknown_rule_error_lists_every_valid_name() {
+        let err = Config::parse("allow panic-paths x\n").expect_err("bad rule");
+        for name in rules::all_rule_names() {
+            assert!(err.1.contains(name), "missing {name:?} in: {}", err.1);
+        }
+    }
+
+    #[test]
+    fn analyze_rules_are_accepted_in_the_shared_conf() {
+        let conf = Config::parse("allow lock-order shard.lock()\nallow exit-code 42\n")
+            .expect("analyze rules are valid in the shared allowlist");
+        assert_eq!(conf.entries.len(), 2);
+        assert!(conf.allows("lock-order", "let q = shard.lock();"));
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub fn lint_workspace(root: &Path, conf: &Config) -> Result<Report, LintError> {
         })?;
         diagnostics.extend(rules::check_source(rel, &source, conf));
     }
+    // The walk already visits files in sorted order and each file's
+    // diagnostics arrive pre-sorted, but the output contract is
+    // (path, line, rule, col) regardless of walk order — enforce it.
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.col).cmp(&(b.path.as_str(), b.line, b.rule, b.col))
+    });
     Ok(Report {
         files_scanned: files.len(),
         diagnostics,

@@ -64,14 +64,34 @@ pub const RULES: [Rule; 6] = [
     },
 ];
 
-/// True when `name` is a rule this linter knows.
+/// Rule names owned by the semantic-analysis layer (`crates/analyze`,
+/// exposed as `ppm analyze`). They are declared here so the shared
+/// allowlist (`scripts/lint.conf`) can carry entries for either tool:
+/// `Config::parse` must accept every rule the workspace's static
+/// analyses know, and a typo must be rejected against the *full* set.
+pub const ANALYZE_RULE_NAMES: [&str; 5] = [
+    "lock-order",
+    "atomic-ordering",
+    "panic-reachability",
+    "wire-format",
+    "exit-code",
+];
+
+/// True when `name` is a rule either static-analysis tool knows
+/// (the six lint rules or the five `ppm analyze` rules).
 pub fn is_known_rule(name: &str) -> bool {
-    RULES.iter().any(|r| r.name == name)
+    RULES.iter().any(|r| r.name == name) || ANALYZE_RULE_NAMES.contains(&name)
 }
 
-/// All rule names, in reporting order.
+/// All rule names this linter reports on, in reporting order.
 pub fn rule_names() -> Vec<&'static str> {
     RULES.iter().map(|r| r.name).collect()
+}
+
+/// Every rule name the shared allowlist accepts: the lint rules
+/// followed by the analyze rules, in reporting order.
+pub fn all_rule_names() -> Vec<&'static str> {
+    rule_names().into_iter().chain(ANALYZE_RULE_NAMES).collect()
 }
 
 /// Crates whose serialized artifacts (checkpoints, ledgers, persisted
@@ -137,7 +157,7 @@ pub fn check_source(rel_path: &str, source: &str, conf: &Config) -> Vec<Diagnost
     let tokens = lexer::lex(source);
     let in_test = lexer::test_regions(&tokens);
     let lines: Vec<&str> = source.lines().collect();
-    let allow = inline_allows(&tokens);
+    let allow = inline_allows(&tokens, "lint:allow(");
 
     // Code view: indices of non-comment tokens, for adjacency matching.
     let code: Vec<usize> = (0..tokens.len())
@@ -297,18 +317,23 @@ pub fn check_source(rel_path: &str, source: &str, conf: &Config) -> Vec<Diagnost
             }
         }
     }
+    // Deterministic reporting order regardless of rule-matching order:
+    // (line, rule, col) — the path is constant within one file.
+    diags.sort_by_key(|d| (d.line, d.rule, d.col));
     diags
 }
 
-/// Collects `lint:allow(rule, ...)` markers from comment tokens. A
-/// marker covers every line its comment spans plus the line after it,
-/// so it works both trailing the violation and on the line above.
-fn inline_allows(tokens: &[Token<'_>]) -> BTreeSet<(String, u32)> {
+/// Collects `<marker>rule, ...)` markers from comment tokens — the
+/// marker is the opening text up to and including `(`, e.g.
+/// `"lint:allow("` or `"analyze:allow("`. A marker covers every line
+/// its comment spans plus the line after it, so it works both trailing
+/// the violation and on the line above.
+pub fn inline_allows(tokens: &[Token<'_>], marker: &str) -> BTreeSet<(String, u32)> {
     let mut allows = BTreeSet::new();
     for tok in tokens.iter().filter(|t| t.is_comment()) {
         let mut rest = tok.text;
-        while let Some(at) = rest.find("lint:allow(") {
-            rest = &rest[at + "lint:allow(".len()..];
+        while let Some(at) = rest.find(marker) {
+            rest = &rest[at + marker.len()..];
             let Some(close) = rest.find(')') else { break };
             let end_line = tok.line + tok.text.matches('\n').count() as u32;
             for rule in rest[..close].split(',') {

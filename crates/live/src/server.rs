@@ -21,6 +21,9 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 #[derive(Debug)]
 pub struct LiveServer {
     addr: SocketAddr,
+    // atomic-policy(stop): Release, Acquire — shutdown() publishes the
+    // flag with Release so the accept loop's Acquire load also observes
+    // any state written before the shutdown request.
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }

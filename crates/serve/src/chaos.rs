@@ -65,6 +65,9 @@ impl Drop for ChaosClients {
     }
 }
 
+// atomic-policy(stop): Release, Acquire — the server publishes its
+// shutdown with Release; the mischief loop's Acquire load pairs with it
+// so chaos stops promptly once the service is gone.
 fn mischief(addr: SocketAddr, seed: u64, stop: &AtomicBool) {
     let mut rng = Rng::seed_from_u64(ppm_rng::derive_seed(seed, 0x0c4a05));
     while !stop.load(Ordering::Acquire) {

@@ -205,6 +205,10 @@ impl Counters {
 struct ServeState {
     store: ModelStore,
     addr: SocketAddr,
+    // atomic-policy(stop): Release, Acquire — shutdown (quitz, drop,
+    // chaos teardown) publishes the flag with Release; the accept
+    // loop's Acquire load pairs with it so everything written before
+    // the stop request is visible when the loop winds down.
     stop: Arc<AtomicBool>,
     space: DesignSpace,
     default_deadline: Duration,
@@ -217,13 +221,22 @@ struct ServeState {
     fault: Option<FaultPlan>,
     /// Requests accepted but not yet picked up by a worker — the
     /// pressure signal behind both `/readyz` and depth degradation.
+    // atomic-policy(queued): SeqCst — incremented before the submit and
+    // decremented on both the worker and the shed path; one total order
+    // keeps the gauge exact so /readyz never flaps on a stale read.
     queued: AtomicUsize,
     /// Monotonic request sequence; the chaos plan keys faults off it.
     seq: AtomicU64,
     /// Consecutive model-evaluation failures.
+    // atomic-policy(streak): SeqCst, Relaxed — the failure counter's
+    // increment must order with the sticky swap it may trigger; plain
+    // resets stay Relaxed.
     streak: AtomicU32,
     /// Sticky degradation: set after `fail_streak` failures, cleared by
     /// a successful probe.
+    // atomic-policy(sticky): AcqRel, Acquire, Release — the swap that
+    // flips degradation acquires the failure state that justified it
+    // and releases it to every later reader of the flag.
     sticky: AtomicBool,
     /// Counts predictions taken while sticky, to pace probes.
     probe_tick: AtomicU64,

@@ -430,6 +430,10 @@ pub fn render_tracez_disabled() -> String {
 }
 
 struct SloSlot {
+    // atomic-policy(sec): AcqRel, Acquire, Relaxed — the slot's second
+    // is the publication gate: the recycling CAS (AcqRel, Relaxed on
+    // failure) must order with readers' Acquire loads so zeroed counts
+    // are visible before the slot is claimed for a new second.
     sec: AtomicU64,
     total: AtomicU64,
     unavailable: AtomicU64,

@@ -57,6 +57,10 @@ static REGISTRY: Registry = Registry::new();
 static ENABLED: AtomicBool = AtomicBool::new(true);
 static SINKS: Mutex<Vec<Box<dyn Sink>>> = Mutex::new(Vec::new());
 /// Mirrors `SINKS.len()` so the no-sink fast path skips the lock.
+// atomic-policy(SINK_COUNT): Release, Acquire — the count is published
+// after the sink vector is mutated under the lock; dispatch()'s
+// fast-path load must observe the store that made the vector non-empty
+// before it skips the lock.
 static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
@@ -211,16 +215,21 @@ pub fn add_sink(sink: Box<dyn Sink>) {
     SINK_COUNT.store(sinks.len(), Ordering::Release);
 }
 
-/// Removes every installed sink, flushing each first.
+/// Removes every installed sink, flushing each first. The sinks are
+/// taken out under the lock but flushed after it is released, so a
+/// slow flush (a sink writing to a file or socket) cannot stall
+/// concurrent [`dispatch`] callers.
 pub fn clear_sinks() {
-    let mut sinks = SINKS
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    for s in sinks.iter_mut() {
+    let mut taken = {
+        let mut sinks = SINKS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        SINK_COUNT.store(0, Ordering::Release);
+        std::mem::take(&mut *sinks)
+    };
+    for s in taken.iter_mut() {
         s.flush();
     }
-    sinks.clear();
-    SINK_COUNT.store(0, Ordering::Release);
 }
 
 /// Flushes every installed sink (e.g. before process exit).
@@ -230,6 +239,10 @@ pub fn flush_sinks() {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .iter_mut()
     {
+        // Flushing under the lock is deliberate: it serializes with
+        // in-flight dispatch() so the final flush cannot race a record
+        // mid-write, and this runs once, at process exit.
+        // analyze:allow(lock-order)
         s.flush();
     }
 }

@@ -8,8 +8,19 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Per-gate wall-time accounting: gate_done <name> closes the current
+# gate and starts the next; the summary line at the bottom is the
+# one-glance answer to "what got slow this PR".
+gate_summary=""
+gate_start=$SECONDS
+gate_done() {
+  gate_summary="${gate_summary}${gate_summary:+  }$1=$((SECONDS - gate_start))s"
+  gate_start=$SECONDS
+}
+
 echo "== tier-1: cargo build --release =="
 cargo build --release
+gate_done build
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
@@ -22,6 +33,7 @@ cargo test -q --test determinism
 
 echo "== workspace tests =="
 cargo test -q --workspace
+gate_done test
 
 echo "== flight recorder: smoke build + regression sentry + trace check =="
 # A fixed-seed smoke build must (a) reproduce the committed baseline
@@ -67,6 +79,7 @@ target/release/ppm bench-export --ledger "$smoke_dir/batch-ledger.json" \
   --stage stage.simulate_batch --bench sim_batch --out results/BENCH_sim_batch.json
 target/release/ppm bench-export --ledger "$smoke_dir/batch-ledger.json" \
   --stage stage.simulate_serial --bench sim_serial --out results/BENCH_sim_serial.json
+gate_done smoke
 
 echo "== serving plane: publish + serve smoke + loadtest SLO gate =="
 # Publish the smoke model into a scratch registry and prove the serving
@@ -205,6 +218,7 @@ http_request GET '/predict?rob=128' "$addr" | grep -q '"degraded":true' \
   || { echo "serve smoke: overload drill was not degraded"; exit 1; }
 http_request POST /quitz "$addr" > /dev/null
 wait "$serve_pid"
+gate_done serve
 
 echo "== ppm lint (token-aware static analysis, all crates) =="
 # The workspace's own linter (crates/lint) supersedes the old awk/grep
@@ -215,11 +229,25 @@ echo "== ppm lint (token-aware static analysis, all crates) =="
 # on findings, failing this gate via `set -e`; the JSON output is the
 # machine-readable record of the run.
 target/release/ppm lint --format json
+gate_done lint
+
+echo "== ppm analyze (cross-crate semantic analysis) =="
+# The semantic companion to lint (crates/analyze): lock-order cycles
+# and I/O-under-lock, atomic-ordering policies, panic reachability from
+# worker threads, wire-format registry drift, and the exit-code
+# contract. Shares lint's allowlist machinery (scripts/lint.conf,
+# inline `analyze:allow(<rule>)`) and its exit-6 contract. The JSON
+# report is archived under results/ as the machine-readable record.
+target/release/ppm analyze --format json > results/ANALYZE.json \
+  || { cat results/ANALYZE.json; exit 6; }
+gate_done analyze
 
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
+gate_done style
 
+echo "verify gate timings: $gate_summary"
 echo "verify: all checks passed"

@@ -39,6 +39,9 @@ pub enum CliError {
     /// The static-analysis pass found violations (exit code 6) — the
     /// scan itself succeeded; the findings were already printed.
     Lint(usize),
+    /// The semantic-analysis pass found violations (exit code 6, same
+    /// contract as `Lint`: the scan succeeded, findings were printed).
+    Analyze(usize),
     /// The live observability plane could not start or be reached
     /// (exit code 7) — e.g. `--live` bind failures, `ppm top` against
     /// a dead endpoint.
@@ -62,7 +65,7 @@ impl CliError {
             CliError::Simulation(_) => 3,
             CliError::Persistence(_) => 4,
             CliError::Regression(_) => 5,
-            CliError::Lint(_) => 6,
+            CliError::Lint(_) | CliError::Analyze(_) => 6,
             CliError::Live(_) => 7,
             CliError::Serve(_) => 8,
             CliError::Message(_) => 1,
@@ -79,6 +82,7 @@ impl fmt::Display for CliError {
             CliError::Persistence(m) => f.write_str(m),
             CliError::Regression(m) => f.write_str(m),
             CliError::Lint(n) => write!(f, "ppm-lint: {n} finding(s)"),
+            CliError::Analyze(n) => write!(f, "ppm-analyze: {n} finding(s)"),
             CliError::Live(m) => f.write_str(m),
             CliError::Serve(m) => f.write_str(m),
             CliError::Message(m) => f.write_str(m),
@@ -172,6 +176,7 @@ pub fn run_with_artifacts(
         "check-trace" => flight::check_trace(parsed, out),
         "bench-export" => flight::bench_export(parsed, out),
         "lint" => lint(parsed, out),
+        "analyze" => analyze(parsed, out),
         "top" => top(parsed, out),
         "tail" => tail(parsed, out),
         "serve" => serve(parsed, out),
@@ -982,6 +987,61 @@ fn lint(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
         Ok(())
     } else {
         Err(CliError::Lint(report.diagnostics.len()))
+    }
+}
+
+/// `ppm analyze`: the cross-crate semantic-analysis pass (see
+/// `crates/analyze`): lock-order, atomic-ordering, panic-reachability,
+/// wire-format and exit-code contracts.
+///
+/// Flags: `--root <dir>` (default `.`), `--conf <file>` (default
+/// `<root>/scripts/lint.conf` when present — the allowlist is shared
+/// with `ppm lint`), `--format human|json`, `--rule <name>` to scope
+/// the run to one analysis. Findings exit with code 6, like lint.
+fn analyze(parsed: &Parsed, out: &mut dyn fmt::Write) -> Result<(), CliError> {
+    let format = parsed.get("--format").unwrap_or("human");
+    if !matches!(format, "human" | "json") {
+        return Err(CliError::Usage(format!(
+            "unknown analyze format {format:?} (human|json)"
+        )));
+    }
+    let rule_filter = parsed.get("--rule");
+    if let Some(rule) = rule_filter {
+        if !ppm_lint::rules::ANALYZE_RULE_NAMES.contains(&rule) {
+            return Err(CliError::Usage(format!(
+                "unknown analyze rule {rule:?} (known: {})",
+                ppm_lint::rules::ANALYZE_RULE_NAMES.join(", ")
+            )));
+        }
+    }
+    let root = Path::new(parsed.get("--root").unwrap_or("."));
+    let persist = |e: &dyn fmt::Display| CliError::Persistence(e.to_string());
+    let conf = match parsed.get("--conf") {
+        Some(path) => ppm_lint::Config::load(Path::new(path)).map_err(|e| persist(&e))?,
+        None => {
+            let default = root.join("scripts").join("lint.conf");
+            if default.is_file() {
+                ppm_lint::Config::load(&default).map_err(|e| persist(&e))?
+            } else {
+                ppm_lint::Config::empty()
+            }
+        }
+    };
+    let mut report = {
+        let _span = ppm_telemetry::span("stage.analyze");
+        ppm_analyze::analyze_workspace(root, &conf).map_err(|e| persist(&e))?
+    };
+    if let Some(rule) = rule_filter {
+        report.diagnostics.retain(|d| d.rule == rule);
+    }
+    match format {
+        "json" => writeln!(out, "{}", report.render_json()).map_err(msg)?,
+        _ => out.write_str(&report.render_human()).map_err(msg)?,
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::Analyze(report.diagnostics.len()))
     }
 }
 

@@ -29,8 +29,10 @@
 //! on regression). See [`flight`].
 //!
 //! `ppm lint` runs the workspace's token-aware static-analysis pass
-//! (`crates/lint`) and exits 6 when a rule fires — see the "Static
-//! analysis" section in README.md.
+//! (`crates/lint`) and `ppm analyze` the cross-crate semantic pass
+//! (`crates/analyze`: lock-order, atomic-ordering, panic-reachability,
+//! wire-format and exit-code contracts); both exit 6 when a rule fires
+//! — see the "Static analysis" section in README.md.
 //!
 //! The live observability plane (`crates/live`): `--live <addr>` on
 //! `build`/`simulate`/`screen` serves `/metrics` (Prometheus text),
@@ -84,6 +86,11 @@ COMMANDS:
   lint        [--root <dir>] [--conf <file>] [--format human|json]
                                  static-analysis pass over the workspace
                                  sources (exit code 6 on findings)
+  analyze     [--root <dir>] [--conf <file>] [--format human|json]
+              [--rule <name>]    cross-crate semantic analysis: lock-order,
+                                 atomic-ordering, panic-reachability,
+                                 wire-format and exit-code contracts
+                                 (exit code 6 on findings)
   top         <addr> [--once] [--interval-ms <n>]
                                  terminal dashboard for a --live endpoint
                                  or a serving plane (SLO burn rates)
@@ -133,7 +140,8 @@ FAULT-TOLERANCE FLAGS (`build`):
 
 EXIT CODES:
   0 success    2 usage error    3 simulation fault    4 persistence failure
-  5 regression (`report`, `loadtest --slo-p99-ms`)    6 lint findings (`lint`)
+  5 regression (`report`, `loadtest --slo-p99-ms`)
+  6 static-analysis findings (`lint`, `analyze`)
   7 live-plane failure (`--live` bind, `ppm top` endpoint)
   8 serve failure (`serve` bind/registry, `publish`, `loadtest` transport,
     `ppm tail` first poll)

@@ -1,11 +1,13 @@
-//! Integration tests for `ppm lint`, the workspace static-analysis
-//! pass: golden diagnostics on seeded fixtures, one firing per rule,
-//! the CLI exit-code contract, and the self-lint gate asserting this
-//! workspace is violation-free.
+//! Integration tests for the static-analysis pair: `ppm lint`
+//! (token-local rules) and `ppm analyze` (cross-crate semantic rules).
+//! Golden diagnostics on seeded fixtures, one firing per rule, the
+//! CLI exit-code contract for both tools, and the self-scan gates
+//! asserting this workspace is violation-free under both.
 
 use std::path::{Path, PathBuf};
 
 use ppm::cli::{CliError, Parsed};
+use ppm_analyze::analyze_workspace;
 use ppm_lint::{lint_source, lint_workspace, Config};
 use ppm_obs::Json;
 
@@ -66,13 +68,14 @@ fn seeded_fixture_diagnostics_are_golden() {
             "crates/firstorder/src/seeded.rs:6:24 wall-clock",
             "crates/firstorder/src/seeded.rs:7:5 print-in-lib",
             "crates/firstorder/src/seeded.rs:8:18 env-read",
-            "crates/firstorder/src/seeded.rs:9:10 panic-path",
             "crates/firstorder/src/seeded.rs:9:19 float-eq",
+            "crates/firstorder/src/seeded.rs:9:10 panic-path",
             "crates/firstorder/src/seeded.rs:12:5 panic-path",
         ],
         "full diagnostics: {diags:#?}"
     );
-    // Diagnostics arrive in source order and carry actionable messages.
+    // Diagnostics arrive in (line, rule, col) order and carry
+    // actionable messages.
     assert!(
         diags[0].message.contains("BTreeMap"),
         "{}",
@@ -105,7 +108,7 @@ fn temp_root(tag: &str) -> PathBuf {
     dir
 }
 
-fn run_lint(args: &[&str]) -> (String, Result<(), CliError>) {
+fn run_cli(args: &[&str]) -> (String, Result<(), CliError>) {
     let parsed = Parsed::parse(args.iter().map(|s| s.to_string())).expect("args parse");
     let mut out = String::new();
     let result = ppm::cli::run(&parsed, &mut out);
@@ -118,7 +121,7 @@ fn cli_lint_exits_6_on_a_seeded_violation_and_0_when_fixed() {
     write(&root, SEEDED_PATH, SEEDED);
     let root_s = root.to_string_lossy().into_owned();
 
-    let (out, result) = run_lint(&["lint", "--root", &root_s]);
+    let (out, result) = run_cli(&["lint", "--root", &root_s]);
     let err = result.expect_err("violations must fail the command");
     match &err {
         CliError::Lint(n) => assert_eq!(*n, 9, "{out}"),
@@ -129,7 +132,7 @@ fn cli_lint_exits_6_on_a_seeded_violation_and_0_when_fixed() {
 
     // The same tree with the violation file replaced is clean.
     write(&root, SEEDED_PATH, "pub fn fine() -> u32 { 7 }\n");
-    let (out, result) = run_lint(&["lint", "--root", &root_s]);
+    let (out, result) = run_cli(&["lint", "--root", &root_s]);
     result.expect("clean tree must pass");
     assert!(out.contains("0 finding(s)"), "{out}");
     std::fs::remove_dir_all(&root).expect("cleanup");
@@ -141,7 +144,7 @@ fn cli_lint_json_is_parseable_and_complete() {
     write(&root, SEEDED_PATH, SEEDED);
     let root_s = root.to_string_lossy().into_owned();
 
-    let (out, result) = run_lint(&["lint", "--root", &root_s, "--format", "json"]);
+    let (out, result) = run_cli(&["lint", "--root", &root_s, "--format", "json"]);
     assert_eq!(result.expect_err("seeded violations").exit_code(), 6);
     let json = Json::parse(out.trim()).expect("valid JSON on stdout");
     assert_eq!(
@@ -169,12 +172,12 @@ fn cli_lint_rejects_unknown_format_and_bad_conf() {
     write(&root, "crates/core/src/lib.rs", "pub fn ok() {}\n");
     let root_s = root.to_string_lossy().into_owned();
 
-    let (_, result) = run_lint(&["lint", "--root", &root_s, "--format", "xml"]);
+    let (_, result) = run_cli(&["lint", "--root", &root_s, "--format", "xml"]);
     assert_eq!(result.expect_err("unknown format").exit_code(), 2);
 
     write(&root, "bad.conf", "allow not-a-rule something\n");
     let conf = root.join("bad.conf").to_string_lossy().into_owned();
-    let (_, result) = run_lint(&["lint", "--root", &root_s, "--conf", &conf]);
+    let (_, result) = run_cli(&["lint", "--root", &root_s, "--conf", &conf]);
     assert_eq!(result.expect_err("bad conf").exit_code(), 4);
     std::fs::remove_dir_all(&root).expect("cleanup");
 }
@@ -195,5 +198,194 @@ fn workspace_is_lint_clean() {
     assert!(
         report.is_clean(),
         "workspace has lint findings:\n{rendered}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// `ppm analyze`: the cross-crate semantic pass.
+// ---------------------------------------------------------------------
+
+/// One seeded violation per analyze rule: `(rule, path, source)`.
+/// Each source is minimal enough to trip exactly its own rule.
+const ANALYZE_SEEDS: &[(&str, &str, &str)] = &[
+    (
+        "lock-order",
+        "crates/serve/src/seeded_locks.rs",
+        r#"pub fn double_lock(s: &S) {
+    let g = s.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let h = s.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = (g, h);
+}
+"#,
+    ),
+    (
+        "atomic-ordering",
+        "crates/serve/src/seeded_atomics.rs",
+        r#"pub fn publish(s: &S) {
+    s.flag.store(1, Ordering::SeqCst);
+}
+"#,
+    ),
+    (
+        "panic-reachability",
+        "crates/serve/src/seeded_panics.rs",
+        r#"pub fn start() {
+    std::thread::spawn(move || {
+        let v: Option<u32> = None;
+        let _ = v.unwrap();
+    });
+}
+"#,
+    ),
+    (
+        "wire-format",
+        "crates/serve/src/seeded_wire.rs",
+        r#"pub fn schema() -> &'static str {
+    "ppm-bogus v9"
+}
+"#,
+    ),
+    (
+        "exit-code",
+        "src/cli/commands.rs",
+        r#"pub enum CliError { Args(String), Sim(String), Lint(usize) }
+impl CliError {
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Args(_) => 2,
+            CliError::Sim(_) => 3,
+            CliError::Lint(_) => 6,
+        }
+    }
+}
+"#,
+    ),
+];
+
+/// The usage text companion for the exit-code seed: documents a ghost
+/// code 9 that no variant produces.
+const ANALYZE_USAGE: &str = r#"pub const USAGE: &str = "ppm <command>
+
+EXIT CODES:
+  0 success    2 usage
+  3 simulation 6 lint
+  9 ghost
+
+";
+"#;
+
+fn write_analyze_seed(root: &Path, rule: &str) {
+    let (_, rel, src) = ANALYZE_SEEDS
+        .iter()
+        .find(|(r, _, _)| *r == rule)
+        .expect("known rule");
+    write(root, rel, src);
+    if rule == "exit-code" {
+        write(root, "src/cli/mod.rs", ANALYZE_USAGE);
+    }
+}
+
+#[test]
+fn cli_analyze_exits_6_on_each_seeded_violation() {
+    for (rule, _, _) in ANALYZE_SEEDS {
+        let root = temp_root(&format!("an-{rule}"));
+        write_analyze_seed(&root, rule);
+        let root_s = root.to_string_lossy().into_owned();
+
+        let (out, result) = run_cli(&["analyze", "--root", &root_s]);
+        let err = result.expect_err("seeded violation must fail the command");
+        match &err {
+            CliError::Analyze(n) => assert!(*n > 0, "{rule}: {out}"),
+            other => panic!("{rule}: expected CliError::Analyze, got {other:?}"),
+        }
+        assert_eq!(err.exit_code(), 6, "{rule}");
+        assert!(out.contains(rule), "{rule} not named in output:\n{out}");
+
+        // Scoping to a different rule silences the finding (exit 0).
+        let other_rule = if *rule == "wire-format" {
+            "lock-order"
+        } else {
+            "wire-format"
+        };
+        let (out, result) = run_cli(&["analyze", "--root", &root_s, "--rule", other_rule]);
+        result
+            .unwrap_or_else(|e| panic!("{rule}: --rule {other_rule} must pass, got {e:?}\n{out}"));
+        std::fs::remove_dir_all(&root).expect("cleanup");
+    }
+}
+
+#[test]
+fn analyze_seeded_tree_diagnostics_are_golden() {
+    let root = temp_root("an-golden");
+    for (rule, _, _) in ANALYZE_SEEDS {
+        write_analyze_seed(&root, rule);
+    }
+    let report = analyze_workspace(&root, &Config::empty()).expect("analyze");
+    let rendered: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}:{} {}", d.path, d.line, d.col, d.rule))
+        .collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "crates/serve/src/seeded_atomics.rs:2:12 atomic-ordering",
+            "crates/serve/src/seeded_locks.rs:3:21 lock-order",
+            "crates/serve/src/seeded_panics.rs:4:19 panic-reachability",
+            "crates/serve/src/seeded_wire.rs:2:5 wire-format",
+            "src/cli/mod.rs:3:1 exit-code",
+        ],
+        "full diagnostics: {:#?}",
+        report.diagnostics
+    );
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn cli_analyze_json_is_parseable_and_rejects_unknown_rule() {
+    let root = temp_root("an-json");
+    write_analyze_seed(&root, "wire-format");
+    let root_s = root.to_string_lossy().into_owned();
+
+    let (out, result) = run_cli(&["analyze", "--root", &root_s, "--format", "json"]);
+    assert_eq!(result.expect_err("seeded violation").exit_code(), 6);
+    let json = Json::parse(out.trim()).expect("valid JSON on stdout");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("ppm-analyze v1")
+    );
+    assert_eq!(json.get("clean"), Some(&Json::Bool(false)));
+    let diags = match json.get("diagnostics") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("diagnostics not an array: {other:?}"),
+    };
+    assert_eq!(diags.len(), 1, "{out}");
+    for d in diags {
+        for key in ["rule", "path", "line", "col", "message"] {
+            assert!(d.get(key).is_some(), "diagnostic missing {key}: {d:?}");
+        }
+    }
+
+    let (_, result) = run_cli(&["analyze", "--root", &root_s, "--rule", "nonsense"]);
+    assert_eq!(result.expect_err("unknown rule").exit_code(), 2);
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+/// The analyze counterpart of `workspace_is_lint_clean`: the workspace
+/// itself has zero semantic findings under its checked-in allowlist.
+#[test]
+fn workspace_is_analyze_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let conf = Config::load(&root.join("scripts").join("lint.conf")).expect("lint.conf loads");
+    let report = analyze_workspace(root, &conf).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    let rendered = report.render_human();
+    assert!(
+        report.is_clean(),
+        "workspace has analyze findings:\n{rendered}"
     );
 }

@@ -1,0 +1,206 @@
+//! Golden tests pinning every wire format in the registry
+//! (`crates/analyze/src/wire.rs`, `KNOWN_FORMATS`).
+//!
+//! Each test drives the real emitter where one is reachable from a unit
+//! test (reports, rings, checkpoints) and a canonical body fixture where
+//! the emitter is buried in a server loop (`/predict`, `/statusz`), then
+//! compares the schema field against the literal version string with
+//! `==`. That comparison is deliberate: `ppm analyze` requires every
+//! registered format to have both a test pin and a parse/validation
+//! site, and these assertions are exactly that contract. Bumping a
+//! version string without updating the registry, the parser, and this
+//! file fails `ppm analyze` and these tests at the same time.
+
+use ppm_obs::Json;
+
+/// Parses `text` as JSON and returns its top-level `"schema"` string.
+fn schema_of(text: &str) -> Option<String> {
+    let doc = Json::parse(text).ok()?;
+    doc.get("schema").and_then(Json::as_str).map(str::to_string)
+}
+
+#[test]
+fn analyze_report_schema_is_pinned() {
+    let report = ppm_analyze::Report {
+        files_scanned: 3,
+        diagnostics: Vec::new(),
+    };
+    let text = report.render_json();
+    assert!(
+        schema_of(&text).as_deref() == Some("ppm-analyze v1"),
+        "{text}"
+    );
+    assert!(ppm_analyze::SCHEMA == "ppm-analyze v1");
+}
+
+#[test]
+fn bench_record_schema_is_pinned() {
+    let record = ppm_obs::BenchRecord {
+        bench: "wire_golden".to_string(),
+        unit: "ms".to_string(),
+        wall_ms: 12.5,
+        source_run: "test-run".to_string(),
+        created_unix_ms: 0,
+    };
+    let text = record.to_json().dump();
+    assert!(
+        schema_of(&text).as_deref() == Some("ppm-bench v1"),
+        "{text}"
+    );
+    assert!(ppm_obs::BENCH_SCHEMA == "ppm-bench v1");
+}
+
+#[test]
+fn buildz_document_schema_is_pinned() {
+    let text = ppm_live::render_buildz(&[]);
+    assert!(
+        schema_of(&text).as_deref() == Some("ppm-buildz v1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn checkpoint_header_is_pinned() {
+    let mut journal = ppm_core::Checkpoint::create(
+        std::env::temp_dir().join("ppm-wire-golden.ckpt"),
+        &[("seed".to_string(), "7".to_string())],
+    );
+    journal.record(&[1.0, 2.0], 3.5);
+    let text = journal.to_text();
+    assert!(text.lines().next() == Some("ppm-checkpoint v1"), "{text}");
+}
+
+#[test]
+fn eventz_document_schema_is_pinned() {
+    let text = ppm_telemetry::EventRing::new(4).render_json();
+    assert!(
+        schema_of(&text).as_deref() == Some("ppm-eventz v1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn ledger_schema_constant_is_pinned() {
+    assert!(ppm_obs::ledger::LEDGER_SCHEMA == "ppm-ledger v1");
+}
+
+#[test]
+fn lint_report_schema_is_pinned() {
+    let text = ppm_lint::Report::default().render_json();
+    assert!(schema_of(&text).as_deref() == Some("ppm-lint v1"), "{text}");
+}
+
+#[test]
+fn loadtest_report_schema_is_pinned() {
+    let report = ppm_serve::LoadtestReport {
+        sent: 10,
+        ok: 8,
+        degraded: 1,
+        shed: 1,
+        deadline_exceeded: 0,
+        errors: 1,
+        p50_ms: 1.0,
+        p95_ms: 2.0,
+        p99_ms: 3.0,
+        mean_ms: 1.5,
+        refusal_p50_ms: 0.2,
+        refusal_p99_ms: 0.4,
+        refusal_mean_ms: 0.3,
+        wall_ms: 100.0,
+        rps: 100.0,
+        trace_check: None,
+    };
+    let text = report.to_json().dump();
+    assert!(
+        schema_of(&text).as_deref() == Some("ppm-loadtest v1"),
+        "{text}"
+    );
+}
+
+/// A minimal but structurally complete `ppm-ledger v1` run document —
+/// the shape `ppm report` compares.
+fn ledger_fixture() -> Json {
+    let text = r#"{
+      "header": {
+        "schema": "ppm-ledger v1",
+        "run_id": "wire-golden",
+        "created_unix_ms": 0,
+        "timings": {
+          "total_wall_us": 100000,
+          "total_cpu_us": null,
+          "stages": [
+            {"name": "stage.rbf_train", "wall_us": 100000, "cpu_us": null}
+          ]
+        }
+      },
+      "body": {
+        "schema": "ppm-ledger v1",
+        "command": "build",
+        "args": {"--seed": "7"},
+        "env": {},
+        "metrics": [
+          {"kind": "counter", "name": "sim.batch_points", "value": 40}
+        ],
+        "diagnostics": {
+          "holdout": {"mean_pct": 2.0, "max_pct": 6.0},
+          "regions": [
+            {"leaf": 0, "count": 10, "mean_abs_pct": 1.5, "max_abs_pct": 4.0}
+          ],
+          "aicc": -12.0
+        }
+      }
+    }"#;
+    Json::parse(text).expect("ledger fixture parses")
+}
+
+#[test]
+fn regression_report_schema_is_pinned() {
+    let doc = ledger_fixture();
+    let report = ppm_obs::compare(&doc, &doc, &ppm_obs::Thresholds::default())
+        .expect("self-compare succeeds");
+    let text = report.to_json().dump();
+    assert!(
+        schema_of(&text).as_deref() == Some("ppm-report v1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn predict_body_schema_is_pinned() {
+    // The /predict emitter lives inside the serve request loop; this is
+    // the canonical body shape it produces, validated consumer-side the
+    // same way `ppm loadtest` classifies responses.
+    let body = r#"{"schema":"ppm-serve v1","benchmark":"gcc","metric":"ipc",
+                   "prediction":1.25,"model_version":3,"degraded":false,
+                   "eval_us":42}"#;
+    assert!(schema_of(body).as_deref() == Some("ppm-serve v1"), "{body}");
+}
+
+#[test]
+fn statusz_body_schema_is_pinned() {
+    // Same situation as /predict: the emitter is in the server loop, so
+    // the golden pins the canonical body shape consumer-side.
+    let body = r#"{"schema":"ppm-statusz v1","model_version":3,
+                   "benchmark":"gcc","metric":"ipc","state":"serving",
+                   "queued":0,"workers":4}"#;
+    assert!(
+        schema_of(body).as_deref() == Some("ppm-statusz v1"),
+        "{body}"
+    );
+}
+
+#[test]
+fn tracez_document_schema_is_pinned() {
+    let ring = ppm_serve::TraceRing::new(ppm_serve::TraceConfig::default());
+    let text = ring.render_tracez(&ppm_serve::TraceFilter::default());
+    assert!(
+        schema_of(&text).as_deref() == Some("ppm-tracez v1"),
+        "{text}"
+    );
+    assert!(ppm_serve::TRACEZ_SCHEMA == "ppm-tracez v1");
+    let disabled = ppm_serve::trace::render_tracez_disabled();
+    assert!(
+        schema_of(&disabled).as_deref() == Some("ppm-tracez v1"),
+        "{disabled}"
+    );
+}
